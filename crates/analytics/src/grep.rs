@@ -1,0 +1,199 @@
+//! Grep: extract and count matching strings (Hadoop example, Table I
+//! row 3).
+//!
+//! Implements its own pattern matcher (no regex dependency): literal
+//! substring search plus the `.` (any char) and `*` (zero-or-more of
+//! previous) operators — the subset Hadoop-example grep jobs typically
+//! use.
+
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+
+/// A compiled pattern: literal with optional `.`/`*` operators.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    ops: Vec<PatOp>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PatOp {
+    Char(u8),
+    Any,
+    Star(u8),
+    AnyStar,
+}
+
+impl Pattern {
+    /// Compile a pattern. `.` matches any byte; `x*` matches zero or
+    /// more `x`; `.*` matches anything.
+    pub fn compile(pat: &str) -> Pattern {
+        let bytes = pat.as_bytes();
+        let mut ops = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let starred = bytes.get(i + 1) == Some(&b'*');
+            let op = match (c, starred) {
+                (b'.', true) => PatOp::AnyStar,
+                (b'.', false) => PatOp::Any,
+                (c, true) => PatOp::Star(c),
+                (c, false) => PatOp::Char(c),
+            };
+            ops.push(op);
+            i += if starred { 2 } else { 1 };
+        }
+        Pattern { ops }
+    }
+
+    /// Whether the pattern matches starting exactly at `text[pos..]`,
+    /// returning the match end when it does.
+    fn match_at(&self, text: &[u8], pos: usize, op_idx: usize) -> Option<usize> {
+        if op_idx == self.ops.len() {
+            return Some(pos);
+        }
+        match self.ops[op_idx] {
+            PatOp::Char(c) => (text.get(pos) == Some(&c))
+                .then(|| self.match_at(text, pos + 1, op_idx + 1))
+                .flatten(),
+            PatOp::Any => (pos < text.len())
+                .then(|| self.match_at(text, pos + 1, op_idx + 1))
+                .flatten(),
+            PatOp::Star(c) => {
+                let mut end = pos;
+                while text.get(end) == Some(&c) {
+                    end += 1;
+                }
+                // Greedy with backtracking.
+                loop {
+                    if let Some(m) = self.match_at(text, end, op_idx + 1) {
+                        return Some(m);
+                    }
+                    if end == pos {
+                        return None;
+                    }
+                    end -= 1;
+                }
+            }
+            PatOp::AnyStar => {
+                let mut end = text.len();
+                loop {
+                    if let Some(m) = self.match_at(text, end, op_idx + 1) {
+                        return Some(m);
+                    }
+                    if end == pos {
+                        return None;
+                    }
+                    end -= 1;
+                }
+            }
+        }
+    }
+
+    /// Find the first match in `text`, returning the matched substring.
+    pub fn find<'t>(&self, text: &'t str) -> Option<&'t str> {
+        let bytes = text.as_bytes();
+        for start in 0..=bytes.len() {
+            if let Some(end) = self.match_at(bytes, start, 0) {
+                if end > start {
+                    return std::str::from_utf8(&bytes[start..end]).ok();
+                }
+            }
+        }
+        None
+    }
+
+    /// Count non-overlapping matches in `text`.
+    pub fn count(&self, text: &str) -> u64 {
+        let bytes = text.as_bytes();
+        let mut n = 0;
+        let mut start = 0;
+        while start < bytes.len() {
+            match self.match_at(bytes, start, 0) {
+                Some(end) if end > start => {
+                    n += 1;
+                    start = end;
+                }
+                _ => start += 1,
+            }
+        }
+        n
+    }
+}
+
+/// MapReduce grep: map extracts match counts per matched string, reduce
+/// sums them (the Hadoop grep example's first job).
+pub fn run(
+    docs: Vec<String>,
+    pattern: &str,
+    cfg: &JobConfig,
+) -> (Vec<(String, u64)>, JobStats) {
+    let pat = Pattern::compile(pattern);
+    run_job(
+        docs,
+        cfg,
+        move |doc: String, emit: &mut dyn FnMut(String, u64)| {
+            for word in doc.split_whitespace() {
+                if let Some(m) = pat.find(word) {
+                    emit(m.to_string(), 1);
+                }
+            }
+        },
+        Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
+        |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let p = Pattern::compile("abc");
+        assert_eq!(p.find("xxabcyy"), Some("abc"));
+        assert_eq!(p.find("xyz"), None);
+        assert_eq!(p.count("abc abc ab abc"), 3);
+    }
+
+    #[test]
+    fn dot_matches_any() {
+        let p = Pattern::compile("a.c");
+        assert_eq!(p.find("azc"), Some("azc"));
+        assert_eq!(p.find("ac"), None);
+    }
+
+    #[test]
+    fn star_matches_repeats() {
+        let p = Pattern::compile("ab*c");
+        assert_eq!(p.find("ac"), Some("ac"));
+        assert_eq!(p.find("abbbc"), Some("abbbc"));
+        assert_eq!(p.find("adc"), None);
+    }
+
+    #[test]
+    fn dot_star_matches_gap() {
+        let p = Pattern::compile("a.*z");
+        assert_eq!(p.find("a-hello-z"), Some("a-hello-z"));
+        assert_eq!(p.find("za"), None);
+    }
+
+    #[test]
+    fn mapreduce_grep_counts_matches() {
+        let docs = vec![
+            "error42 warn error7 info".to_string(),
+            "error42 trace".to_string(),
+        ];
+        let (mut out, stats) = run(docs, "error4.", &JobConfig::default());
+        out.sort();
+        assert_eq!(out, vec![("error42".to_string(), 2)]);
+        assert!(stats.map_output_records >= 2);
+    }
+
+    #[test]
+    fn grep_selectivity_shrinks_shuffle() {
+        let docs: Vec<String> =
+            (0..200).map(|i| format!("needle{} hay hay hay", i % 3)).collect();
+        let (_, stats) = run(docs, "needle0", &JobConfig::default());
+        // Only ~1/4 of words match; shuffle must be far below input.
+        assert!(stats.shuffle_bytes < stats.map_input_bytes / 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Hive-bench: data-warehouse operations (Table I row 11).
+//!
+//! A miniature Hive: a typed relational layer whose aggregation and join
+//! operators compile to MapReduce jobs on the real engine — exactly how
+//! Hive executes SQL — plus the three representative Hive-bench
+//! (HIVE-396) queries over the `rankings`/`uservisits` tables:
+//!
+//! 1. **Filter scan** — `SELECT pageURL, pageRank FROM rankings WHERE
+//!    pageRank > X`
+//! 2. **Aggregation** — `SELECT prefix(sourceIP), SUM(adRevenue) FROM
+//!    uservisits GROUP BY prefix(sourceIP)`
+//! 3. **Join** — revenue/rank per source IP joining both tables on the
+//!    URL, with a date filter and a top-1 ORDER BY.
+
+use dc_datagen::tables::{RankingRow, UserVisitRow, Warehouse};
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+
+/// A dynamically-typed cell value.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Float view (ints coerce).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Str(_) => 0.0,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            _ => "",
+        }
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// Query 1: filter scan over `rankings`.
+pub fn q1_filter_scan(w: &Warehouse, min_rank: u32) -> Vec<Row> {
+    w.rankings
+        .iter()
+        .filter(|r| r.page_rank > min_rank)
+        .map(|r| {
+            vec![
+                Value::Str(r.page_url.clone()),
+                Value::Int(i64::from(r.page_rank)),
+            ]
+        })
+        .collect()
+}
+
+/// Query 2: grouped aggregation over `uservisits` as a MapReduce job —
+/// `SELECT substr(sourceIP, 1, 7), SUM(adRevenue) GROUP BY 1`.
+pub fn q2_aggregation(
+    w: &Warehouse,
+    cfg: &JobConfig,
+) -> (Vec<(String, f64)>, JobStats) {
+    run_job(
+        w.uservisits.clone(),
+        cfg,
+        |v: UserVisitRow, emit: &mut dyn FnMut(String, f64)| {
+            let prefix: String = v.source_ip.chars().take(7).collect();
+            emit(prefix, v.ad_revenue);
+        },
+        Some(&|_k: &String, vs: &[f64]| vec![vs.iter().sum::<f64>()]),
+        |k: &String, vs: &[f64]| vec![(k.clone(), vs.iter().sum::<f64>())],
+    )
+}
+
+/// Tagged join input: either side of the URL join.
+#[derive(Debug, Clone)]
+enum JoinSide {
+    Ranking(RankingRow),
+    Visit(UserVisitRow),
+}
+
+impl dc_mapreduce::ByteSize for JoinSide {
+    fn byte_size(&self) -> usize {
+        match self {
+            JoinSide::Ranking(r) => r.page_url.len() + 12,
+            JoinSide::Visit(v) => v.source_ip.len() + v.dest_url.len() + 24,
+        }
+    }
+}
+
+/// One tagged tuple flowing through the URL join: rank side or
+/// (sourceIP, revenue) side.
+type JoinTuple = (Option<u32>, Option<(String, f64)>);
+
+/// Query 3: repartition join + aggregation, Hive's `JOIN … GROUP BY`
+/// plan — revenue and average rank per source IP over a date window,
+/// returning the top earner.
+pub fn q3_join(
+    w: &Warehouse,
+    date_range: (u32, u32),
+    cfg: &JobConfig,
+) -> (Option<(String, f64, f64)>, JobStats) {
+    // Stage 1: repartition join on URL.
+    let mut inputs: Vec<JoinSide> =
+        w.rankings.iter().cloned().map(JoinSide::Ranking).collect();
+    inputs.extend(
+        w.uservisits
+            .iter()
+            .filter(|v| v.visit_date >= date_range.0 && v.visit_date < date_range.1)
+            .cloned()
+            .map(JoinSide::Visit),
+    );
+    let (joined, mut stats) = run_job(
+        inputs,
+        cfg,
+        |side: JoinSide, emit: &mut dyn FnMut(String, JoinTuple)| {
+            match side {
+                JoinSide::Ranking(r) => emit(r.page_url, (Some(r.page_rank), None)),
+                JoinSide::Visit(v) => {
+                    emit(v.dest_url, (None, Some((v.source_ip, v.ad_revenue))))
+                }
+            }
+        },
+        None,
+        |_url: &String, sides: &[JoinTuple]| {
+            // Inner join: pair every visit with the URL's rank.
+            let rank = sides.iter().find_map(|(r, _)| *r);
+            let Some(rank) = rank else { return Vec::new() };
+            sides
+                .iter()
+                .filter_map(|(_, v)| v.as_ref())
+                .map(|(ip, rev)| (ip.clone(), rank, *rev))
+                .collect::<Vec<(String, u32, f64)>>()
+        },
+    );
+
+    // Stage 2: group by source IP, aggregate revenue and average rank.
+    let (grouped, s2) = run_job(
+        joined,
+        cfg,
+        |(ip, rank, rev): (String, u32, f64),
+         emit: &mut dyn FnMut(String, (f64, f64, u64))| {
+            emit(ip, (rev, f64::from(rank), 1));
+        },
+        Some(&|_k: &String, vs: &[(f64, f64, u64)]| {
+            vec![vs.iter().fold((0.0, 0.0, 0), |a, v| {
+                (a.0 + v.0, a.1 + v.1, a.2 + v.2)
+            })]
+        }),
+        |k: &String, vs: &[(f64, f64, u64)]| {
+            let (rev, rank, n) = vs.iter().fold((0.0, 0.0, 0u64), |a, v| {
+                (a.0 + v.0, a.1 + v.1, a.2 + v.2)
+            });
+            vec![(k.clone(), rev, rank / n.max(1) as f64)]
+        },
+    );
+    stats.accumulate(&s2);
+
+    // ORDER BY totalRevenue DESC LIMIT 1 (driver-side, as Hive does for
+    // a final single-reducer ordering).
+    let top = grouped.into_iter().max_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (top, stats)
+}
+
+/// Run the whole Hive-bench query suite; returns combined statistics.
+pub fn run_suite(w: &Warehouse, cfg: &JobConfig) -> (usize, JobStats) {
+    let q1 = q1_filter_scan(w, 1000);
+    let (q2, mut stats) = q2_aggregation(w, cfg);
+    let (q3, s3) = q3_join(w, (14_000, 15_000), cfg);
+    stats.accumulate(&s3);
+    (q1.len() + q2.len() + usize::from(q3.is_some()), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{tables::warehouse, Scale};
+
+    fn small_warehouse() -> Warehouse {
+        warehouse(61, Scale::bytes(96 << 10))
+    }
+
+    #[test]
+    fn q1_filters_by_rank() {
+        let w = small_warehouse();
+        // page_rank follows 1e6/(i+1); 50 000 selects roughly the top 20.
+        let rows = q1_filter_scan(&w, 50_000);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            match &row[1] {
+                Value::Int(r) => assert!(*r > 50_000),
+                other => panic!("expected int rank, got {other:?}"),
+            }
+        }
+        let all = q1_filter_scan(&w, 0);
+        assert!(all.len() > rows.len(), "filter must be selective");
+    }
+
+    #[test]
+    fn q2_preserves_total_revenue() {
+        let w = small_warehouse();
+        let (groups, stats) = q2_aggregation(&w, &JobConfig::default());
+        let grouped_total: f64 = groups.iter().map(|(_, r)| r).sum();
+        let raw_total: f64 = w.uservisits.iter().map(|v| v.ad_revenue).sum();
+        assert!((grouped_total - raw_total).abs() / raw_total < 1e-9);
+        assert!(stats.map_input_records as usize == w.uservisits.len());
+        assert!(groups.len() > 1, "multiple IP prefixes exist");
+    }
+
+    #[test]
+    fn q3_join_finds_top_ip() {
+        let w = small_warehouse();
+        let (top, stats) = q3_join(&w, (14_000, 15_000), &JobConfig::default());
+        let (ip, revenue, avg_rank) = top.expect("at least one visit in range");
+        assert!(!ip.is_empty());
+        assert!(revenue > 0.0);
+        assert!(avg_rank >= 1.0);
+        assert!(stats.shuffle_bytes > 0);
+        // The top IP's revenue must equal its manual aggregate.
+        let manual: f64 = w
+            .uservisits
+            .iter()
+            .filter(|v| v.source_ip == ip)
+            .map(|v| v.ad_revenue)
+            .sum();
+        assert!((manual - revenue).abs() < 1e-9, "manual={manual} got={revenue}");
+    }
+
+    #[test]
+    fn q3_date_filter_is_effective() {
+        let w = small_warehouse();
+        let (none, _) = q3_join(&w, (0, 1), &JobConfig::default());
+        assert!(none.is_none(), "empty date window joins nothing");
+    }
+
+    #[test]
+    fn suite_runs_all_queries() {
+        let w = small_warehouse();
+        let (results, stats) = run_suite(&w, &JobConfig::default());
+        assert!(results > 0);
+        assert!(stats.map_input_records > 0);
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64(), 2.5);
+        assert_eq!(Value::Str("x".into()).as_str(), "x");
+        assert_eq!(Value::Int(1).as_str(), "");
+    }
+}

@@ -1,0 +1,202 @@
+//! IBCF: item-based collaborative filtering (Mahout workload, Table I
+//! row 8).
+//!
+//! Two MapReduce stages, as in Mahout's item-similarity pipeline:
+//! (1) group ratings by user and emit co-rated item pairs;
+//! (2) aggregate pair statistics into adjusted-cosine similarities.
+//! Prediction then scores an item for a user as the similarity-weighted
+//! average of the user's ratings on related items — "estimates a user's
+//! preference towards an item by looking at his/her preferences towards
+//! related items".
+
+use dc_datagen::ratings::{Rating, RatingSet};
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use std::collections::HashMap;
+
+/// Item-item similarity model.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityModel {
+    /// `sim[(a, b)]` with `a < b`: cosine similarity of rating vectors.
+    pub sim: HashMap<(u32, u32), f64>,
+}
+
+impl SimilarityModel {
+    /// Similarity between two items (symmetric; 0 when unknown).
+    pub fn similarity(&self, a: u32, b: u32) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let key = (a.min(b), a.max(b));
+        self.sim.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Predict `user`'s rating of `item` from their other ratings.
+    pub fn predict(&self, user_ratings: &[(u32, f32)], item: u32) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(other, r) in user_ratings {
+            if other == item {
+                continue;
+            }
+            let s = self.similarity(item, other);
+            if s > 0.0 {
+                num += s * f64::from(r);
+                den += s;
+            }
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+/// Train the item-item model on a rating set via MapReduce.
+pub fn train(set: &RatingSet, cfg: &JobConfig) -> (SimilarityModel, JobStats) {
+    // Stage 1: group by user → co-rated pairs.
+    let (pairs, mut stats) = run_job(
+        set.ratings.clone(),
+        cfg,
+        |r: Rating, emit: &mut dyn FnMut(u32, (u32, f64))| {
+            emit(r.user, (r.item, f64::from(r.value)));
+        },
+        None,
+        |_user: &u32, items: &[(u32, f64)]| {
+            // Emit every co-rated pair with the rating product and
+            // squared terms needed for cosine similarity.
+            let mut out = Vec::new();
+            for i in 0..items.len() {
+                for j in (i + 1)..items.len() {
+                    let (a, ra) = items[i];
+                    let (b, rb) = items[j];
+                    if a == b {
+                        continue;
+                    }
+                    let (lo, rlo, hi, rhi) =
+                        if a < b { (a, ra, b, rb) } else { (b, rb, a, ra) };
+                    out.push(((lo, hi), (rlo * rhi, rlo * rlo, rhi * rhi)));
+                }
+            }
+            out
+        },
+    );
+
+    // Stage 2: aggregate pair statistics into similarities.
+    let (sims, s2) = run_job(
+        pairs,
+        cfg,
+        |(pair, terms): ((u32, u32), (f64, f64, f64)),
+         emit: &mut dyn FnMut((u32, u32), (f64, f64, f64))| {
+            emit(pair, terms);
+        },
+        Some(&|_k: &(u32, u32), vs: &[(f64, f64, f64)]| {
+            vec![vs.iter().fold((0.0, 0.0, 0.0), |acc, v| {
+                (acc.0 + v.0, acc.1 + v.1, acc.2 + v.2)
+            })]
+        }),
+        |k: &(u32, u32), vs: &[(f64, f64, f64)]| {
+            let (dot, na, nb) = vs.iter().fold((0.0, 0.0, 0.0), |acc, v| {
+                (acc.0 + v.0, acc.1 + v.1, acc.2 + v.2)
+            });
+            let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+            vec![(*k, dot / denom)]
+        },
+    );
+    stats.accumulate(&s2);
+
+    let model = SimilarityModel { sim: sims.into_iter().collect() };
+    (model, stats)
+}
+
+/// Collect each user's ratings (driver-side helper for prediction).
+pub fn user_profiles(set: &RatingSet) -> HashMap<u32, Vec<(u32, f32)>> {
+    let mut profiles: HashMap<u32, Vec<(u32, f32)>> = HashMap::new();
+    for r in &set.ratings {
+        profiles.entry(r.user).or_default().push((r.item, r.value));
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{ratings::ratings, Scale};
+
+    fn tiny_set() -> RatingSet {
+        // Items 0,1 always co-liked; item 2 disliked by those users.
+        let mut rs = Vec::new();
+        for user in 0..6u32 {
+            rs.push(Rating { user, item: 0, value: 5.0 });
+            rs.push(Rating { user, item: 1, value: 5.0 });
+            rs.push(Rating { user, item: 2, value: 1.0 });
+        }
+        RatingSet {
+            ratings: rs,
+            num_users: 6,
+            num_items: 3,
+            item_genre: vec![0, 0, 1],
+        }
+    }
+
+    #[test]
+    fn co_liked_items_are_similar() {
+        let (model, stats) = train(&tiny_set(), &JobConfig::default());
+        assert!(model.similarity(0, 1) > 0.99);
+        assert!(model.similarity(0, 1) > model.similarity(0, 2) - 1e-9);
+        assert!(stats.map_input_records > 0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let (model, _) = train(&tiny_set(), &JobConfig::default());
+        assert_eq!(model.similarity(0, 1), model.similarity(1, 0));
+        assert_eq!(model.similarity(2, 2), 1.0);
+    }
+
+    #[test]
+    fn prediction_follows_taste_groups() {
+        let set = ratings(41, Scale::bytes(96 << 10), 2);
+        let (model, _) = train(&set, &JobConfig::default());
+        let profiles = user_profiles(&set);
+        // For users with enough history, predicted ratings for same-genre
+        // items should generally beat cross-genre ones.
+        let mut same = Vec::new();
+        let mut cross = Vec::new();
+        for (_, profile) in profiles.iter().take(50) {
+            if profile.len() < 6 {
+                continue;
+            }
+            // Dominant liked genre for this user.
+            let liked: Vec<u32> = profile
+                .iter()
+                .filter(|(_, v)| *v >= 4.0)
+                .map(|(i, _)| *i)
+                .collect();
+            let Some(&anchor) = liked.first() else { continue };
+            let genre = set.item_genre[anchor as usize];
+            for item in 0..set.num_items {
+                if profile.iter().any(|(i, _)| *i == item) {
+                    continue;
+                }
+                if let Some(p) = model.predict(profile, item) {
+                    if set.item_genre[item as usize] == genre {
+                        same.push(p);
+                    } else {
+                        cross.push(p);
+                    }
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(!same.is_empty() && !cross.is_empty());
+        assert!(
+            mean(&same) > mean(&cross),
+            "same-genre predictions {:.2} should beat cross-genre {:.2}",
+            mean(&same),
+            mean(&cross)
+        );
+    }
+
+    #[test]
+    fn predict_without_overlap_is_none() {
+        let (model, _) = train(&tiny_set(), &JobConfig::default());
+        assert_eq!(model.predict(&[], 0), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! K-means clustering (Mahout workload, Table I row 6).
+//!
+//! Lloyd's algorithm as iterated MapReduce jobs, exactly as Mahout runs
+//! it: map assigns each point to its nearest center and emits partial
+//! sums, a combiner pre-aggregates, reduce computes new centers, the
+//! driver iterates until movement falls below a tolerance.
+
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest center.
+pub fn nearest(point: &[f64], centers: &[Vec<f64>]) -> usize {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d = dist2(point, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Final centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Accumulated engine statistics over all iterations.
+    pub stats: JobStats,
+}
+
+/// One Lloyd iteration as a MapReduce job; returns the new centers.
+pub fn iterate(
+    points: &[Vec<f64>],
+    centers: &[Vec<f64>],
+    cfg: &JobConfig,
+) -> (Vec<Vec<f64>>, JobStats) {
+    let centers_owned: Vec<Vec<f64>> = centers.to_vec();
+    let k = centers.len();
+    let (sums, stats) = run_job(
+        points.to_vec(),
+        cfg,
+        move |p: Vec<f64>, emit: &mut dyn FnMut(u32, (Vec<f64>, u64))| {
+            let c = nearest(&p, &centers_owned) as u32;
+            emit(c, (p, 1));
+        },
+        Some(&|_k: &u32, vs: &[(Vec<f64>, u64)]| {
+            vec![partial_sum(vs)]
+        }),
+        |k: &u32, vs: &[(Vec<f64>, u64)]| {
+            let (sum, n) = partial_sum(vs);
+            let center: Vec<f64> =
+                sum.iter().map(|s| s / n.max(1) as f64).collect();
+            vec![(*k, center)]
+        },
+    );
+    let mut new_centers: Vec<Vec<f64>> = centers.to_vec();
+    for (c, center) in sums {
+        if (c as usize) < k {
+            new_centers[c as usize] = center;
+        }
+    }
+    (new_centers, stats)
+}
+
+fn partial_sum(vs: &[(Vec<f64>, u64)]) -> (Vec<f64>, u64) {
+    let dim = vs.first().map_or(0, |(p, _)| p.len());
+    let mut sum = vec![0.0; dim];
+    let mut n = 0;
+    for (p, c) in vs {
+        for (s, x) in sum.iter_mut().zip(p) {
+            *s += x;
+        }
+        n += c;
+    }
+    (sum, n)
+}
+
+/// Run K-means to convergence (center movement < `tol`) or `max_iters`.
+pub fn run(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: u32,
+    tol: f64,
+    cfg: &JobConfig,
+) -> KmeansResult {
+    assert!(k > 0 && !points.is_empty(), "need points and k > 0");
+    // Deterministic init: spread over the input.
+    let mut centers: Vec<Vec<f64>> = (0..k)
+        .map(|i| points[i * points.len() / k].clone())
+        .collect();
+    let mut stats = JobStats::default();
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        let (next, s) = iterate(points, &centers, cfg);
+        stats.accumulate(&s);
+        iterations += 1;
+        let moved: f64 = centers
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| dist2(a, b))
+            .sum::<f64>()
+            .sqrt();
+        centers = next;
+        if moved < tol {
+            break;
+        }
+    }
+    KmeansResult { centers, iterations, stats }
+}
+
+/// Within-cluster sum of squares (clustering quality).
+pub fn wcss(points: &[Vec<f64>], centers: &[Vec<f64>]) -> f64 {
+    points
+        .iter()
+        .map(|p| dist2(p, &centers[nearest(p, centers)]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{vectors::gaussian_mixture, Scale};
+
+    #[test]
+    fn distance_and_nearest() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        let centers = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        assert_eq!(nearest(&[1.0, 1.0], &centers), 0);
+        assert_eq!(nearest(&[9.0, 9.0], &centers), 1);
+    }
+
+    #[test]
+    fn recovers_gaussian_centers() {
+        let set = gaussian_mixture(21, Scale::bytes(128 << 10), 3, 4);
+        let result = run(&set.points, 3, 20, 1e-3, &JobConfig::default());
+        // Each true center should have a recovered center nearby.
+        for truth in &set.true_centers {
+            let best = result
+                .centers
+                .iter()
+                .map(|c| dist2(c, truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 4.0, "no recovered center near {truth:?} (d²={best})");
+        }
+        assert!(result.iterations >= 2);
+    }
+
+    #[test]
+    fn wcss_decreases_over_iterations() {
+        let set = gaussian_mixture(22, Scale::bytes(64 << 10), 4, 3);
+        let init: Vec<Vec<f64>> =
+            (0..4).map(|i| set.points[i * set.points.len() / 4].clone()).collect();
+        let before = wcss(&set.points, &init);
+        let (after_centers, _) = iterate(&set.points, &init, &JobConfig::default());
+        let (after2, _) = iterate(&set.points, &after_centers, &JobConfig::default());
+        let after = wcss(&set.points, &after2);
+        assert!(after <= before, "Lloyd iterations never increase WCSS");
+    }
+
+    #[test]
+    fn converges_and_stops_early() {
+        let set = gaussian_mixture(23, Scale::bytes(32 << 10), 2, 3);
+        let result = run(&set.points, 2, 50, 1e-6, &JobConfig::default());
+        assert!(result.iterations < 50, "should converge before the cap");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        run(&[vec![1.0]], 0, 1, 0.1, &JobConfig::default());
+    }
+}

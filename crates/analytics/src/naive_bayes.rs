@@ -1,0 +1,154 @@
+//! Naive Bayes: multinomial text classifier (Mahout workload, Table I
+//! row 4 — the one data-analysis workload CloudSuite also includes).
+
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_datagen::text::LabeledDoc;
+use std::collections::HashMap;
+
+/// A trained multinomial Naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Log prior per class.
+    pub log_prior: Vec<f64>,
+    /// Log likelihood per (class, word), Laplace-smoothed.
+    pub log_likelihood: Vec<HashMap<String, f64>>,
+    /// Log of the smoothing mass for unseen words, per class.
+    pub log_unseen: Vec<f64>,
+}
+
+impl Model {
+    /// Classify a document: argmax over classes of
+    /// `log P(c) + Σ log P(w|c)`.
+    pub fn classify(&self, text: &str) -> u32 {
+        let mut best = (0u32, f64::NEG_INFINITY);
+        for c in 0..self.log_prior.len() {
+            let mut score = self.log_prior[c];
+            for w in text.split_whitespace() {
+                score += self.log_likelihood[c]
+                    .get(w)
+                    .copied()
+                    .unwrap_or(self.log_unseen[c]);
+            }
+            if score > best.1 {
+                best = (c as u32, score);
+            }
+        }
+        best.0
+    }
+}
+
+/// Train on labeled documents via MapReduce: map emits
+/// `(class:word) → count` and `(class) → doc count`; reduce sums; the
+/// driver assembles log-probabilities (mirroring Mahout's trainer jobs).
+pub fn train(
+    docs: Vec<LabeledDoc>,
+    classes: u32,
+    cfg: &JobConfig,
+) -> (Model, JobStats) {
+    let (pairs, stats) = run_job(
+        docs,
+        cfg,
+        |doc: LabeledDoc, emit: &mut dyn FnMut(String, u64)| {
+            emit(format!("D{}", doc.label), 1);
+            for w in doc.text.split_whitespace() {
+                emit(format!("W{}:{}", doc.label, w), 1);
+            }
+        },
+        Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
+        |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+    );
+
+    let mut doc_counts = vec![0u64; classes as usize];
+    let mut word_counts: Vec<HashMap<String, u64>> =
+        vec![HashMap::new(); classes as usize];
+    let mut vocab: HashMap<String, ()> = HashMap::new();
+    for (key, count) in pairs {
+        if let Some(rest) = key.strip_prefix('D') {
+            let c: usize = rest.parse().expect("class id");
+            doc_counts[c] += count;
+        } else if let Some(rest) = key.strip_prefix('W') {
+            let (c, w) = rest.split_once(':').expect("class:word");
+            let c: usize = c.parse().expect("class id");
+            vocab.insert(w.to_string(), ());
+            *word_counts[c].entry(w.to_string()).or_insert(0) += count;
+        }
+    }
+
+    let total_docs: u64 = doc_counts.iter().sum::<u64>().max(1);
+    let v = vocab.len().max(1) as f64;
+    let mut log_prior = Vec::with_capacity(classes as usize);
+    let mut log_likelihood = Vec::with_capacity(classes as usize);
+    let mut log_unseen = Vec::with_capacity(classes as usize);
+    for c in 0..classes as usize {
+        log_prior.push(
+            ((doc_counts[c] + 1) as f64 / (total_docs + classes as u64) as f64).ln(),
+        );
+        let total_words: u64 = word_counts[c].values().sum();
+        let denom = total_words as f64 + v;
+        log_likelihood.push(
+            word_counts[c]
+                .iter()
+                .map(|(w, &n)| (w.clone(), ((n as f64 + 1.0) / denom).ln()))
+                .collect(),
+        );
+        log_unseen.push((1.0 / denom).ln());
+    }
+    (Model { log_prior, log_likelihood, log_unseen }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{text::labeled_documents, Scale};
+
+    fn mk(label: u32, text: &str) -> LabeledDoc {
+        LabeledDoc { label, text: text.to_string() }
+    }
+
+    #[test]
+    fn learns_simple_separation() {
+        let docs = vec![
+            mk(0, "spam offer money money"),
+            mk(0, "spam winner money"),
+            mk(1, "meeting notes agenda"),
+            mk(1, "project meeting schedule"),
+        ];
+        let (model, _) = train(docs, 2, &JobConfig::default());
+        assert_eq!(model.classify("money offer spam"), 0);
+        assert_eq!(model.classify("agenda for the meeting"), 1);
+    }
+
+    #[test]
+    fn accuracy_on_generated_corpus() {
+        let docs = labeled_documents(11, Scale::bytes(96 << 10), 3, 40);
+        let split = docs.len() * 4 / 5;
+        let (train_docs, test_docs) = docs.split_at(split);
+        let (model, stats) = train(train_docs.to_vec(), 3, &JobConfig::default());
+        let correct = test_docs
+            .iter()
+            .filter(|d| model.classify(&d.text) == d.label)
+            .count();
+        let acc = correct as f64 / test_docs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc} on topical corpus");
+        assert!(stats.map_output_records > 0);
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        let docs = vec![
+            mk(0, "a"),
+            mk(0, "b"),
+            mk(0, "c"),
+            mk(1, "d"),
+        ];
+        let (model, _) = train(docs, 2, &JobConfig::default());
+        assert!(model.log_prior[0] > model.log_prior[1]);
+    }
+
+    #[test]
+    fn unseen_words_do_not_panic() {
+        let (model, _) =
+            train(vec![mk(0, "x"), mk(1, "y")], 2, &JobConfig::default());
+        let _ = model.classify("totally unseen words only");
+    }
+}

@@ -1,0 +1,154 @@
+//! PageRank (Mahout workload, Table I row 10): link analysis by power
+//! iteration, "frequently used in search engine\[s\]".
+
+use dc_datagen::graph::WebGraph;
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    /// Rank per node (sums to ~1).
+    pub ranks: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Accumulated engine statistics.
+    pub stats: JobStats,
+}
+
+/// One power iteration as a MapReduce job: map distributes each node's
+/// rank over its out-links, reduce sums incoming contributions and
+/// applies the damping factor.
+pub fn iterate(
+    graph: &WebGraph,
+    ranks: &[f64],
+    damping: f64,
+    cfg: &JobConfig,
+) -> (Vec<f64>, JobStats) {
+    let n = graph.num_nodes();
+    let inputs: Vec<(u32, f64, Vec<u32>)> = graph
+        .out_links
+        .iter()
+        .enumerate()
+        .map(|(u, links)| (u as u32, ranks[u], links.clone()))
+        .collect();
+    // Dangling mass is redistributed uniformly, as in the canonical
+    // formulation.
+    let dangling: f64 = inputs
+        .iter()
+        .filter(|(_, _, l)| l.is_empty())
+        .map(|(_, r, _)| r)
+        .sum();
+
+    let (contribs, stats) = run_job(
+        inputs,
+        cfg,
+        |(_, rank, links): (u32, f64, Vec<u32>),
+         emit: &mut dyn FnMut(u32, f64)| {
+            if !links.is_empty() {
+                let share = rank / links.len() as f64;
+                for &v in &links {
+                    emit(v, share);
+                }
+            }
+        },
+        Some(&|_k: &u32, vs: &[f64]| vec![vs.iter().sum::<f64>()]),
+        |k: &u32, vs: &[f64]| vec![(*k, vs.iter().sum::<f64>())],
+    );
+
+    let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+    let mut next = vec![base; n];
+    for (v, c) in contribs {
+        next[v as usize] += damping * c;
+    }
+    (next, stats)
+}
+
+/// Run PageRank until the L1 delta falls below `tol` or `max_iters`.
+pub fn run(
+    graph: &WebGraph,
+    damping: f64,
+    max_iters: u32,
+    tol: f64,
+    cfg: &JobConfig,
+) -> PageRankResult {
+    let n = graph.num_nodes().max(1);
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut stats = JobStats::default();
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        let (next, s) = iterate(graph, &ranks, damping, cfg);
+        stats.accumulate(&s);
+        iterations += 1;
+        let delta: f64 =
+            ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        ranks = next;
+        if delta < tol {
+            break;
+        }
+    }
+    PageRankResult { ranks, iterations, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::{graph::web_graph, Scale};
+
+    /// A 3-node cycle must converge to uniform ranks.
+    #[test]
+    fn cycle_is_uniform() {
+        let graph = WebGraph { out_links: vec![vec![1], vec![2], vec![0]] };
+        let result = run(&graph, 0.85, 50, 1e-10, &JobConfig::default());
+        for r in &result.ranks {
+            assert!((r - 1.0 / 3.0).abs() < 1e-6, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let graph = web_graph(51, Scale::bytes(32 << 10), 5);
+        let result = run(&graph, 0.85, 20, 1e-8, &JobConfig::default());
+        let total: f64 = result.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total rank {total}");
+    }
+
+    #[test]
+    fn hubs_outrank_leaves() {
+        let graph = web_graph(52, Scale::bytes(64 << 10), 6);
+        let result = run(&graph, 0.85, 25, 1e-9, &JobConfig::default());
+        let deg = graph.in_degrees();
+        let (hub, _) = deg
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .expect("nonempty");
+        let (leaf, _) = deg
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .expect("nonempty");
+        assert!(
+            result.ranks[hub] > result.ranks[leaf] * 5.0,
+            "hub {} should far outrank leaf {}",
+            result.ranks[hub],
+            result.ranks[leaf]
+        );
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // Node 1 dangles; ranks must still sum to 1.
+        let graph = WebGraph { out_links: vec![vec![1], vec![], vec![0]] };
+        let result = run(&graph, 0.85, 30, 1e-10, &JobConfig::default());
+        let total: f64 = result.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_before_cap() {
+        let graph = web_graph(53, Scale::bytes(16 << 10), 4);
+        let result = run(&graph, 0.85, 100, 1e-6, &JobConfig::default());
+        assert!(result.iterations < 100);
+        assert!(result.iterations > 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! WordCount: occurrences of each word (Hadoop example, Table I row 2).
+
+use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use std::collections::HashMap;
+
+/// Pure kernel: count words in a corpus.
+pub fn count_words(docs: &[String]) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for doc in docs {
+        for w in doc.split_whitespace() {
+            *counts.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// MapReduce WordCount with map-side combining (the Hadoop example uses
+/// the reducer as combiner, as we do here).
+pub fn run(docs: Vec<String>, cfg: &JobConfig) -> (Vec<(String, u64)>, JobStats) {
+    run_job(
+        docs,
+        cfg,
+        |doc: String, emit: &mut dyn FnMut(String, u64)| {
+            for w in doc.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        },
+        Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
+        |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kernel_counts() {
+        let docs = vec!["a b a".to_string(), "b c".to_string()];
+        let counts = count_words(&docs);
+        assert_eq!(counts["a"], 2);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+    }
+
+    #[test]
+    fn mapreduce_matches_kernel() {
+        let docs: Vec<String> =
+            (0..100).map(|i| format!("w{} w{} shared", i % 7, i % 13)).collect();
+        let expected = count_words(&docs);
+        let (out, _) = run(docs, &JobConfig::default());
+        assert_eq!(out.len(), expected.len());
+        for (w, c) in out {
+            assert_eq!(expected[&w], c, "count mismatch for {w}");
+        }
+    }
+
+    proptest! {
+        /// Total counted words always equals total input words, for any
+        /// corpus and any parallelism.
+        #[test]
+        fn conservation_of_words(
+            docs in proptest::collection::vec("[a-c ]{0,40}", 0..20),
+            slots in 1usize..6,
+        ) {
+            let docs: Vec<String> = docs;
+            let total_in: u64 =
+                docs.iter().map(|d| d.split_whitespace().count() as u64).sum();
+            let mut cfg = JobConfig::default();
+            cfg.map_slots = slots;
+            let (out, _) = run(docs, &cfg);
+            let total_out: u64 = out.iter().map(|(_, c)| *c).sum();
+            prop_assert_eq!(total_in, total_out);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation studies for the paper's architectural recommendations:
+//!
+//! * LLC capacity ("optimizing the LLC capacity will improve the
+//!   energy-efficiency of processor and save the die size")
+//! * branch-predictor simplification ("a simpler branch predictor may be
+//!   preferred")
+//! * ROB/RS sizing (the out-of-order stall observation)
+//! * prefetcher on/off (the streaming component of data analysis)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dcbench::{BenchmarkId, Characterizer};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12))
+}
+
+fn quick_opts() -> SimOptions {
+    SimOptions { max_ops: 250_000, warmup_ops: 400_000 }
+}
+
+fn run_with(cfg: CpuConfig, id: BenchmarkId) -> dc_perfmon::Metrics {
+    Characterizer::new(cfg, quick_opts(), 2013).run(id)
+}
+
+fn llc_capacity_sweep(c: &mut Criterion) {
+    println!("\n== ablation: LLC capacity (PageRank) ==");
+    for mb in [1u64, 3, 6, 12] {
+        let m = run_with(
+            CpuConfig::westmere_e5645().with_l3_bytes(mb << 20),
+            BenchmarkId::PageRank,
+        );
+        println!(
+            "    L3 {mb:>2} MB: IPC {:.3}, L3-hit-of-L2-miss {:.2}",
+            m.ipc, m.l3_hit_ratio
+        );
+    }
+    c.bench_function("ablation/llc_12mb", |b| {
+        b.iter(|| run_with(CpuConfig::westmere_e5645(), BenchmarkId::PageRank))
+    });
+}
+
+fn predictor_simplification(c: &mut Criterion) {
+    println!("\n== ablation: branch predictor (WordCount vs SPECINT) ==");
+    for bits in [0u32, 4, 8, 12] {
+        let cfg = CpuConfig::westmere_e5645().with_predictor_bits(bits);
+        let da = run_with(cfg.clone(), BenchmarkId::WordCount);
+        let int = run_with(cfg, BenchmarkId::SpecInt);
+        println!(
+            "    history {bits:>2} bits: WordCount IPC {:.3} (misp {:.3}), SPECINT IPC {:.3} (misp {:.3})",
+            da.ipc, da.branch_misprediction, int.ipc, int.branch_misprediction
+        );
+    }
+    c.bench_function("ablation/predictor_4bit", |b| {
+        b.iter(|| {
+            run_with(
+                CpuConfig::westmere_e5645().with_predictor_bits(4),
+                BenchmarkId::WordCount,
+            )
+        })
+    });
+}
+
+fn window_sizing(c: &mut Criterion) {
+    println!("\n== ablation: OoO window (K-means) ==");
+    for (rob, rs) in [(32, 12), (64, 24), (128, 36), (256, 72)] {
+        let m = run_with(
+            CpuConfig::westmere_e5645().with_rob_entries(rob).with_rs_entries(rs),
+            BenchmarkId::KMeans,
+        );
+        let b = m.stall_breakdown;
+        println!(
+            "    ROB {rob:>3} / RS {rs:>2}: IPC {:.3}, rs-stall {:.2}, rob-stall {:.2}",
+            m.ipc, b[3], b[5]
+        );
+    }
+    c.bench_function("ablation/rob_128", |b| {
+        b.iter(|| run_with(CpuConfig::westmere_e5645(), BenchmarkId::KMeans))
+    });
+}
+
+fn prefetcher_value(c: &mut Criterion) {
+    println!("\n== ablation: L2 streamer (Sort) ==");
+    for on in [true, false] {
+        let m = run_with(
+            CpuConfig::westmere_e5645().with_prefetch(on),
+            BenchmarkId::Sort,
+        );
+        println!(
+            "    prefetch {:>3}: IPC {:.3}, L2 MPKI {:.1}",
+            if on { "on" } else { "off" },
+            m.ipc,
+            m.l2_mpki
+        );
+    }
+    c.bench_function("ablation/prefetch_on", |b| {
+        b.iter(|| run_with(CpuConfig::westmere_e5645(), BenchmarkId::Sort))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = llc_capacity_sweep, predictor_simplification, window_sizing,
+        prefetcher_value
+}
+criterion_main!(ablations);

@@ -1,0 +1,76 @@
+//! One Criterion target per figure of the paper. Each target prints the
+//! regenerated series once (the reproduction) and then times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_benches::bench_characterizer;
+use dc_datagen::Scale;
+use dcbench::report;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn printed(name: &str, render: impl FnOnce() -> String) {
+    static SHOWN: OnceLock<std::sync::Mutex<Vec<String>>> = OnceLock::new();
+    let shown = SHOWN.get_or_init(|| std::sync::Mutex::new(Vec::new()));
+    let mut guard = shown.lock().expect("print registry");
+    if !guard.iter().any(|n| n == name) {
+        println!("\n{}", render());
+        guard.push(name.to_string());
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12))
+        .warm_up_time(Duration::from_secs(2))
+}
+
+fn fig01_topsites(c: &mut Criterion) {
+    printed("fig1", || report::figure1().render());
+    c.bench_function("fig01_topsites", |b| b.iter(report::figure1));
+}
+
+fn fig02_speedup(c: &mut Criterion) {
+    let scale = Scale::bytes(64 << 10);
+    printed("fig2", || report::figure2(scale).render());
+    c.bench_function("fig02_speedup", |b| b.iter(|| report::figure2(scale)));
+}
+
+fn fig05_diskwrites(c: &mut Criterion) {
+    let scale = Scale::bytes(64 << 10);
+    printed("fig5", || report::figure5(scale).render());
+    c.bench_function("fig05_diskwrites", |b| b.iter(|| report::figure5(scale)));
+}
+
+macro_rules! metric_fig_bench {
+    ($fn_name:ident, $report:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let bench = bench_characterizer();
+            printed($label, || report::$report(&bench).render());
+            // Time one representative characterization rather than all 27
+            // (the full sweep is the printed reproduction above).
+            c.bench_function(concat!(stringify!($fn_name), "/sort_row"), |b| {
+                b.iter(|| bench.run(dcbench::BenchmarkId::Sort))
+            });
+        }
+    };
+}
+
+metric_fig_bench!(fig03_ipc, figure3, "fig3");
+metric_fig_bench!(fig04_modes, figure4, "fig4");
+metric_fig_bench!(fig06_stalls, figure6, "fig6");
+metric_fig_bench!(fig07_l1i, figure7, "fig7");
+metric_fig_bench!(fig08_itlb, figure8, "fig8");
+metric_fig_bench!(fig09_l2, figure9, "fig9");
+metric_fig_bench!(fig10_l3ratio, figure10, "fig10");
+metric_fig_bench!(fig11_dtlb, figure11, "fig11");
+metric_fig_bench!(fig12_branch, figure12, "fig12");
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = fig01_topsites, fig02_speedup, fig03_ipc, fig04_modes,
+        fig05_diskwrites, fig06_stalls, fig07_l1i, fig08_itlb, fig09_l2,
+        fig10_l3ratio, fig11_dtlb, fig12_branch
+}
+criterion_main!(figures);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the real substrate kernels: the eleven analytics
+//! algorithms on the MapReduce engine and the HPCC kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_analytics::Workload;
+use dc_datagen::Scale;
+use dc_mapreduce::engine::JobConfig;
+use dc_suites::hpcc;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+}
+
+fn analytics_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytics");
+    let cfg = JobConfig::default();
+    for &w in Workload::all() {
+        group.bench_function(w.name().replace(' ', "_"), |b| {
+            b.iter(|| w.run(Scale::bytes(24 << 10), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn hpcc_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpcc");
+    group.bench_function("hpl", |b| b.iter(|| hpcc::hpl(48, 1)));
+    group.bench_function("dgemm", |b| b.iter(|| hpcc::dgemm(64, 16, 1)));
+    group.bench_function("stream", |b| b.iter(|| hpcc::stream(1 << 14, 2)));
+    group.bench_function("ptrans", |b| b.iter(|| hpcc::ptrans(64, 1)));
+    group.bench_function("random_access", |b| b.iter(|| hpcc::random_access(12, 1 << 12)));
+    group.bench_function("fft", |b| b.iter(|| hpcc::fft(11, 1)));
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = analytics_workloads, hpcc_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,42 @@
+//! Table I/II/III regeneration benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_analytics::Workload;
+use dc_benches::bench_characterizer;
+use dc_datagen::Scale;
+use dc_mapreduce::engine::JobConfig;
+use dcbench::report;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10))
+}
+
+fn table1_workloads(c: &mut Criterion) {
+    println!("\n{}", report::table1().render());
+    // Table I's substance is the workload inventory actually running:
+    // time one real workload execution.
+    c.bench_function("table1/wordcount_run", |b| {
+        b.iter(|| Workload::WordCount.run(Scale::bytes(32 << 10), &JobConfig::default()))
+    });
+}
+
+fn table2_scenarios(c: &mut Criterion) {
+    println!("{}", report::table2());
+    c.bench_function("table2/render", |b| b.iter(report::table2));
+}
+
+fn table3_hardware(c: &mut Criterion) {
+    let bench = bench_characterizer();
+    println!("{}", report::table3(&bench));
+    c.bench_function("table3/render", |b| b.iter(|| report::table3(&bench)));
+}
+
+criterion_group! {
+    name = tables;
+    config = config();
+    targets = table1_workloads, table2_scenarios, table3_hardware
+}
+criterion_main!(tables);

@@ -1,0 +1,16 @@
+//! # dc-benches — the benchmark harness
+//!
+//! Criterion targets that regenerate every exhibit of the paper
+//! (`benches/figures.rs`, `benches/tables.rs`), ablation studies for the
+//! paper's architectural recommendations (`benches/ablations.rs`), and
+//! micro-benchmarks of the real workload kernels (`benches/kernels.rs`).
+//!
+//! Each figure bench *prints the regenerated rows once* and then times
+//! the regeneration, so `cargo bench` doubles as the reproduction run;
+//! EXPERIMENTS.md records the printed series against the paper's.
+
+/// Shared quick-characterizer constructor so every bench measures the
+/// same configuration.
+pub fn bench_characterizer() -> dcbench::Characterizer {
+    dcbench::Characterizer::quick()
+}

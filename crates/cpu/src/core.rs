@@ -1,0 +1,614 @@
+//! The out-of-order core model.
+//!
+//! A timestamp-based (interval-style) model of a 4-wide superscalar OoO
+//! pipeline, the standard trace-driven approximation used by fast
+//! architectural simulators:
+//!
+//! * an **in-order front end** fetches µops through the real L1-I /
+//!   ITLB / branch-predictor structures into a decode queue; I-cache and
+//!   ITLB misses block fetch for their miss latency, and branch
+//!   mispredictions block fetch for the redirect penalty;
+//! * a **rename/dispatch stage** moves up to `rename_width` µops per
+//!   cycle into the backend, blocking when the ROB, RS, load buffer or
+//!   store buffer is full or when a RAT hazard bubble is in flight —
+//!   each fully-blocked cycle is attributed to exactly one cause,
+//!   mirroring the paper's resource-stall counters (Figure 6);
+//! * a **window-limited backend** computes each µop's completion time as
+//!   `max(dispatch, producer completion) + latency`, with load latencies
+//!   coming from the real cache/TLB hierarchy; stores drain from the
+//!   store buffer in order at hierarchy latency;
+//! * **in-order retirement** frees ROB entries up to `retire_width` per
+//!   cycle.
+//!
+//! The model deliberately omits wrong-path execution and multi-core
+//! interference; the paper's per-workload counters are dominated by
+//! right-path locality and window effects, which this captures.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dc_trace::{MicroOp, Mode, OpKind, TraceSource};
+
+use crate::branch::BranchPredictor;
+use crate::cache::Hierarchy;
+use crate::config::CpuConfig;
+use crate::counters::PerfCounts;
+use crate::tlb::Mmu;
+
+/// Completion ring size for dependence resolution (must exceed the
+/// maximum dependence distance emitted by traces).
+const COMPLETION_RING: usize = 128;
+
+/// Simulation bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// µops to retire during the measured window.
+    pub max_ops: u64,
+    /// µops to retire before statistics are reset (cache/TLB/predictor
+    /// warm-up — the paper's "ramp-up period").
+    pub warmup_ops: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_ops: 2_000_000, warmup_ops: 300_000 }
+    }
+}
+
+impl SimOptions {
+    /// Quick options for unit tests / smoke runs.
+    pub fn quick() -> Self {
+        SimOptions { max_ops: 200_000, warmup_ops: 30_000 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    complete: u64,
+    mode: Mode,
+}
+
+/// The simulated core: real cache/TLB/predictor structures plus the
+/// timestamp pipeline model.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CpuConfig,
+    hier: Hierarchy,
+    mmu: Mmu,
+    bp: BranchPredictor,
+}
+
+impl Core {
+    /// Build a core for the given machine configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        Core {
+            hier: Hierarchy::new(&cfg),
+            mmu: Mmu::new(&cfg),
+            bp: BranchPredictor::new(&cfg),
+            cfg,
+        }
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Run `trace` through the pipeline and return the measured counters.
+    ///
+    /// Simulation retires `opts.warmup_ops` µops with statistics
+    /// discarded (structures stay warm), then measures until
+    /// `opts.max_ops` further µops have retired or the trace ends.
+    pub fn run<T: TraceSource>(&mut self, mut trace: T, opts: &SimOptions) -> PerfCounts {
+        let c = self.cfg.core;
+        let rob_cap = c.rob_entries.max(1) as usize;
+        let rs_cap = c.rs_entries.max(1) as usize;
+        let ldq_cap = c.load_buffer.max(1) as usize;
+        let stq_cap = c.store_buffer.max(1) as usize;
+        let dq_cap = c.decode_queue.max(4) as usize;
+        let line_shift = self.cfg.l1i.line_bytes.trailing_zeros();
+
+        let mut counts = PerfCounts::default();
+        let mut cycle: u64 = 0;
+        let mut cycle_base: u64 = 0;
+        let mut in_warmup = opts.warmup_ops > 0;
+        let target = opts.warmup_ops.saturating_add(opts.max_ops);
+
+        // Front end.
+        let mut decode_q: VecDeque<MicroOp> = VecDeque::with_capacity(dq_cap);
+        let mut pending: Option<MicroOp> = None;
+        let mut fetch_blocked_until: u64 = 0;
+        let mut last_fetch_line: u64 = u64::MAX;
+        let mut trace_done = false;
+
+        // Backend windows. Heaps hold the cycle at which an entry frees.
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(rob_cap);
+        let mut rs: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(rs_cap);
+        let mut ldq: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(ldq_cap);
+        let mut stq: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(stq_cap);
+        let mut last_store_drain: u64 = 0;
+        let mut rat_blocked_until: u64 = 0;
+
+        let mut completions = [0u64; COMPLETION_RING];
+        let mut op_idx: u64 = 0;
+        let mut retired: u64 = 0;
+
+        loop {
+            cycle += 1;
+
+            // ---- Retire (in order, width-limited) ----
+            let mut retired_now = 0;
+            while retired_now < c.retire_width {
+                match rob.front() {
+                    Some(head) if head.complete <= cycle => {
+                        let e = rob.pop_front().expect("front() was Some");
+                        retired += 1;
+                        retired_now += 1;
+                        counts.instructions += 1;
+                        match e.mode {
+                            Mode::User => counts.user_instructions += 1,
+                            Mode::Kernel => counts.kernel_instructions += 1,
+                        }
+                    }
+                    _ => break,
+                }
+            }
+
+            // Warm-up boundary: reset all statistics, keep state.
+            if in_warmup && retired >= opts.warmup_ops {
+                in_warmup = false;
+                counts = PerfCounts::default();
+                self.hier.reset_stats();
+                self.mmu.reset_stats();
+                self.bp.reset_stats();
+                cycle_base = cycle;
+            }
+            if retired >= target {
+                break;
+            }
+
+            // ---- Fetch into the decode queue ----
+            if cycle >= fetch_blocked_until {
+                let mut fetched = 0;
+                while fetched < c.fetch_width && decode_q.len() < dq_cap {
+                    // A pending op already paid its fetch penalty.
+                    let op = match pending.take() {
+                        Some(op) => op,
+                        None => match trace.next_op() {
+                            Some(op) => op,
+                            None => {
+                                trace_done = true;
+                                break;
+                            }
+                        },
+                    };
+                    // New cache line ⇒ I-cache + ITLB access.
+                    let line = op.pc >> line_shift;
+                    if line != last_fetch_line {
+                        last_fetch_line = line;
+                        let (_, tlb_lat) = self.mmu.translate_inst(op.pc);
+                        let (_, i_lat) = self.hier.fetch_inst(op.pc, cycle);
+                        let penalty = u64::from(tlb_lat) + u64::from(i_lat);
+                        if penalty > 0 {
+                            // Line fetch in flight: the op arrives when it
+                            // resolves.
+                            fetch_blocked_until = cycle + penalty;
+                            pending = Some(op);
+                            break;
+                        }
+                    }
+                    // Branch prediction (front-end redirect on mispredict).
+                    if let OpKind::Branch { taken, target } = op.kind {
+                        let correct = self.bp.predict_and_train(op.pc, taken, target);
+                        decode_q.push_back(op);
+                        fetched += 1;
+                        if !correct {
+                            fetch_blocked_until =
+                                cycle + u64::from(c.mispredict_penalty);
+                            break;
+                        }
+                        continue;
+                    }
+                    decode_q.push_back(op);
+                    fetched += 1;
+                }
+            }
+
+            // ---- Rename / dispatch ----
+            let mut renamed = 0;
+            // Per-cycle issue-port budgets (Westmere: one load port, one
+            // store port, two FP units).
+            let mut load_ports = 1u32;
+            let mut store_ports = 1u32;
+            let mut fp_ports = 2u32;
+            // Cause of the first blockage this cycle (for attribution).
+            #[derive(PartialEq, Eq, Clone, Copy)]
+            enum Block {
+                None,
+                Fetch,
+                Rat,
+                Rob,
+                Rs,
+                Load,
+                Store,
+            }
+            let mut block = Block::None;
+
+            while renamed < c.rename_width {
+                if rat_blocked_until > cycle {
+                    block = Block::Rat;
+                    break;
+                }
+                let Some(&op) = decode_q.front() else {
+                    block = Block::Fetch;
+                    break;
+                };
+                // Free backend entries whose release time has passed.
+                while rs.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                    rs.pop();
+                }
+                while ldq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                    ldq.pop();
+                }
+                while stq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                    stq.pop();
+                }
+                if rob.len() >= rob_cap {
+                    block = Block::Rob;
+                    break;
+                }
+                if rs.len() >= rs_cap {
+                    block = Block::Rs;
+                    break;
+                }
+                if op.kind.is_load() && ldq.len() >= ldq_cap {
+                    block = Block::Load;
+                    break;
+                }
+                if op.kind.is_store() && stq.len() >= stq_cap {
+                    block = Block::Store;
+                    break;
+                }
+                // Issue-port throughput limits end the rename group
+                // without charging a stall (width effect, not a stall).
+                match op.kind {
+                    OpKind::Load { .. } if load_ports == 0 => break,
+                    OpKind::Store { .. } if store_ports == 0 => break,
+                    OpKind::FpAlu if fp_ports == 0 => break,
+                    _ => {}
+                }
+                match op.kind {
+                    OpKind::Load { .. } => load_ports -= 1,
+                    OpKind::Store { .. } => store_ports -= 1,
+                    OpKind::FpAlu => fp_ports -= 1,
+                    _ => {}
+                }
+                decode_q.pop_front();
+                if op.rat_hazard {
+                    rat_blocked_until = cycle + u64::from(c.rat_hazard_penalty);
+                }
+
+                // Dispatch: compute readiness and completion.
+                let mut ready = cycle + 1;
+                let dep = u64::from(op.dep_dist);
+                if dep > 0 && op_idx >= dep {
+                    let producer =
+                        completions[((op_idx - dep) % COMPLETION_RING as u64) as usize];
+                    ready = ready.max(producer);
+                }
+                let complete = match op.kind {
+                    OpKind::IntAlu => ready + u64::from(self.cfg.exec.int_alu),
+                    OpKind::IntMul => ready + u64::from(self.cfg.exec.int_mul),
+                    OpKind::Div => ready + u64::from(self.cfg.exec.div),
+                    OpKind::FpAlu => ready + u64::from(self.cfg.exec.fp_alu),
+                    OpKind::Branch { .. } => ready + u64::from(self.cfg.exec.int_alu),
+                    OpKind::Load { addr, .. } => {
+                        counts.loads += 1;
+                        let (_, tlb_lat) = self.mmu.translate_data(addr);
+                        let (_, mem_lat) = self.hier.access_data(addr, cycle);
+                        let done = ready + u64::from(tlb_lat) + u64::from(mem_lat);
+                        ldq.push(Reverse(done));
+                        done
+                    }
+                    OpKind::Store { addr, .. } => {
+                        counts.stores += 1;
+                        let (_, tlb_lat) = self.mmu.translate_data(addr);
+                        let exec_done = ready + 1 + u64::from(tlb_lat);
+                        // In-order store-buffer drain: L1 hits drain at
+                        // one per cycle; misses overlap ~3-deep (write
+                        // combining / RFO MLP).
+                        let (lvl, drain_lat) = self.hier.access_data(addr, cycle);
+                        let cost = if lvl == crate::cache::MemLevel::L1 {
+                            1
+                        } else {
+                            u64::from(drain_lat) / 3
+                        };
+                        let drain_done = last_store_drain.max(exec_done) + cost;
+                        last_store_drain = drain_done;
+                        stq.push(Reverse(drain_done));
+                        exec_done
+                    }
+                };
+                rs.push(Reverse(ready));
+                rob.push_back(RobEntry { complete, mode: op.mode });
+                completions[(op_idx % COMPLETION_RING as u64) as usize] = complete;
+                op_idx += 1;
+                renamed += 1;
+            }
+
+            // ---- Stall attribution (paper-style: a fully blocked rename
+            // cycle is charged to its first cause) ----
+            if renamed == 0 {
+                let draining = trace_done && pending.is_none() && decode_q.is_empty();
+                match block {
+                    Block::Fetch if !draining => counts.fetch_stall_cycles += 1,
+                    Block::Rat => counts.rat_stall_cycles += 1,
+                    Block::Rob => counts.rob_full_stall_cycles += 1,
+                    Block::Rs => counts.rs_full_stall_cycles += 1,
+                    Block::Load => counts.load_buf_stall_cycles += 1,
+                    Block::Store => counts.store_buf_stall_cycles += 1,
+                    _ => {}
+                }
+            }
+
+            // Termination: trace drained and backend empty.
+            if trace_done && pending.is_none() && decode_q.is_empty() && rob.is_empty() {
+                break;
+            }
+        }
+
+        // Copy structure statistics into the counter block.
+        counts.cycles = cycle - cycle_base;
+        counts.l1i_accesses = self.hier.l1i.accesses;
+        counts.l1i_misses = self.hier.l1i.misses;
+        counts.l1d_accesses = self.hier.l1d.accesses;
+        counts.l1d_misses = self.hier.l1d.misses;
+        counts.l2_accesses = self.hier.l2.accesses;
+        counts.l2_misses = self.hier.l2.misses;
+        counts.l3_accesses = self.hier.l3.accesses;
+        counts.l3_misses = self.hier.l3.misses;
+        counts.prefetches = self.hier.prefetches;
+        counts.itlb_accesses = self.mmu.istats.accesses;
+        counts.itlb_misses = self.mmu.istats.l1_misses;
+        counts.itlb_walks = self.mmu.istats.walks;
+        counts.dtlb_accesses = self.mmu.dstats.accesses;
+        counts.dtlb_misses = self.mmu.dstats.l1_misses;
+        counts.dtlb_walks = self.mmu.dstats.walks;
+        counts.branches = self.bp.branches;
+        counts.branch_mispredicts = self.bp.mispredicts;
+        counts
+    }
+}
+
+/// Convenience: simulate a trace on a fresh core with the given config.
+pub fn simulate<T: TraceSource>(
+    trace: T,
+    cfg: &CpuConfig,
+    opts: &SimOptions,
+) -> PerfCounts {
+    Core::new(cfg.clone()).run(trace, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_trace::MicroOp;
+
+    /// A dense stream of independent ALU ops in one cache line.
+    fn alu_stream(n: usize) -> impl Iterator<Item = MicroOp> {
+        (0..n).map(|_| MicroOp::int_alu(0x40_0000))
+    }
+
+    #[test]
+    fn ideal_alu_stream_approaches_width() {
+        let cfg = CpuConfig::westmere_e5645();
+        let counts = simulate(
+            alu_stream(500_000),
+            &cfg,
+            &SimOptions { max_ops: 400_000, warmup_ops: 50_000 },
+        );
+        let ipc = counts.ipc();
+        assert!(ipc > 3.0, "independent ALU ops should near the 4-wide limit: {ipc}");
+        assert!(counts.instructions >= 400_000);
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc_to_one() {
+        let cfg = CpuConfig::westmere_e5645();
+        let ops = (0..300_000).map(|_| {
+            let mut op = MicroOp::int_alu(0x40_0000);
+            op.dep_dist = 1; // every op depends on its predecessor
+            op
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 200_000, warmup_ops: 20_000 });
+        let ipc = counts.ipc();
+        assert!(ipc < 1.15, "a serial chain cannot exceed 1 op/cycle: {ipc}");
+        assert!(ipc > 0.7, "chain should still sustain ~1 op/cycle: {ipc}");
+    }
+
+    #[test]
+    fn memory_bound_stream_has_low_ipc_and_rob_stalls() {
+        let cfg = CpuConfig::westmere_e5645().with_prefetch(false);
+        // Random loads over 256 MiB: miss everywhere, dependent in pairs.
+        let mut x = 1u64;
+        let ops = (0..200_000).map(move |i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = 0x1000_0000 + ((x >> 16) % (256 << 20)) & !7;
+            let mut op = MicroOp::load(0x40_0000 + (i % 16) * 4, addr);
+            op.dep_dist = 2;
+            op
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        assert!(counts.ipc() < 0.5, "ipc={}", counts.ipc());
+        assert!(
+            counts.rob_full_stall_cycles + counts.rs_full_stall_cycles
+                + counts.load_buf_stall_cycles
+                > counts.fetch_stall_cycles,
+            "memory-bound work stalls in the OoO part"
+        );
+    }
+
+    #[test]
+    fn huge_code_footprint_causes_fetch_stalls() {
+        let cfg = CpuConfig::westmere_e5645();
+        // Jump through 4 MiB of code: every line is cold or L2-resident.
+        let mut x = 7u64;
+        let ops = (0..200_000).map(move |_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x40_0000 + ((x >> 20) % (4 << 20)) & !63;
+            MicroOp::int_alu(pc)
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        assert!(counts.l1i_mpki() > 100.0, "l1i mpki={}", counts.l1i_mpki());
+        let breakdown = counts.stall_breakdown();
+        assert!(breakdown[0] > 0.5, "fetch stalls should dominate: {breakdown:?}");
+        assert!(counts.ipc() < 1.0);
+    }
+
+    #[test]
+    fn rat_hazards_cause_rat_stalls() {
+        let cfg = CpuConfig::westmere_e5645();
+        let ops = (0..200_000).map(|i| {
+            let mut op = MicroOp::int_alu(0x40_0000);
+            op.rat_hazard = i % 8 == 0;
+            op
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        assert!(counts.rat_stall_cycles > 0);
+        let b = counts.stall_breakdown();
+        assert!(b[1] > 0.5, "RAT should dominate stalls here: {b:?}");
+    }
+
+    #[test]
+    fn streaming_stores_fill_store_buffer() {
+        let cfg = CpuConfig::westmere_e5645().with_prefetch(false);
+        let ops = (0..200_000).map(|i| {
+            // Every op is a store to a new line over 64 MiB.
+            MicroOp::store(0x40_0000, 0x2000_0000 + i * 64)
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        assert!(
+            counts.store_buf_stall_cycles > counts.fetch_stall_cycles,
+            "store drain should be the bottleneck"
+        );
+        assert!(counts.ipc() < 0.25);
+    }
+
+    #[test]
+    fn mispredicts_slow_the_front_end() {
+        let cfg = CpuConfig::westmere_e5645();
+        let mut x = 3u64;
+        let random_branches = (0..200_000).map(move |i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            MicroOp::branch(0x40_0000 + (i % 4) * 4, (x >> 30) & 1 == 1, 0x40_1000)
+        });
+        let counts_bad = simulate(
+            random_branches,
+            &cfg,
+            &SimOptions { max_ops: 100_000, warmup_ops: 10_000 },
+        );
+        let steady_branches =
+            (0..200_000).map(|i| MicroOp::branch(0x40_0000 + (i % 4) * 4, true, 0x40_1000));
+        let counts_good = simulate(
+            steady_branches,
+            &cfg,
+            &SimOptions { max_ops: 100_000, warmup_ops: 10_000 },
+        );
+        assert!(counts_bad.branch_misprediction_ratio() > 0.3);
+        assert!(counts_good.branch_misprediction_ratio() < 0.02);
+        assert!(counts_bad.ipc() < counts_good.ipc() * 0.5);
+    }
+
+    #[test]
+    fn kernel_instructions_counted_separately() {
+        let cfg = CpuConfig::westmere_e5645();
+        let ops = (0..100_000).map(|i| {
+            let mut op = MicroOp::int_alu(0x40_0000);
+            if i % 4 == 0 {
+                op.mode = Mode::Kernel;
+            }
+            op
+        });
+        let counts =
+            simulate(ops, &cfg, &SimOptions { max_ops: 80_000, warmup_ops: 8_000 });
+        let f = counts.kernel_fraction();
+        assert!((f - 0.25).abs() < 0.02, "kernel fraction {f}");
+    }
+
+    #[test]
+    fn trace_shorter_than_budget_terminates() {
+        let cfg = CpuConfig::westmere_e5645();
+        let counts = simulate(
+            alu_stream(5_000),
+            &cfg,
+            &SimOptions { max_ops: 1_000_000, warmup_ops: 0 },
+        );
+        assert_eq!(counts.instructions, 5_000);
+        assert!(counts.cycles > 0);
+    }
+
+    #[test]
+    fn warmup_discards_cold_misses() {
+        let cfg = CpuConfig::westmere_e5645();
+        // Loop over 16 KiB of data: everything fits L1D after one pass.
+        let ops = (0..400_000u64)
+            .map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + (i % 2048) * 8));
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions { max_ops: 200_000, warmup_ops: 100_000 },
+        );
+        assert!(
+            counts.l1d_misses < 100,
+            "post-warm-up L1D should be hot: {} misses",
+            counts.l1d_misses
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = CpuConfig::westmere_e5645();
+        let mk = || {
+            (0..50_000u64).map(|i| {
+                let mut op = MicroOp::load(
+                    0x40_0000 + (i % 256) * 4,
+                    0x1000_0000 + (i * 2654435761 % (8 << 20)) & !7,
+                );
+                op.dep_dist = (i % 5) as u16;
+                op
+            })
+        };
+        let a = simulate(mk(), &cfg, &SimOptions::quick());
+        let b = simulate(mk(), &cfg, &SimOptions::quick());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smaller_rob_increases_ooo_stalls() {
+        let mk = || {
+            let mut x = 1u64;
+            (0..300_000).map(move |_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let addr = 0x1000_0000 + ((x >> 16) % (64 << 20)) & !7;
+                MicroOp::load(0x40_0000, addr)
+            })
+        };
+        let big = simulate(
+            mk(),
+            &CpuConfig::westmere_e5645(),
+            &SimOptions { max_ops: 150_000, warmup_ops: 15_000 },
+        );
+        let small = simulate(
+            mk(),
+            &CpuConfig::westmere_e5645().with_rob_entries(32),
+            &SimOptions { max_ops: 150_000, warmup_ops: 15_000 },
+        );
+        assert!(small.ipc() <= big.ipc());
+        assert!(small.rob_full_stall_cycles >= big.rob_full_stall_cycles);
+    }
+}

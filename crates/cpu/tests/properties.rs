@@ -1,0 +1,105 @@
+//! Property-based invariants of the simulated machine.
+
+use dc_cpu::cache::Cache;
+use dc_cpu::config::{CacheConfig, CpuConfig};
+use dc_cpu::core::{simulate, SimOptions};
+use dc_cpu::tlb::Mmu;
+use dc_trace::MicroOp;
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never reports more misses than accesses, and re-access of
+    /// the most recent line always hits.
+    #[test]
+    fn cache_miss_bounds(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..2000),
+        assoc in 1u32..8,
+        size_kb in 1u64..64,
+    ) {
+        let mut cache = Cache::new(&CacheConfig {
+            size_bytes: size_kb << 10,
+            assoc,
+            line_bytes: 64,
+            latency: 1,
+        });
+        for a in &addrs {
+            cache.access(*a);
+            prop_assert!(cache.access(*a), "immediate re-access must hit");
+        }
+        prop_assert!(cache.misses <= cache.accesses);
+    }
+
+    /// Cycles ≥ instructions / width: the machine never exceeds its
+    /// retire bandwidth.
+    #[test]
+    fn retire_width_is_respected(seed in 0u64..200, n in 1000usize..20_000) {
+        let ops = (0..n).map(move |i| {
+            let mut op = MicroOp::int_alu(0x40_0000 + ((seed + i as u64) % 64) * 4);
+            op.dep_dist = (i % 3) as u16;
+            op
+        });
+        let counts = simulate(
+            ops,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions { max_ops: n as u64, warmup_ops: 0 },
+        );
+        prop_assert_eq!(counts.instructions, n as u64);
+        prop_assert!(counts.cycles * 4 >= counts.instructions);
+        prop_assert!(counts.ipc() <= 4.0 + 1e-9);
+    }
+
+    /// Stall-cycle categories never exceed total cycles.
+    #[test]
+    fn stalls_bounded_by_cycles(seed in 0u64..100) {
+        let mut x = seed.wrapping_mul(999331).wrapping_add(7);
+        let ops = (0..30_000).map(move |i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x % 3 == 0 {
+                MicroOp::load(0x40_0000 + (i % 128) * 4, 0x1000_0000 + (x % (16 << 20)) & !7)
+            } else {
+                MicroOp::int_alu(0x40_0000 + (i % 128) * 4)
+            }
+        });
+        let counts = simulate(
+            ops,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions { max_ops: 25_000, warmup_ops: 2_000 },
+        );
+        prop_assert!(counts.total_stall_cycles() <= counts.cycles);
+        let b = counts.stall_breakdown();
+        let sum: f64 = b.iter().sum();
+        prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+    }
+
+    /// TLB walk counts never exceed first-level misses, which never
+    /// exceed accesses.
+    #[test]
+    fn tlb_count_ordering(pages in proptest::collection::vec(0u64..10_000, 1..3000)) {
+        let mut mmu = Mmu::new(&CpuConfig::westmere_e5645());
+        for p in &pages {
+            mmu.translate_data(p << 12);
+        }
+        prop_assert!(mmu.dstats.walks <= mmu.dstats.l1_misses);
+        prop_assert!(mmu.dstats.l1_misses <= mmu.dstats.accesses);
+        prop_assert_eq!(mmu.dstats.accesses, pages.len() as u64);
+    }
+
+    /// Doubling the cache never increases the miss count on the same
+    /// trace (LRU inclusion property for same-geometry scaling by ways).
+    #[test]
+    fn bigger_cache_never_misses_more(
+        addrs in proptest::collection::vec(0u64..(1 << 18), 100..1500),
+    ) {
+        // Same set count, doubled associativity => strictly more
+        // capacity per set; LRU guarantees containment.
+        let small_cfg = CacheConfig { size_bytes: 16 << 10, assoc: 4, line_bytes: 64, latency: 1 };
+        let big_cfg = CacheConfig { size_bytes: 32 << 10, assoc: 8, line_bytes: 64, latency: 1 };
+        let mut small = Cache::new(&small_cfg);
+        let mut big = Cache::new(&big_cfg);
+        for a in &addrs {
+            small.access(*a);
+            big.access(*a);
+        }
+        prop_assert!(big.misses <= small.misses);
+    }
+}

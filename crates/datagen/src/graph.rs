@@ -1,0 +1,128 @@
+//! Web-graph generation for PageRank: preferential attachment.
+//!
+//! Real web graphs have heavy-tailed in-degree; preferential attachment
+//! (Barabási–Albert style) reproduces that, which is what makes
+//! PageRank's mass concentrate the way the paper's "web page" input
+//! would.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in adjacency-list form.
+#[derive(Debug, Clone)]
+pub struct WebGraph {
+    /// `out_links[u]` = pages that `u` links to.
+    pub out_links: Vec<Vec<u32>>,
+}
+
+impl WebGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out_links.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_links.iter().map(|l| l.len()).sum()
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes()];
+        for links in &self.out_links {
+            for &v in links {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+}
+
+/// Generate a preferential-attachment web graph sized to `scale`
+/// (~16 bytes per edge), with `links_per_page` out-links per new page.
+pub fn web_graph(seed: u64, scale: Scale, links_per_page: usize) -> WebGraph {
+    assert!(links_per_page > 0, "pages must link somewhere");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges_target = (scale.bytes / 16).max(8) as usize;
+    let n = (edges_target / links_per_page).max(links_per_page + 2);
+
+    let mut out_links: Vec<Vec<u32>> = Vec::with_capacity(n);
+    // Target pool: endpoints repeated by in-degree (preferential
+    // attachment by sampling the pool).
+    let mut pool: Vec<u32> = Vec::with_capacity(edges_target * 2);
+
+    // Seed clique.
+    let seed_nodes = links_per_page + 1;
+    for u in 0..seed_nodes {
+        let links: Vec<u32> = (0..seed_nodes)
+            .filter(|&v| v != u)
+            .map(|v| v as u32)
+            .collect();
+        for &v in &links {
+            pool.push(v);
+        }
+        out_links.push(links);
+    }
+
+    for u in seed_nodes..n {
+        let mut links = Vec::with_capacity(links_per_page);
+        for _ in 0..links_per_page {
+            // 85 % preferential, 15 % uniform (mirrors random surfing).
+            let v = if rng.gen_bool(0.85) && !pool.is_empty() {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..u) as u32
+            };
+            links.push(v);
+            pool.push(v);
+        }
+        out_links.push(links);
+        let _ = u;
+    }
+    WebGraph { out_links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_size_tracks_scale() {
+        let g = web_graph(1, Scale::bytes(64 << 10), 8);
+        assert!(g.num_edges() >= 3000, "edges={}", g.num_edges());
+        assert!(g.num_nodes() > 100);
+    }
+
+    #[test]
+    fn edges_point_to_valid_nodes() {
+        let g = web_graph(2, Scale::bytes(16 << 10), 5);
+        let n = g.num_nodes() as u32;
+        for links in &g.out_links {
+            for &v in links {
+                assert!(v < n);
+            }
+        }
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = web_graph(3, Scale::bytes(256 << 10), 6);
+        let mut deg = g.in_degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: u32 = deg.iter().take(deg.len() / 100 + 1).sum();
+        let total: u32 = deg.iter().sum();
+        assert!(
+            f64::from(top_share) / f64::from(total) > 0.05,
+            "top 1% of pages should hold a disproportionate share of links"
+        );
+        assert!(deg[0] > deg[deg.len() / 2] * 10, "hub pages should exist");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = web_graph(4, Scale::tiny(), 4);
+        let b = web_graph(4, Scale::tiny(), 4);
+        assert_eq!(a.out_links, b.out_links);
+    }
+}

@@ -1,0 +1,116 @@
+//! User-item rating data for collaborative filtering (IBCF).
+//!
+//! Ratings follow the structure CF algorithms rely on: users belong to
+//! latent taste groups, items belong to latent genres, and a user's
+//! rating is high when tastes match genres — so item-item similarity is
+//! recoverable by the algorithm.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One rating triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// User id.
+    pub user: u32,
+    /// Item id.
+    pub item: u32,
+    /// Rating value in `[1, 5]`.
+    pub value: f32,
+}
+
+impl dc_mapreduce::ByteSize for Rating {
+    fn byte_size(&self) -> usize {
+        12
+    }
+}
+
+/// A generated ratings dataset.
+#[derive(Debug, Clone)]
+pub struct RatingSet {
+    /// All rating triples.
+    pub ratings: Vec<Rating>,
+    /// Number of distinct users.
+    pub num_users: u32,
+    /// Number of distinct items.
+    pub num_items: u32,
+    /// Latent genre of each item (for quality checks).
+    pub item_genre: Vec<u8>,
+}
+
+/// Generate roughly `scale.bytes / 12` ratings over a latent-factor
+/// structure with `genres` taste groups.
+pub fn ratings(seed: u64, scale: Scale, genres: u8) -> RatingSet {
+    assert!(genres > 0, "need at least one genre");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (scale.bytes / 12).max(16) as usize;
+    let num_users = ((n as f64).sqrt() as u32).max(4);
+    let num_items = (num_users / 2).max(4);
+
+    let item_genre: Vec<u8> =
+        (0..num_items).map(|_| rng.gen_range(0..genres)).collect();
+    let user_taste: Vec<u8> =
+        (0..num_users).map(|_| rng.gen_range(0..genres)).collect();
+
+    let mut ratings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = rng.gen_range(0..num_users);
+        let item = rng.gen_range(0..num_items);
+        let base = if user_taste[user as usize] == item_genre[item as usize] {
+            4.2
+        } else {
+            2.2
+        };
+        let value = (base + rng.gen_range(-0.8..0.8f32)).clamp(1.0, 5.0);
+        ratings.push(Rating { user, item, value });
+    }
+    RatingSet { ratings, num_users, num_items, item_genre }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_ranges() {
+        let set = ratings(1, Scale::bytes(64 << 10), 4);
+        assert!(!set.ratings.is_empty());
+        for r in &set.ratings {
+            assert!(r.user < set.num_users);
+            assert!(r.item < set.num_items);
+            assert!((1.0..=5.0).contains(&r.value));
+        }
+        assert_eq!(set.item_genre.len(), set.num_items as usize);
+    }
+
+    #[test]
+    fn same_genre_items_rated_similarly() {
+        let set = ratings(2, Scale::bytes(256 << 10), 3);
+        // Average rating of matching-taste pairs should exceed mismatches.
+        let mut hi = (0.0, 0u32);
+        let mut lo = (0.0, 0u32);
+        for r in &set.ratings {
+            if r.value >= 3.5 {
+                hi = (hi.0 + f64::from(r.value), hi.1 + 1);
+            } else {
+                lo = (lo.0 + f64::from(r.value), lo.1 + 1);
+            }
+        }
+        assert!(hi.1 > 0 && lo.1 > 0, "both rating modes should appear");
+        assert!(hi.0 / f64::from(hi.1) > lo.0 / f64::from(lo.1) + 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ratings(5, Scale::tiny(), 4);
+        let b = ratings(5, Scale::tiny(), 4);
+        assert_eq!(a.ratings, b.ratings);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_genres_panics() {
+        ratings(1, Scale::tiny(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Relational tables for the data-warehouse workload (Hive-bench).
+//!
+//! Hive-bench (HIVE-396) queries two tables: `rankings` (pageURL,
+//! pageRank, avgDuration) and `uservisits` (sourceIP, destURL, visitDate,
+//! adRevenue, …). These generators produce both with realistic skew so
+//! the benchmark's scan / aggregation / join queries behave like the
+//! original.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of the `rankings` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingRow {
+    /// Page URL (join key with `uservisits.dest_url`).
+    pub page_url: String,
+    /// Integer page rank.
+    pub page_rank: u32,
+    /// Average visit duration in seconds.
+    pub avg_duration: u32,
+}
+
+impl dc_mapreduce::ByteSize for RankingRow {
+    fn byte_size(&self) -> usize {
+        self.page_url.len() + 4 + 8
+    }
+}
+
+/// One row of the `uservisits` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserVisitRow {
+    /// Visitor source IP.
+    pub source_ip: String,
+    /// Visited URL (join key with `rankings.page_url`).
+    pub dest_url: String,
+    /// Visit date as days since epoch.
+    pub visit_date: u32,
+    /// Ad revenue attributed to the visit.
+    pub ad_revenue: f64,
+    /// Browser user agent id.
+    pub user_agent: u16,
+    /// Country code id.
+    pub country: u16,
+}
+
+impl dc_mapreduce::ByteSize for UserVisitRow {
+    fn byte_size(&self) -> usize {
+        self.source_ip.len() + self.dest_url.len() + 8 + 4 + 8 + 2 + 2
+    }
+}
+
+/// The generated warehouse.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    /// `rankings` table.
+    pub rankings: Vec<RankingRow>,
+    /// `uservisits` table.
+    pub uservisits: Vec<UserVisitRow>,
+}
+
+/// Generate both tables at the given scale (~100 bytes/visit row;
+/// rankings sized at ~1/10 of visits).
+pub fn warehouse(seed: u64, scale: Scale) -> Warehouse {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let visits = (scale.bytes / 100).max(16) as usize;
+    let pages = (visits / 10).max(4);
+
+    let rankings: Vec<RankingRow> = (0..pages)
+        .map(|i| RankingRow {
+            page_url: format!("url{i:08}"),
+            // Zipf-flavoured page rank: early pages rank high.
+            page_rank: (1_000_000 / (i as u32 + 1)).max(1),
+            avg_duration: rng.gen_range(1..120),
+        })
+        .collect();
+
+    let uservisits: Vec<UserVisitRow> = (0..visits)
+        .map(|_| {
+            // Visits skew toward popular (low-index) pages.
+            let r: f64 = rng.gen::<f64>();
+            let page = ((r * r) * pages as f64) as usize % pages;
+            UserVisitRow {
+                source_ip: format!(
+                    "{}.{}.{}.{}",
+                    rng.gen_range(1..255u8),
+                    rng.gen_range(0..255u8),
+                    rng.gen_range(0..255u8),
+                    rng.gen_range(1..255u8)
+                ),
+                dest_url: format!("url{page:08}"),
+                visit_date: rng.gen_range(14_000..15_000),
+                ad_revenue: rng.gen_range(0.01..3.0),
+                user_agent: rng.gen_range(0..64),
+                country: rng.gen_range(0..200),
+            }
+        })
+        .collect();
+
+    Warehouse { rankings, uservisits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tables_are_sized_and_linked() {
+        let w = warehouse(1, Scale::bytes(64 << 10));
+        assert!(w.uservisits.len() >= 500);
+        assert!(w.rankings.len() >= w.uservisits.len() / 20);
+        let urls: HashSet<&str> =
+            w.rankings.iter().map(|r| r.page_url.as_str()).collect();
+        // Every visit's destination exists in rankings (foreign key).
+        for v in &w.uservisits {
+            assert!(urls.contains(v.dest_url.as_str()), "{}", v.dest_url);
+        }
+    }
+
+    #[test]
+    fn visits_skew_to_popular_pages() {
+        let w = warehouse(2, Scale::bytes(128 << 10));
+        let top_url = "url00000000";
+        let top_visits =
+            w.uservisits.iter().filter(|v| v.dest_url == top_url).count();
+        let expected_uniform = w.uservisits.len() / w.rankings.len();
+        assert!(
+            top_visits > expected_uniform,
+            "popular pages should get more than a uniform share"
+        );
+    }
+
+    #[test]
+    fn revenue_and_dates_in_range() {
+        let w = warehouse(3, Scale::tiny());
+        for v in &w.uservisits {
+            assert!((0.01..3.0).contains(&v.ad_revenue));
+            assert!((14_000..15_000).contains(&v.visit_date));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = warehouse(4, Scale::tiny());
+        let b = warehouse(4, Scale::tiny());
+        assert_eq!(a.rankings, b.rankings);
+        assert_eq!(a.uservisits, b.uservisits);
+    }
+}

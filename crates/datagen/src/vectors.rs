@@ -1,0 +1,153 @@
+//! Feature vectors for clustering: Gaussian mixtures with known centers.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand::distributions::Distribution;
+
+/// A generated clustering dataset.
+#[derive(Debug, Clone)]
+pub struct VectorSet {
+    /// The points, row-major.
+    pub points: Vec<Vec<f64>>,
+    /// The true generating centers (for quality checks).
+    pub true_centers: Vec<Vec<f64>>,
+    /// Ground-truth cluster assignment per point.
+    pub assignments: Vec<usize>,
+}
+
+/// Generate ~`scale.bytes` worth of `dim`-dimensional points drawn from
+/// `k` well-separated Gaussians.
+///
+/// # Panics
+/// Panics if `k == 0` or `dim == 0`.
+pub fn gaussian_mixture(seed: u64, scale: Scale, k: usize, dim: usize) -> VectorSet {
+    assert!(k > 0 && dim > 0, "need positive k and dim");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (scale.bytes / (dim as u64 * 8)).max(k as u64) as usize;
+
+    // Well-separated centers on a coarse grid, jittered.
+    let mut true_centers = Vec::with_capacity(k);
+    for c in 0..k {
+        let center: Vec<f64> = (0..dim)
+            .map(|d| (c as f64 * 10.0) + (d as f64 * 0.1) + rng.gen_range(-0.5..0.5))
+            .collect();
+        true_centers.push(center);
+    }
+
+    let normal = rand::distributions::Uniform::new(-1.0, 1.0);
+    let mut points = Vec::with_capacity(n);
+    let mut assignments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.gen_range(0..k);
+        let point: Vec<f64> = true_centers[c]
+            .iter()
+            .map(|&m| {
+                // Sum of three uniforms ≈ bell-shaped noise, σ≈1.
+                let noise: f64 = (0..3).map(|_| normal.sample(&mut rng)).sum::<f64>() / 1.5;
+                m + noise
+            })
+            .collect();
+        points.push(point);
+        assignments.push(c);
+    }
+    VectorSet { points, true_centers, assignments }
+}
+
+/// Generate labeled feature vectors for binary classification (SVM):
+/// two classes separated by a known hyperplane with margin noise.
+pub fn linearly_separable(
+    seed: u64,
+    scale: Scale,
+    dim: usize,
+    noise: f64,
+) -> (Vec<(Vec<f64>, f64)>, Vec<f64>) {
+    assert!(dim > 0, "need positive dim");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (scale.bytes / (dim as u64 * 8)).max(8) as usize;
+    // True weight vector.
+    let w: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let score: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let flip = rng.gen_bool(noise.clamp(0.0, 0.49));
+        let y = if (score >= 0.0) != flip { 1.0 } else { -1.0 };
+        data.push((x, y));
+    }
+    (data, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_shape() {
+        let set = gaussian_mixture(1, Scale::bytes(64 << 10), 4, 8);
+        assert_eq!(set.true_centers.len(), 4);
+        assert_eq!(set.points.len(), set.assignments.len());
+        assert!(set.points.len() >= 1000);
+        assert!(set.points.iter().all(|p| p.len() == 8));
+    }
+
+    #[test]
+    fn mixture_clusters_are_separated() {
+        let set = gaussian_mixture(2, Scale::bytes(64 << 10), 3, 4);
+        // A point should be closer to its own center than to others,
+        // overwhelmingly.
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let mut correct = 0;
+        for (p, &a) in set.points.iter().zip(&set.assignments) {
+            let own = dist(p, &set.true_centers[a]);
+            if set
+                .true_centers
+                .iter()
+                .enumerate()
+                .all(|(i, c)| i == a || dist(p, c) >= own)
+            {
+                correct += 1;
+            }
+        }
+        let frac = correct as f64 / set.points.len() as f64;
+        assert!(frac > 0.95, "separation too weak: {frac}");
+    }
+
+    #[test]
+    fn mixture_is_deterministic() {
+        let a = gaussian_mixture(9, Scale::tiny(), 2, 4);
+        let b = gaussian_mixture(9, Scale::tiny(), 2, 4);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn separable_labels_match_plane() {
+        let (data, w) = linearly_separable(3, Scale::bytes(32 << 10), 6, 0.0);
+        for (x, y) in &data {
+            let score: f64 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+            assert_eq!(*y > 0.0, score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn separable_noise_flips_some() {
+        let (data, w) = linearly_separable(3, Scale::bytes(32 << 10), 6, 0.2);
+        let flipped = data
+            .iter()
+            .filter(|(x, y)| {
+                let score: f64 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+                (*y > 0.0) != (score >= 0.0)
+            })
+            .count();
+        let frac = flipped as f64 / data.len() as f64;
+        assert!((frac - 0.2).abs() < 0.06, "flip fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        gaussian_mixture(1, Scale::tiny(), 0, 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Byte-size estimation for I/O accounting.
+//!
+//! Hadoop's counters (map output bytes, shuffle bytes, …) are central to
+//! the paper's Figure 5 and to scaling the cluster model; [`ByteSize`]
+//! lets the engine estimate serialized record sizes without actually
+//! serializing.
+
+/// Estimated serialized size of a record, in bytes.
+pub trait ByteSize {
+    /// Serialized size estimate.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty),*) => {
+        $(impl ByteSize for $t {
+            fn byte_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl ByteSize for String {
+    fn byte_size(&self) -> usize {
+        self.len() + 4 // length prefix
+    }
+}
+
+impl ByteSize for &str {
+    fn byte_size(&self) -> usize {
+        self.len() + 4
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<A: ByteSize, B: ByteSize> ByteSize for (A, B) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: ByteSize, B: ByteSize, C: ByteSize> ByteSize for (A, B, C) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(1u8.byte_size(), 1);
+        assert_eq!(1u64.byte_size(), 8);
+        assert_eq!(1.0f64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+    }
+
+    #[test]
+    fn strings_count_length_prefix() {
+        assert_eq!("abc".byte_size(), 7);
+        assert_eq!(String::from("abcd").byte_size(), 8);
+    }
+
+    #[test]
+    fn collections_sum() {
+        assert_eq!(vec![1u32, 2, 3].byte_size(), 4 + 12);
+        assert_eq!((1u32, "ab").byte_size(), 4 + 6);
+        assert_eq!((1u8, 2u8, 3u8).byte_size(), 3);
+        assert_eq!(Some(5u64).byte_size(), 9);
+        assert_eq!(None::<u64>.byte_size(), 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! The local multi-threaded MapReduce engine.
+//!
+//! Executes real jobs through the full Hadoop-shaped dataflow:
+//!
+//! ```text
+//! inputs → splits → [map tasks] → partition → sort → combine → spill
+//!        → shuffle → [reduce tasks: merge → group → reduce] → output
+//! ```
+//!
+//! Map and reduce tasks run on bounded worker pools (the paper's nodes
+//! are configured with 24 map and 12 reduce slots), and every stage
+//! accounts records and bytes into [`JobStats`] — those measured counters
+//! are what the cluster model scales up from.
+
+use crate::bytes::ByteSize;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Engine configuration (slot counts mirror Hadoop task slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Concurrent map tasks (Hadoop map slots).
+    pub map_slots: usize,
+    /// Concurrent reduce tasks (Hadoop reduce slots).
+    pub reduce_slots: usize,
+    /// Number of map tasks (input splits); 0 = `4 × map_slots`.
+    pub map_tasks: usize,
+    /// Number of reduce tasks (partitions); 0 = `reduce_slots`.
+    pub reduce_tasks: usize,
+    /// In-memory sort buffer per map task; output beyond this spills in
+    /// additional passes (Hadoop's `io.sort.mb`).
+    pub sort_buffer_bytes: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            map_slots: 4,
+            reduce_slots: 2,
+            map_tasks: 0,
+            reduce_tasks: 0,
+            sort_buffer_bytes: 4 << 20,
+        }
+    }
+}
+
+impl JobConfig {
+    /// The per-node slot configuration from the paper's Section III
+    /// (24 map slots, 12 reduce slots), scaled down by `divisor` so it
+    /// is runnable on a workstation.
+    pub fn hadoop_node(divisor: usize) -> Self {
+        let d = divisor.max(1);
+        JobConfig {
+            map_slots: (24 / d).max(1),
+            reduce_slots: (12 / d).max(1),
+            ..JobConfig::default()
+        }
+    }
+
+    fn effective_map_tasks(&self, inputs: usize) -> usize {
+        let t = if self.map_tasks == 0 { self.map_slots * 4 } else { self.map_tasks };
+        t.clamp(1, inputs.max(1))
+    }
+
+    fn effective_reduce_tasks(&self) -> usize {
+        if self.reduce_tasks == 0 {
+            self.reduce_slots.max(1)
+        } else {
+            self.reduce_tasks
+        }
+    }
+}
+
+/// Measured counters for one job run (the Hadoop counter set the paper's
+/// methodology relies on).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobStats {
+    /// Input records consumed by map tasks.
+    pub map_input_records: u64,
+    /// Input bytes consumed by map tasks.
+    pub map_input_bytes: u64,
+    /// Records emitted by map functions.
+    pub map_output_records: u64,
+    /// Bytes emitted by map functions.
+    pub map_output_bytes: u64,
+    /// Records after the combiner (equals map output when no combiner).
+    pub combine_output_records: u64,
+    /// Bytes spilled to local disk by map tasks (post-combine).
+    pub spilled_bytes: u64,
+    /// Bytes moved in the shuffle.
+    pub shuffle_bytes: u64,
+    /// Records produced by reduce tasks.
+    pub reduce_output_records: u64,
+    /// Bytes produced by reduce tasks.
+    pub reduce_output_bytes: u64,
+    /// Wall-clock milliseconds in the map phase.
+    pub map_ms: u64,
+    /// Wall-clock milliseconds in the reduce phase (incl. shuffle).
+    pub reduce_ms: u64,
+    /// Map tasks executed.
+    pub map_tasks: u64,
+    /// Reduce tasks executed.
+    pub reduce_tasks: u64,
+}
+
+impl JobStats {
+    /// Total wall-clock milliseconds.
+    pub fn total_ms(&self) -> u64 {
+        self.map_ms + self.reduce_ms
+    }
+
+    /// Total bytes written to local disk (spills + final output): the
+    /// quantity behind Figure 5.
+    pub fn disk_write_bytes(&self) -> u64 {
+        self.spilled_bytes + self.reduce_output_bytes
+    }
+
+    /// Merge counters from consecutive jobs of an iterative algorithm.
+    pub fn accumulate(&mut self, other: &JobStats) {
+        self.map_input_records += other.map_input_records;
+        self.map_input_bytes += other.map_input_bytes;
+        self.map_output_records += other.map_output_records;
+        self.map_output_bytes += other.map_output_bytes;
+        self.combine_output_records += other.combine_output_records;
+        self.spilled_bytes += other.spilled_bytes;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.reduce_output_records += other.reduce_output_records;
+        self.reduce_output_bytes += other.reduce_output_bytes;
+        self.map_ms += other.map_ms;
+        self.reduce_ms += other.reduce_ms;
+        self.map_tasks += other.map_tasks;
+        self.reduce_tasks += other.reduce_tasks;
+    }
+}
+
+/// Map-side combiner signature: fold a key's values into fewer values.
+pub type Combiner<'a, K, V> = &'a (dyn Fn(&K, &[V]) -> Vec<V> + Sync);
+
+/// Sorted spill runs staged per reduce partition.
+type Staged<K, V> = Vec<Mutex<Vec<Vec<(K, V)>>>>;
+
+fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+/// Run one MapReduce job on the local engine. See the crate docs for an
+/// end-to-end example.
+///
+/// * `mapper` is called once per input record with an `emit` sink;
+/// * `combiner`, when present, runs per map task on each sorted
+///   key-group before the shuffle (Hadoop's map-side combine);
+/// * `reducer` is called once per key with all its values.
+///
+/// Returns the reduce outputs (unordered across partitions) and the
+/// job's measured [`JobStats`].
+pub fn run_job<I, K, V, O, M, R>(
+    inputs: Vec<I>,
+    cfg: &JobConfig,
+    mapper: M,
+    combiner: Option<Combiner<K, V>>,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Send + ByteSize,
+    K: Ord + Hash + Clone + Send + ByteSize,
+    V: Clone + Send + ByteSize,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, &[V]) -> Vec<O> + Sync,
+{
+    let num_map_tasks = cfg.effective_map_tasks(inputs.len());
+    let num_reduce_tasks = cfg.effective_reduce_tasks();
+
+    // Counters shared across workers.
+    let map_input_records = AtomicU64::new(0);
+    let map_input_bytes = AtomicU64::new(0);
+    let map_output_records = AtomicU64::new(0);
+    let map_output_bytes = AtomicU64::new(0);
+    let combine_output_records = AtomicU64::new(0);
+    let spilled_bytes = AtomicU64::new(0);
+
+    // ---- Split ----
+    let mut splits: Vec<Vec<I>> = (0..num_map_tasks).map(|_| Vec::new()).collect();
+    for (i, item) in inputs.into_iter().enumerate() {
+        splits[i % num_map_tasks].push(item);
+    }
+
+    // Shuffle staging: per reduce partition, a list of sorted runs.
+    let staged: Staged<K, V> =
+        (0..num_reduce_tasks).map(|_| Mutex::new(Vec::new())).collect();
+
+    // ---- Map phase ----
+    let map_start = Instant::now();
+    {
+        let (tx, rx) = channel::unbounded::<Vec<I>>();
+        for split in splits {
+            tx.send(split).expect("queue send");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.map_slots.max(1) {
+                let rx = rx.clone();
+                let mapper = &mapper;
+                let staged = &staged;
+                let map_input_records = &map_input_records;
+                let map_input_bytes = &map_input_bytes;
+                let map_output_records = &map_output_records;
+                let map_output_bytes = &map_output_bytes;
+                let combine_output_records = &combine_output_records;
+                let spilled_bytes = &spilled_bytes;
+                scope.spawn(move || {
+                    while let Ok(split) = rx.recv() {
+                        let mut parts: Vec<Vec<(K, V)>> =
+                            (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+                        let mut emitted_bytes = 0usize;
+                        for item in split {
+                            map_input_records.fetch_add(1, Ordering::Relaxed);
+                            map_input_bytes
+                                .fetch_add(item.byte_size() as u64, Ordering::Relaxed);
+                            let mut emit = |k: K, v: V| {
+                                map_output_records.fetch_add(1, Ordering::Relaxed);
+                                let sz = k.byte_size() + v.byte_size();
+                                emitted_bytes += sz;
+                                map_output_bytes
+                                    .fetch_add(sz as u64, Ordering::Relaxed);
+                                parts[partition_of(&k, num_reduce_tasks)]
+                                    .push((k, v));
+                            };
+                            mapper(item, &mut emit);
+                        }
+                        // Sort, combine, spill each partition run.
+                        for (r, mut run) in parts.into_iter().enumerate() {
+                            if run.is_empty() {
+                                continue;
+                            }
+                            run.sort_by(|a, b| a.0.cmp(&b.0));
+                            if let Some(comb) = combiner {
+                                run = combine_sorted(run, comb);
+                            }
+                            combine_output_records
+                                .fetch_add(run.len() as u64, Ordering::Relaxed);
+                            let run_bytes: usize =
+                                run.iter().map(|kv| kv.byte_size()).sum();
+                            spilled_bytes
+                                .fetch_add(run_bytes as u64, Ordering::Relaxed);
+                            staged[r].lock().push(run);
+                        }
+                        let _ = emitted_bytes;
+                    }
+                });
+            }
+        });
+    }
+    let map_ms = map_start.elapsed().as_millis() as u64;
+
+    // ---- Shuffle + reduce phase ----
+    let reduce_start = Instant::now();
+    let shuffle_bytes: u64 = spilled_bytes.load(Ordering::Relaxed);
+    let reduce_output_records = AtomicU64::new(0);
+    let reduce_output_bytes = AtomicU64::new(0);
+    let outputs: Mutex<Vec<O>> = Mutex::new(Vec::new());
+    {
+        let (tx, rx) = channel::unbounded::<Vec<Vec<(K, V)>>>();
+        for part in staged {
+            tx.send(part.into_inner()).expect("queue send");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.reduce_slots.max(1) {
+                let rx = rx.clone();
+                let reducer = &reducer;
+                let outputs = &outputs;
+                let reduce_output_records = &reduce_output_records;
+                let reduce_output_bytes = &reduce_output_bytes;
+                scope.spawn(move || {
+                    while let Ok(runs) = rx.recv() {
+                        // Merge: concatenate sorted runs and re-sort
+                        // (k-way merge is equivalent here; the engine is
+                        // not the bottleneck we study).
+                        let mut all: Vec<(K, V)> =
+                            runs.into_iter().flatten().collect();
+                        all.sort_by(|a, b| a.0.cmp(&b.0));
+                        let mut local_out = Vec::new();
+                        let mut i = 0;
+                        while i < all.len() {
+                            let mut j = i + 1;
+                            while j < all.len() && all[j].0 == all[i].0 {
+                                j += 1;
+                            }
+                            let values: Vec<V> =
+                                all[i..j].iter().map(|kv| kv.1.clone()).collect();
+                            let outs = reducer(&all[i].0, &values);
+                            for o in outs {
+                                reduce_output_records
+                                    .fetch_add(1, Ordering::Relaxed);
+                                local_out.push(o);
+                            }
+                            // Output bytes: keys + values consumed.
+                            let sz: usize = all[i..j]
+                                .iter()
+                                .map(|kv| kv.1.byte_size())
+                                .sum::<usize>()
+                                + all[i].0.byte_size();
+                            reduce_output_bytes
+                                .fetch_add(sz as u64, Ordering::Relaxed);
+                            i = j;
+                        }
+                        outputs.lock().extend(local_out);
+                    }
+                });
+            }
+        });
+    }
+    let reduce_ms = reduce_start.elapsed().as_millis() as u64;
+
+    let stats = JobStats {
+        map_input_records: map_input_records.into_inner(),
+        map_input_bytes: map_input_bytes.into_inner(),
+        map_output_records: map_output_records.into_inner(),
+        map_output_bytes: map_output_bytes.into_inner(),
+        combine_output_records: combine_output_records.into_inner(),
+        spilled_bytes: shuffle_bytes,
+        shuffle_bytes,
+        reduce_output_records: reduce_output_records.into_inner(),
+        reduce_output_bytes: reduce_output_bytes.into_inner(),
+        map_ms,
+        reduce_ms,
+        map_tasks: num_map_tasks as u64,
+        reduce_tasks: num_reduce_tasks as u64,
+    };
+    (outputs.into_inner(), stats)
+}
+
+/// Apply a combiner over a key-sorted run.
+fn combine_sorted<K: Ord + Clone, V: Clone>(
+    run: Vec<(K, V)>,
+    comb: &(dyn Fn(&K, &[V]) -> Vec<V> + Sync),
+) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(run.len() / 2 + 1);
+    let mut i = 0;
+    while i < run.len() {
+        let mut j = i + 1;
+        while j < run.len() && run[j].0 == run[i].0 {
+            j += 1;
+        }
+        let values: Vec<V> = run[i..j].iter().map(|kv| kv.1.clone()).collect();
+        for v in comb(&run[i].0, &values) {
+            out.push((run[i].0.clone(), v));
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordcount(
+        lines: Vec<String>,
+        cfg: &JobConfig,
+        with_combiner: bool,
+    ) -> (Vec<(String, u64)>, JobStats) {
+        let comb: &(dyn Fn(&String, &[u64]) -> Vec<u64> + Sync) =
+            &|_k, vs| vec![vs.iter().sum::<u64>()];
+        run_job(
+            lines,
+            cfg,
+            |line: String, emit: &mut dyn FnMut(String, u64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            with_combiner.then_some(comb),
+            |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+        )
+    }
+
+    #[test]
+    fn wordcount_is_correct() {
+        let lines = vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the quick dog".to_string(),
+        ];
+        let (mut out, stats) = wordcount(lines, &JobConfig::default(), true);
+        out.sort();
+        let the = out.iter().find(|(w, _)| w == "the").unwrap();
+        assert_eq!(the.1, 3);
+        let quick = out.iter().find(|(w, _)| w == "quick").unwrap();
+        assert_eq!(quick.1, 2);
+        assert_eq!(stats.map_input_records, 3);
+        assert_eq!(stats.map_output_records, 10);
+        assert_eq!(stats.reduce_output_records, out.len() as u64);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle() {
+        let lines: Vec<String> =
+            (0..200).map(|i| format!("w{} w{} common", i % 5, i % 7)).collect();
+        let (_, with) = wordcount(lines.clone(), &JobConfig::default(), true);
+        let (_, without) = wordcount(lines, &JobConfig::default(), false);
+        assert!(with.shuffle_bytes < without.shuffle_bytes / 2);
+        assert!(with.combine_output_records < without.combine_output_records);
+    }
+
+    #[test]
+    fn results_stable_across_slot_counts() {
+        let lines: Vec<String> =
+            (0..500).map(|i| format!("k{} v", i % 37)).collect();
+        let mut cfg1 = JobConfig::default();
+        cfg1.map_slots = 1;
+        cfg1.reduce_slots = 1;
+        let mut cfg8 = JobConfig::default();
+        cfg8.map_slots = 8;
+        cfg8.reduce_slots = 4;
+        let (mut a, _) = wordcount(lines.clone(), &cfg1, true);
+        let (mut b, _) = wordcount(lines, &cfg8, true);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "parallelism must not change results");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let (out, stats) = wordcount(Vec::new(), &JobConfig::default(), true);
+        assert!(out.is_empty());
+        assert_eq!(stats.map_input_records, 0);
+        assert_eq!(stats.reduce_output_records, 0);
+    }
+
+    #[test]
+    fn sort_job_orders_within_partition() {
+        // Identity map with a single reduce task = total ordering.
+        let mut cfg = JobConfig::default();
+        cfg.reduce_tasks = 1;
+        let nums: Vec<u64> = vec![5, 3, 9, 1, 7, 1];
+        let (out, _) = run_job(
+            nums,
+            &cfg,
+            |n: u64, emit: &mut dyn FnMut(u64, u64)| emit(n, n),
+            None,
+            |k: &u64, vs: &[u64]| vs.iter().map(|_| *k).collect(),
+        );
+        assert_eq!(out, vec![1, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn stats_accumulate_for_iterative_jobs() {
+        let mut total = JobStats::default();
+        let (_, s1) = wordcount(vec!["a b".into()], &JobConfig::default(), false);
+        let (_, s2) = wordcount(vec!["c d e".into()], &JobConfig::default(), false);
+        total.accumulate(&s1);
+        total.accumulate(&s2);
+        assert_eq!(total.map_input_records, 2);
+        assert_eq!(total.map_output_records, 5);
+        assert_eq!(total.map_tasks, s1.map_tasks + s2.map_tasks);
+    }
+
+    #[test]
+    fn hadoop_node_config_scales() {
+        let full = JobConfig::hadoop_node(1);
+        assert_eq!(full.map_slots, 24);
+        assert_eq!(full.reduce_slots, 12);
+        let quarter = JobConfig::hadoop_node(4);
+        assert_eq!(quarter.map_slots, 6);
+        assert_eq!(quarter.reduce_slots, 3);
+    }
+
+    #[test]
+    fn disk_write_bytes_counts_spills_and_output() {
+        let (_, s) = wordcount(vec!["x y z".into()], &JobConfig::default(), false);
+        assert_eq!(s.disk_write_bytes(), s.spilled_bytes + s.reduce_output_bytes);
+        assert!(s.disk_write_bytes() > 0);
+    }
+}

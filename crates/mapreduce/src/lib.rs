@@ -1,0 +1,50 @@
+//! # dc-mapreduce — the MapReduce substrate
+//!
+//! The paper's eleven data-analysis workloads run on Hadoop 1.0.2 over a
+//! 5-node cluster (one master, four slaves; 24 map and 12 reduce slots
+//! per slave; 1 GbE). This crate provides both halves of that substrate:
+//!
+//! * [`engine`] — a real multi-threaded local MapReduce engine:
+//!   input splits → map tasks → partition/sort/combine/spill → shuffle →
+//!   merge → reduce tasks, with byte-accurate I/O accounting
+//!   ([`engine::JobStats`]). The algorithms in `dc-analytics` execute on
+//!   this engine for real.
+//! * [`cluster`] — a discrete-event model of the multi-node Hadoop
+//!   cluster (slot waves, disk and NIC bandwidth sharing, job setup
+//!   overhead, shuffle/compute overlap). Per-task costs are derived from
+//!   *measured* local-engine statistics via
+//!   [`cluster::JobModel::scaled_from`], and the model regenerates the
+//!   paper's Figure 2 (speed-up on 1/4/8 slaves) and Figure 5 (disk
+//!   writes per second).
+//!
+//! ```
+//! use dc_mapreduce::engine::{run_job, JobConfig};
+//!
+//! // Word count over two lines.
+//! let inputs = vec!["a b a".to_string(), "b b".to_string()];
+//! let (mut out, stats) = run_job(
+//!     inputs,
+//!     &JobConfig::default(),
+//!     |line, emit| {
+//!         for w in line.split(' ') {
+//!             emit(w.to_string(), 1u64);
+//!         }
+//!     },
+//!     Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
+//!     |k, vs| vec![(k.clone(), vs.iter().sum::<u64>())],
+//! );
+//! out.sort();
+//! assert_eq!(out, vec![("a".into(), 2), ("b".into(), 3)]);
+//! assert!(stats.map_output_records >= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod cluster;
+pub mod engine;
+
+pub use bytes::ByteSize;
+pub use cluster::{ClusterConfig, ClusterRun, JobModel};
+pub use engine::{run_job, JobConfig, JobStats};

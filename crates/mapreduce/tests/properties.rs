@@ -1,0 +1,78 @@
+//! Property-based invariants of the MapReduce engine and cluster model.
+
+use dc_mapreduce::cluster::{simulate, speedup, ClusterConfig, JobModel};
+use dc_mapreduce::engine::{run_job, JobConfig};
+use proptest::prelude::*;
+
+fn wordcount(
+    lines: Vec<String>,
+    cfg: &JobConfig,
+) -> (Vec<(String, u64)>, dc_mapreduce::JobStats) {
+    run_job(
+        lines,
+        cfg,
+        |line: String, emit: &mut dyn FnMut(String, u64)| {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        },
+        Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
+        |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+    )
+}
+
+proptest! {
+    /// Parallelism never changes results; counters stay consistent.
+    #[test]
+    fn engine_is_deterministic_up_to_order(
+        docs in proptest::collection::vec("[a-d ]{0,30}", 0..40),
+        map_slots in 1usize..8,
+        reduce_tasks in 1usize..6,
+    ) {
+        let mut cfg = JobConfig::default();
+        cfg.map_slots = map_slots;
+        cfg.reduce_tasks = reduce_tasks;
+        let (mut out_a, stats) = wordcount(docs.clone(), &cfg);
+        let (mut out_b, _) = wordcount(docs.clone(), &JobConfig::default());
+        out_a.sort();
+        out_b.sort();
+        prop_assert_eq!(&out_a, &out_b);
+        // Conservation: input words == sum of counts.
+        let words: u64 = docs.iter().map(|d| d.split_whitespace().count() as u64).sum();
+        let counted: u64 = out_a.iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(words, counted);
+        prop_assert!(stats.combine_output_records <= stats.map_output_records);
+        prop_assert!(stats.reduce_output_records as usize == out_a.len());
+    }
+
+    /// Cluster makespans are positive, finite, and monotone in slaves.
+    #[test]
+    fn makespan_monotone_in_slaves(
+        input_gb in 1.0f64..400.0,
+        cpu in 1.0f64..400.0,
+        shuffle in 0.0f64..2.0,
+        output in 0.0f64..2.0,
+    ) {
+        let job = JobModel {
+            name: "prop".into(),
+            input_gb,
+            map_cpu_secs_per_gb: cpu,
+            shuffle_ratio: shuffle,
+            reduce_cpu_secs_per_gb: cpu / 2.0,
+            output_ratio: output,
+            iterations: 1,
+        };
+        let mut prev = f64::INFINITY;
+        for slaves in [1u32, 2, 4, 8] {
+            let run = simulate(&ClusterConfig::paper(slaves), &job);
+            prop_assert!(run.makespan_secs.is_finite() && run.makespan_secs > 0.0);
+            prop_assert!(
+                run.makespan_secs <= prev * 1.05,
+                "{slaves} slaves should not be materially slower"
+            );
+            prev = run.makespan_secs;
+        }
+        let s8 = speedup(&job, 8);
+        prop_assert!(s8 >= 0.9 && s8 <= 8.6, "8-slave speedup {s8}");
+    }
+}

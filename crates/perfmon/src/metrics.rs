@@ -1,0 +1,157 @@
+//! Derived per-workload metrics: one row of every figure in the paper.
+
+use dc_cpu::PerfCounts;
+use serde::{Deserialize, Serialize};
+
+/// The derived metrics the paper's figures report, computed from one
+/// measured counter block. Serializable so experiment results can be
+/// stored and compared across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Workload name (figure x-axis label).
+    pub name: String,
+    /// Instructions per cycle (Figure 3).
+    pub ipc: f64,
+    /// Kernel-mode instruction fraction (Figure 4).
+    pub kernel_fraction: f64,
+    /// Normalized stall breakdown `[fetch, rat, load, rs, store, rob]`
+    /// (Figure 6).
+    pub stall_breakdown: [f64; 6],
+    /// L1-I misses per thousand instructions (Figure 7).
+    pub l1i_mpki: f64,
+    /// ITLB-miss page walks per thousand instructions (Figure 8).
+    pub itlb_walk_pki: f64,
+    /// L2 misses per thousand instructions (Figure 9).
+    pub l2_mpki: f64,
+    /// Ratio of L2 misses satisfied by L3 (Figure 10).
+    pub l3_hit_ratio: f64,
+    /// DTLB-miss page walks per thousand instructions (Figure 11).
+    pub dtlb_walk_pki: f64,
+    /// Branch misprediction ratio (Figure 12).
+    pub branch_misprediction: f64,
+    /// Retired instructions in the measured window.
+    pub instructions: u64,
+}
+
+impl Metrics {
+    /// Derive the full metric row from a counter block.
+    pub fn from_counts(name: impl Into<String>, c: &PerfCounts) -> Self {
+        Metrics {
+            name: name.into(),
+            ipc: c.ipc(),
+            kernel_fraction: c.kernel_fraction(),
+            stall_breakdown: c.stall_breakdown(),
+            l1i_mpki: c.l1i_mpki(),
+            itlb_walk_pki: c.itlb_walk_pki(),
+            l2_mpki: c.l2_mpki(),
+            l3_hit_ratio: c.l3_hit_ratio_of_l2_misses(),
+            dtlb_walk_pki: c.dtlb_walk_pki(),
+            branch_misprediction: c.branch_misprediction_ratio(),
+            instructions: c.instructions,
+        }
+    }
+
+    /// Share of stalls in the out-of-order part of the pipeline
+    /// (load + RS + store + ROB) — the paper's data-analysis vs service
+    /// contrast.
+    pub fn ooo_stall_share(&self) -> f64 {
+        let [_, _, load, rs, store, rob] = self.stall_breakdown;
+        load + rs + store + rob
+    }
+
+    /// Share of stalls before the out-of-order part (fetch + RAT).
+    pub fn in_order_stall_share(&self) -> f64 {
+        let [fetch, rat, ..] = self.stall_breakdown;
+        fetch + rat
+    }
+}
+
+/// Mean of each metric across a set of workloads (the paper's `avg` bar).
+pub fn average(name: impl Into<String>, rows: &[Metrics]) -> Metrics {
+    let n = rows.len().max(1) as f64;
+    let sum = |f: &dyn Fn(&Metrics) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    let mut stall = [0.0; 6];
+    for r in rows {
+        for (a, b) in stall.iter_mut().zip(r.stall_breakdown.iter()) {
+            *a += b / n;
+        }
+    }
+    Metrics {
+        name: name.into(),
+        ipc: sum(&|r| r.ipc),
+        kernel_fraction: sum(&|r| r.kernel_fraction),
+        stall_breakdown: stall,
+        l1i_mpki: sum(&|r| r.l1i_mpki),
+        itlb_walk_pki: sum(&|r| r.itlb_walk_pki),
+        l2_mpki: sum(&|r| r.l2_mpki),
+        l3_hit_ratio: sum(&|r| r.l3_hit_ratio),
+        dtlb_walk_pki: sum(&|r| r.dtlb_walk_pki),
+        branch_misprediction: sum(&|r| r.branch_misprediction),
+        instructions: (rows.iter().map(|r| r.instructions).sum::<u64>() as f64 / n)
+            as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> PerfCounts {
+        PerfCounts {
+            cycles: 2_000,
+            instructions: 1_000,
+            kernel_instructions: 40,
+            user_instructions: 960,
+            fetch_stall_cycles: 20,
+            rat_stall_cycles: 10,
+            rs_full_stall_cycles: 37,
+            rob_full_stall_cycles: 20,
+            load_buf_stall_cycles: 8,
+            store_buf_stall_cycles: 5,
+            l1i_misses: 23,
+            itlb_walks: 1,
+            l2_misses: 11,
+            l3_misses: 2,
+            dtlb_walks: 1,
+            branches: 160,
+            branch_mispredicts: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn from_counts_derives_figures() {
+        let m = Metrics::from_counts("sort", &counts());
+        assert_eq!(m.name, "sort");
+        assert!((m.ipc - 0.5).abs() < 1e-12);
+        assert!((m.l1i_mpki - 23.0).abs() < 1e-12);
+        assert!((m.l2_mpki - 11.0).abs() < 1e-12);
+        assert!((m.kernel_fraction - 0.04).abs() < 1e-12);
+        let total: f64 = m.stall_breakdown.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_shares_partition() {
+        let m = Metrics::from_counts("w", &counts());
+        assert!((m.ooo_stall_share() + m.in_order_stall_share() - 1.0).abs() < 1e-12);
+        assert!(m.ooo_stall_share() > 0.5, "this sample is OoO-stall heavy");
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let a = Metrics::from_counts("a", &counts());
+        let mut big = counts();
+        big.cycles = 1_000; // ipc 1.0
+        let b = Metrics::from_counts("b", &big);
+        let avg = average("avg", &[a, b]);
+        assert!((avg.ipc - 0.75).abs() < 1e-12);
+        assert_eq!(avg.name, "avg");
+    }
+
+    #[test]
+    fn metrics_clone_eq() {
+        let m = Metrics::from_counts("w", &counts());
+        assert_eq!(m.clone(), m);
+    }
+}

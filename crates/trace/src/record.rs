@@ -1,0 +1,295 @@
+//! Execution recording: probes for real workload kernels.
+//!
+//! The real algorithm implementations in `dc-analytics` cannot run under a
+//! hardware performance counter, but they *can* report what they do. A
+//! [`Probe`] is a lightweight recorder the kernels call at their inner
+//! loops (`probe.load(&x)`, `probe.cmp(a < b)`, …). From the recorded
+//! stream we derive a [`ProbeSummary`] — measured op mix, branch bias and
+//! data-page footprint — which is used to cross-check the calibrated
+//! profiles in `dcbench::profiles`, and a [`RecordedTrace`] that can be
+//! replayed directly through the CPU simulator.
+//!
+//! Recording costs one enum push per event, so kernels only instrument a
+//! bounded window (the probe stops recording after `capacity` events but
+//! keeps counting).
+
+use crate::op::{MicroOp, Mode, OpKind};
+use std::collections::HashSet;
+
+/// Recorded abstract event (address-bearing where relevant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Load(u64),
+    Store(u64),
+    Branch(bool),
+    Alu,
+    Fp,
+}
+
+/// Lightweight execution recorder. See module docs.
+#[derive(Debug)]
+pub struct Probe {
+    events: Vec<Event>,
+    capacity: usize,
+    counts: ProbeCounts,
+}
+
+/// Raw event counts (kept even after the recording window fills).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounts {
+    /// Number of recorded load events.
+    pub loads: u64,
+    /// Number of recorded store events.
+    pub stores: u64,
+    /// Number of recorded branch (comparison) events.
+    pub branches: u64,
+    /// Number of branches that evaluated true/taken.
+    pub taken: u64,
+    /// Number of recorded integer ALU events.
+    pub alu: u64,
+    /// Number of recorded FP events.
+    pub fp: u64,
+}
+
+impl ProbeCounts {
+    /// Total recorded events.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.branches + self.alu + self.fp
+    }
+}
+
+/// Aggregate measurements derived from a probe window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeSummary {
+    /// Fraction of events that were loads.
+    pub load_frac: f64,
+    /// Fraction of events that were stores.
+    pub store_frac: f64,
+    /// Fraction of events that were branches.
+    pub branch_frac: f64,
+    /// Fraction of events that were FP operations.
+    pub fp_frac: f64,
+    /// Taken rate among branches.
+    pub taken_rate: f64,
+    /// Distinct 4 KiB pages touched in the recorded window.
+    pub data_pages: usize,
+    /// Distinct cache lines touched in the recorded window.
+    pub data_lines: usize,
+    /// Total events observed (including beyond the window).
+    pub total_events: u64,
+}
+
+impl Probe {
+    /// Create a probe that records up to `capacity` events (and counts
+    /// all events regardless).
+    pub fn new(capacity: usize) -> Self {
+        Probe {
+            events: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            counts: ProbeCounts::default(),
+        }
+    }
+
+    /// Record a load of `value`'s address.
+    #[inline]
+    pub fn load<T>(&mut self, value: &T) {
+        self.counts.loads += 1;
+        self.push(Event::Load(value as *const T as u64));
+    }
+
+    /// Record a store to `value`'s address.
+    #[inline]
+    pub fn store<T>(&mut self, value: &T) {
+        self.counts.stores += 1;
+        self.push(Event::Store(value as *const T as u64));
+    }
+
+    /// Record a conditional with outcome `taken`, returning the outcome so
+    /// the call can wrap the condition inline: `if probe.cmp(a < b) { … }`.
+    #[inline]
+    pub fn cmp(&mut self, taken: bool) -> bool {
+        self.counts.branches += 1;
+        self.counts.taken += u64::from(taken);
+        self.push(Event::Branch(taken));
+        taken
+    }
+
+    /// Record integer ALU work (e.g. one hash step).
+    #[inline]
+    pub fn alu(&mut self) {
+        self.counts.alu += 1;
+        self.push(Event::Alu);
+    }
+
+    /// Record floating-point work (e.g. one multiply-accumulate).
+    #[inline]
+    pub fn fp(&mut self) {
+        self.counts.fp += 1;
+        self.push(Event::Fp);
+    }
+
+    #[inline]
+    fn push(&mut self, e: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        }
+    }
+
+    /// Raw counts observed so far.
+    pub fn counts(&self) -> ProbeCounts {
+        self.counts
+    }
+
+    /// Summarise the recorded window.
+    pub fn summary(&self) -> ProbeSummary {
+        let total = self.counts.total().max(1) as f64;
+        let mut pages = HashSet::new();
+        let mut lines = HashSet::new();
+        for e in &self.events {
+            if let Event::Load(a) | Event::Store(a) = e {
+                pages.insert(a >> 12);
+                lines.insert(a >> 6);
+            }
+        }
+        ProbeSummary {
+            load_frac: self.counts.loads as f64 / total,
+            store_frac: self.counts.stores as f64 / total,
+            branch_frac: self.counts.branches as f64 / total,
+            fp_frac: self.counts.fp as f64 / total,
+            taken_rate: self.counts.taken as f64 / self.counts.branches.max(1) as f64,
+            data_pages: pages.len(),
+            data_lines: lines.len(),
+            total_events: self.counts.total(),
+        }
+    }
+
+    /// Convert the recorded window into a replayable trace.
+    ///
+    /// Event PCs are synthesised as a compact sequential footprint — the
+    /// probe captures *data* behaviour faithfully; instruction-footprint
+    /// behaviour of JIT'd production stacks is profile territory.
+    pub fn into_trace(self) -> RecordedTrace {
+        let mut ops = Vec::with_capacity(self.events.len());
+        let mut pc = 0x40_0000u64;
+        for e in &self.events {
+            let kind = match *e {
+                Event::Load(addr) => OpKind::Load { addr, size: 8 },
+                Event::Store(addr) => OpKind::Store { addr, size: 8 },
+                Event::Branch(taken) => OpKind::Branch { taken, target: pc + 64 },
+                Event::Alu => OpKind::IntAlu,
+                Event::Fp => OpKind::FpAlu,
+            };
+            ops.push(MicroOp { pc, kind, mode: Mode::User, dep_dist: 2, rat_hazard: false });
+            pc += 4;
+        }
+        RecordedTrace { ops, next: 0 }
+    }
+}
+
+/// Replayable trace captured by a [`Probe`].
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    ops: Vec<MicroOp>,
+    next: usize,
+}
+
+impl RecordedTrace {
+    /// Number of ops in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Reset replay to the beginning.
+    pub fn rewind(&mut self) {
+        self.next = 0;
+    }
+}
+
+impl Iterator for RecordedTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let op = self.ops.get(self.next).copied();
+        self.next += 1;
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_and_summary() {
+        let mut p = Probe::new(1024);
+        let xs = [1u64, 2, 3, 4];
+        for x in &xs {
+            p.load(x);
+            if p.cmp(*x % 2 == 0) {
+                p.alu();
+            } else {
+                p.fp();
+            }
+        }
+        let c = p.counts();
+        assert_eq!(c.loads, 4);
+        assert_eq!(c.branches, 4);
+        assert_eq!(c.taken, 2);
+        assert_eq!(c.alu, 2);
+        assert_eq!(c.fp, 2);
+        let s = p.summary();
+        assert!((s.taken_rate - 0.5).abs() < 1e-12);
+        assert!(s.data_lines >= 1);
+        assert_eq!(s.total_events, 12);
+    }
+
+    #[test]
+    fn capacity_limits_recording_not_counting() {
+        let mut p = Probe::new(4);
+        let x = 7u32;
+        for _ in 0..100 {
+            p.load(&x);
+        }
+        assert_eq!(p.counts().loads, 100);
+        assert_eq!(p.into_trace().len(), 4);
+    }
+
+    #[test]
+    fn cmp_returns_its_argument() {
+        let mut p = Probe::new(8);
+        assert!(p.cmp(true));
+        assert!(!p.cmp(false));
+    }
+
+    #[test]
+    fn recorded_trace_replays_in_order() {
+        let mut p = Probe::new(16);
+        let a = 1u8;
+        p.load(&a);
+        p.store(&a);
+        p.alu();
+        let mut t = p.into_trace();
+        assert_eq!(t.len(), 3);
+        assert!(t.next().unwrap().kind.is_load());
+        assert!(t.next().unwrap().kind.is_store());
+        assert_eq!(t.next().unwrap().kind, OpKind::IntAlu);
+        assert!(t.next().is_none());
+        t.rewind();
+        assert!(t.next().unwrap().kind.is_load());
+    }
+
+    #[test]
+    fn pages_footprint_counts_distinct_pages() {
+        let mut p = Probe::new(4096);
+        let v: Vec<u64> = vec![0; 4096]; // spans several pages
+        for x in v.iter().step_by(512) {
+            p.load(x);
+        }
+        assert!(p.summary().data_pages >= 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Small deterministic random-number utilities.
+//!
+//! Trace synthesis must be exactly reproducible across runs and platforms
+//! (the whole experiment pipeline is seeded), so this crate carries its own
+//! tiny SplitMix64/xoshiro-style generator plus the two distributions trace
+//! synthesis needs (Zipf and geometric) instead of depending on `rand`.
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Passes BigCrush when used as a 64-bit stream; more than adequate for
+/// workload synthesis, and trivially seedable/forkable.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Any seed (including 0) is fine.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fork an independent generator (for decoupled sub-streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `theta`.
+///
+/// Used for basic-block popularity (hot/cold code) and key popularity in
+/// data generators. Sampling uses an inverted cumulative table, so draws
+/// are O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta >= 0`.
+    /// `theta == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Geometric sampler: number of failures before first success with
+/// success probability `p`; mean `(1-p)/p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Create a sampler with success probability `p in (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+        Geometric { p }
+    }
+
+    /// Create a sampler with the given mean (`mean >= 0`).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean >= 0.0, "geometric mean must be non-negative");
+        Geometric::new(1.0 / (mean + 1.0))
+    }
+
+    /// Draw a sample.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut rng = SplitMix64::new(3);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = SplitMix64::new(5);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(6);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let g = Geometric::with_mean(4.0);
+        let mut rng = SplitMix64::new(7);
+        let total: u64 = (0..200_000).map(|_| g.sample(&mut rng)).sum();
+        let mean = total as f64 / 200_000.0;
+        assert!((mean - 4.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_p1_is_always_zero() {
+        let g = Geometric::new(1.0);
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Deterministic synthetic trace generation from a [`WorkloadProfile`].
+//!
+//! The generator walks a synthetic control-flow graph:
+//!
+//! * The code footprint is divided into fixed-size basic blocks; each
+//!   block ends in a branch. Block-to-block transitions follow the
+//!   profile's [`CodeModel`]: a branch falls through with probability
+//!   `1 - taken_rate` (modulated per block so individual branches are
+//!   strongly biased, as in real code), and taken branches go to the
+//!   block's fixed *preferred successor* with probability `regularity`
+//!   or to a Zipf-popular random block otherwise.
+//! * Non-branch ops draw their class from the [`InstMix`](crate::profile::InstMix); loads and
+//!   stores draw an address from the weighted [`DataRegion`] mixture,
+//!   each region keeping its own cursor per its
+//!   [`AccessPattern`].
+//! * When a [`KernelModel`](crate::profile::KernelModel) is present, execution alternates between
+//!   user bursts and kernel bursts whose lengths realise the configured
+//!   kernel-mode instruction fraction; kernel ops use the kernel's own
+//!   code and data footprints.
+//!
+//! Everything is seeded, so traces are exactly reproducible.
+
+use crate::op::{MicroOp, Mode, OpKind};
+use crate::profile::{
+    AccessPattern, CodeModel, DataRegion, WorkloadProfile, BYTES_PER_OP,
+};
+use crate::rng::{Geometric, SplitMix64, Zipf};
+
+/// Base virtual address of user code.
+pub const USER_CODE_BASE: u64 = 0x0000_0000_0040_0000;
+/// Base virtual address of kernel code.
+pub const KERNEL_CODE_BASE: u64 = 0xFFFF_FF80_0000_0000;
+/// Base virtual address of the first user data region.
+pub const USER_DATA_BASE: u64 = 0x0000_0000_1000_0000;
+/// Base virtual address of the first kernel data region.
+pub const KERNEL_DATA_BASE: u64 = 0xFFFF_FFA0_0000_0000;
+/// Gap left between consecutive data regions.
+const REGION_GAP: u64 = 1 << 30;
+
+/// Maximum dependence distance communicated to the backend.
+const MAX_DEP_DIST: u64 = 64;
+
+/// Per-region cursor state.
+#[derive(Debug, Clone)]
+struct RegionState {
+    base: u64,
+    bytes: u64,
+    pattern: AccessPattern,
+    cursor: u64,
+    cum_weight: f64,
+}
+
+/// One synthetic code image (user or kernel).
+#[derive(Debug, Clone)]
+struct CodeImage {
+    base: u64,
+    num_blocks: usize,
+    ops_per_block: u32,
+    /// Fixed preferred successor per block.
+    preferred: Vec<u32>,
+    /// Per-block dominant direction: `true` = usually taken.
+    taken_biased: Vec<bool>,
+    popularity: Zipf,
+    model: CodeModel,
+    current: usize,
+    op_in_block: u32,
+}
+
+impl CodeImage {
+    fn new(base: u64, model: &CodeModel, ops_per_block: u32, rng: &mut SplitMix64) -> Self {
+        let num_blocks = model.num_blocks(ops_per_block);
+        let popularity = Zipf::new(num_blocks, model.zipf_theta);
+        let mut preferred = Vec::with_capacity(num_blocks);
+        let mut taken_biased = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            // Preferred successors follow the popularity distribution, so
+            // hot blocks chain to hot blocks (loop nests), concentrating
+            // the *dynamic* footprint the way real code does while the
+            // static footprint stays large.
+            preferred.push(popularity.sample(rng) as u32);
+            taken_biased.push(rng.chance(model.taken_rate));
+        }
+        CodeImage {
+            base,
+            num_blocks,
+            ops_per_block,
+            preferred,
+            taken_biased,
+            popularity,
+            model: model.clone(),
+            current: 0,
+            op_in_block: 0,
+        }
+    }
+
+    fn block_bytes(&self) -> u64 {
+        u64::from(self.ops_per_block) * BYTES_PER_OP
+    }
+
+    fn pc(&self) -> u64 {
+        self.base
+            + self.current as u64 * self.block_bytes()
+            + u64::from(self.op_in_block) * BYTES_PER_OP
+    }
+
+    fn block_base(&self, block: usize) -> u64 {
+        self.base + block as u64 * self.block_bytes()
+    }
+
+    /// Advance to the next op; if the current op ends the block, return
+    /// the branch outcome `(taken, target)` and move to the next block.
+    fn step_branch(&mut self, rng: &mut SplitMix64) -> (bool, u64) {
+        // Dominant direction for this block, with a per-branch noise
+        // floor so the stream is mostly predictable like real code.
+        let dominant_taken = self.taken_biased[self.current];
+        let taken = if rng.chance(self.model.branch_noise) {
+            !dominant_taken
+        } else {
+            dominant_taken
+        };
+        let next = if !taken {
+            (self.current + 1) % self.num_blocks
+        } else if rng.chance(self.model.regularity) {
+            self.preferred[self.current] as usize
+        } else {
+            self.popularity.sample(rng)
+        };
+        let target = self.block_base(next);
+        self.current = next;
+        self.op_in_block = 0;
+        (taken, target)
+    }
+}
+
+/// Memory-address generator over a data-region mixture.
+#[derive(Debug, Clone)]
+struct AddressStream {
+    regions: Vec<RegionState>,
+}
+
+impl AddressStream {
+    fn new(base: u64, regions: &[DataRegion]) -> Self {
+        let total: f64 = regions.iter().map(|r| r.weight).sum();
+        let mut out = Vec::with_capacity(regions.len());
+        let mut addr = base;
+        let mut acc = 0.0;
+        for r in regions {
+            acc += r.weight / total;
+            out.push(RegionState {
+                base: addr,
+                bytes: r.bytes,
+                pattern: r.pattern,
+                cursor: 0,
+                cum_weight: acc,
+            });
+            addr += r.bytes.max(REGION_GAP).next_power_of_two().max(REGION_GAP);
+        }
+        AddressStream { regions: out }
+    }
+
+    fn next_addr(&mut self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| u <= r.cum_weight)
+            .unwrap_or(self.regions.len() - 1);
+        let r = &mut self.regions[idx];
+        let off = match r.pattern {
+            AccessPattern::Sequential { stride } => {
+                let off = r.cursor;
+                r.cursor = (r.cursor + u64::from(stride)) % r.bytes;
+                off
+            }
+            AccessPattern::Random => rng.next_below(r.bytes / 8) * 8,
+            AccessPattern::Clustered { page_dwell } => {
+                // cursor encodes (page, remaining-dwell).
+                let pages = (r.bytes >> 12).max(1);
+                let (mut page, mut left) = (r.cursor >> 32, r.cursor & 0xFFFF_FFFF);
+                if left == 0 {
+                    page = rng.next_below(pages);
+                    left = u64::from(page_dwell.max(1));
+                }
+                r.cursor = (page << 32) | (left - 1);
+                (page << 12) + rng.next_below(512) * 8
+            }
+            AccessPattern::Tiled { stride, window } => {
+                let window = u64::from(window).min(r.bytes);
+                let off = r.cursor;
+                let within = (r.cursor % window) + u64::from(stride);
+                let tile_base = r.cursor - (r.cursor % window);
+                r.cursor = if within >= window {
+                    // Move to the next tile, wrapping at region end.
+                    (tile_base + window) % r.bytes
+                } else {
+                    tile_base + within
+                };
+                off
+            }
+        };
+        r.base + (off & !7)
+    }
+}
+
+/// Profile-driven synthetic trace. Iterates [`MicroOp`]s forever;
+/// callers bound it with `.take(n)` or by simulator op budget.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    rng: SplitMix64,
+    mix_cdf: [f64; 6],
+    user_code: CodeImage,
+    user_data: AddressStream,
+    kernel: Option<KernelState>,
+    dep_present: f64,
+    dep_on_load: f64,
+    serial_chain: f64,
+    ops_since_load: u64,
+    ops_since_chain: u64,
+    dep_geo: Geometric,
+    rat_rate: f64,
+    mode: Mode,
+    burst_left: u64,
+    emitted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct KernelState {
+    code: CodeImage,
+    data: AddressStream,
+    kernel_burst: u64,
+    user_burst: u64,
+}
+
+impl SyntheticTrace {
+    /// Create a generator for `profile` with the given `seed`.
+    pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xDCBE_0001);
+        let ops_per_block = profile.mix.ops_per_block();
+        let user_code =
+            CodeImage::new(USER_CODE_BASE, &profile.code, ops_per_block, &mut rng);
+        let user_data = AddressStream::new(USER_DATA_BASE, &profile.data);
+        let mut kernel = None;
+        if let Some(k) = profile.kernel.as_ref() {
+            let kernel_burst = u64::from(k.burst_ops);
+            // Choose the user-burst length so that kernel ops make up
+            // `fraction` of the stream: k / (k + u) = f.
+            let user_burst = ((kernel_burst as f64) * (1.0 - k.fraction)
+                / k.fraction.max(1e-6))
+            .round()
+            .max(1.0) as u64;
+            kernel = Some(KernelState {
+                code: CodeImage::new(KERNEL_CODE_BASE, &k.code, ops_per_block, &mut rng),
+                data: AddressStream::new(KERNEL_DATA_BASE, &k.data),
+                kernel_burst,
+                user_burst,
+            });
+        }
+
+        let m = profile.mix;
+        let mut cdf = [0.0; 6];
+        let fracs = [m.load, m.store, m.branch, m.fp, m.mul, m.div];
+        let mut acc = 0.0;
+        for (i, f) in fracs.iter().enumerate() {
+            acc += f;
+            cdf[i] = acc;
+        }
+        let user_burst = kernel.as_ref().map(|k| k.user_burst).unwrap_or(u64::MAX);
+        SyntheticTrace {
+            rng,
+            mix_cdf: cdf,
+            user_code,
+            user_data,
+            kernel,
+            dep_present: profile.dep.dep_fraction,
+            dep_on_load: profile.dep.on_load,
+            serial_chain: profile.dep.serial_chain,
+            ops_since_load: u64::MAX,
+            ops_since_chain: u64::MAX,
+            dep_geo: Geometric::with_mean((profile.dep.mean_dist - 1.0).max(0.0)),
+            rat_rate: profile.rat_hazard_rate,
+            mode: Mode::User,
+            burst_left: user_burst,
+            emitted: 0,
+        }
+    }
+
+    /// Number of ops emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn maybe_switch_mode(&mut self) {
+        let Some(ks) = &self.kernel else { return };
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            return;
+        }
+        match self.mode {
+            Mode::User => {
+                self.mode = Mode::Kernel;
+                self.burst_left = ks.kernel_burst;
+            }
+            Mode::Kernel => {
+                self.mode = Mode::User;
+                self.burst_left = ks.user_burst;
+            }
+        }
+    }
+
+    fn dep_dist(&mut self) -> u16 {
+        // Loop-carried serial chain: members always link to the previous
+        // member (bounded by the dependence window).
+        if self.rng.chance(self.serial_chain) {
+            let dist = self.ops_since_chain.saturating_add(1);
+            self.ops_since_chain = 0;
+            if dist <= MAX_DEP_DIST {
+                return dist as u16;
+            }
+            return 0; // window exceeded: start a fresh chain head
+        }
+        self.ops_since_chain = self.ops_since_chain.saturating_add(1);
+        if !self.rng.chance(self.dep_present) {
+            return 0;
+        }
+        // Chain on the most recent load when one is in window: this is
+        // what holds consumers in the RS while a miss is outstanding.
+        if self.ops_since_load < MAX_DEP_DIST && self.rng.chance(self.dep_on_load) {
+            return (self.ops_since_load + 1) as u16;
+        }
+        (1 + self.dep_geo.sample(&mut self.rng)).min(MAX_DEP_DIST) as u16
+    }
+}
+
+impl Iterator for SyntheticTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        self.maybe_switch_mode();
+        let mode = self.mode;
+        let rat_hazard = self.rng.chance(self.rat_rate);
+        let dep_dist = self.dep_dist();
+
+        // Split borrows: pick the active code image and data stream.
+        let (code, data) = match (mode, self.kernel.as_mut()) {
+            (Mode::Kernel, Some(ks)) => (&mut ks.code, &mut ks.data),
+            _ => (&mut self.user_code, &mut self.user_data),
+        };
+
+        let pc = code.pc();
+        let at_block_end = code.op_in_block + 1 >= code.ops_per_block;
+        let kind = if at_block_end {
+            let (taken, target) = code.step_branch(&mut self.rng);
+            OpKind::Branch { taken, target }
+        } else {
+            code.op_in_block += 1;
+            let u = self.rng.next_f64();
+            // Skip the branch slot in the mix; block structure provides
+            // branches. Re-scale the remaining classes is unnecessary —
+            // mix validation keeps totals sane and branch ops drawn here
+            // are emitted as plain ALU work.
+            if u < self.mix_cdf[0] {
+                OpKind::Load { addr: data.next_addr(&mut self.rng), size: 8 }
+            } else if u < self.mix_cdf[1] {
+                OpKind::Store { addr: data.next_addr(&mut self.rng), size: 8 }
+            } else if u < self.mix_cdf[2] {
+                OpKind::IntAlu // branch slot folded into ALU within blocks
+            } else if u < self.mix_cdf[3] {
+                OpKind::FpAlu
+            } else if u < self.mix_cdf[4] {
+                OpKind::IntMul
+            } else if u < self.mix_cdf[5] {
+                OpKind::Div
+            } else {
+                OpKind::IntAlu
+            }
+        };
+        self.emitted += 1;
+        self.ops_since_load = if kind.is_load() {
+            0
+        } else {
+            self.ops_since_load.saturating_add(1)
+        };
+        Some(MicroOp { pc, kind, mode, dep_dist, rat_hazard })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{AccessPattern, InstMix, WorkloadProfile};
+
+    fn small_profile() -> WorkloadProfile {
+        WorkloadProfile::builder("synth-test")
+            .code_footprint_kib(64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = small_profile();
+        let a: Vec<_> = SyntheticTrace::new(&p, 11).take(5000).collect();
+        let b: Vec<_> = SyntheticTrace::new(&p, 11).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = small_profile();
+        let a: Vec<_> = SyntheticTrace::new(&p, 1).take(5000).collect();
+        let b: Vec<_> = SyntheticTrace::new(&p, 2).take(5000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcs_stay_within_code_footprint() {
+        let p = small_profile();
+        let end = USER_CODE_BASE + p.code.footprint_bytes + 64;
+        for op in SyntheticTrace::new(&p, 3).take(20_000) {
+            assert!(op.pc >= USER_CODE_BASE && op.pc < end, "pc={:x}", op.pc);
+        }
+    }
+
+    #[test]
+    fn branch_fraction_matches_mix() {
+        let p = small_profile();
+        let n = 100_000;
+        let branches = SyntheticTrace::new(&p, 4)
+            .take(n)
+            .filter(|o| o.kind.is_branch())
+            .count();
+        let got = branches as f64 / n as f64;
+        let want = 1.0 / f64::from(p.mix.ops_per_block());
+        assert!((got - want).abs() < 0.02, "got={got} want={want}");
+    }
+
+    #[test]
+    fn load_fraction_roughly_matches_mix() {
+        let p = small_profile();
+        let n = 200_000;
+        let loads = SyntheticTrace::new(&p, 5)
+            .take(n)
+            .filter(|o| o.kind.is_load())
+            .count();
+        let got = loads as f64 / n as f64;
+        // Loads are only drawn in non-branch slots.
+        let want = p.mix.load * (1.0 - 1.0 / f64::from(p.mix.ops_per_block()));
+        assert!((got - want).abs() < 0.02, "got={got} want={want}");
+    }
+
+    #[test]
+    fn kernel_fraction_is_realised() {
+        let p = WorkloadProfile::builder("k")
+            .kernel_fraction(0.30)
+            .build()
+            .unwrap();
+        let n = 400_000;
+        let kernel = SyntheticTrace::new(&p, 6)
+            .take(n)
+            .filter(|o| o.mode == Mode::Kernel)
+            .count();
+        let got = kernel as f64 / n as f64;
+        assert!((got - 0.30).abs() < 0.03, "got={got}");
+    }
+
+    #[test]
+    fn no_kernel_model_means_all_user() {
+        let p = small_profile();
+        assert!(SyntheticTrace::new(&p, 7)
+            .take(50_000)
+            .all(|o| o.mode == Mode::User));
+    }
+
+    #[test]
+    fn kernel_pcs_use_kernel_image() {
+        let p = WorkloadProfile::builder("k")
+            .kernel_fraction(0.5)
+            .build()
+            .unwrap();
+        for op in SyntheticTrace::new(&p, 8).take(100_000) {
+            match op.mode {
+                Mode::Kernel => assert!(op.pc >= KERNEL_CODE_BASE),
+                Mode::User => assert!(op.pc < KERNEL_CODE_BASE),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_region_walks_forward() {
+        let p = WorkloadProfile::builder("seq")
+            .data(vec![DataRegion::new(
+                1 << 20,
+                1.0,
+                AccessPattern::Sequential { stride: 64 },
+            )])
+            .build()
+            .unwrap();
+        let addrs: Vec<u64> = SyntheticTrace::new(&p, 9)
+            .take(50_000)
+            .filter_map(|o| o.kind.mem_addr())
+            .collect();
+        assert!(addrs.len() > 1000);
+        let increasing = addrs.windows(2).filter(|w| w[1] == w[0] + 64).count();
+        assert!(
+            increasing as f64 / (addrs.len() - 1) as f64 > 0.95,
+            "sequential cursor should advance by the stride"
+        );
+    }
+
+    #[test]
+    fn random_region_addresses_spread() {
+        let p = WorkloadProfile::builder("rand")
+            .data(vec![DataRegion::new(64 << 20, 1.0, AccessPattern::Random)])
+            .build()
+            .unwrap();
+        let mut pages = std::collections::HashSet::new();
+        for op in SyntheticTrace::new(&p, 10).take(100_000) {
+            if let Some(a) = op.kind.mem_addr() {
+                pages.insert(a >> 12);
+            }
+        }
+        assert!(pages.len() > 1000, "pages={}", pages.len());
+    }
+
+    #[test]
+    fn tiled_region_reuses_window() {
+        let p = WorkloadProfile::builder("tiled")
+            .data(vec![DataRegion::new(
+                8 << 20,
+                1.0,
+                AccessPattern::Tiled { stride: 64, window: 4096 },
+            )])
+            .build()
+            .unwrap();
+        let addrs: Vec<u64> = SyntheticTrace::new(&p, 12)
+            .take(20_000)
+            .filter_map(|o| o.kind.mem_addr())
+            .collect();
+        // All early accesses stay in a small set of pages before moving on.
+        let first: Vec<u64> = addrs.iter().take(32).map(|a| a >> 12).collect();
+        let distinct: std::collections::HashSet<_> = first.iter().collect();
+        assert!(distinct.len() <= 3, "tiled accesses should cluster");
+    }
+
+    #[test]
+    fn dep_dist_bounded() {
+        let p = small_profile();
+        for op in SyntheticTrace::new(&p, 13).take(50_000) {
+            assert!(u64::from(op.dep_dist) <= MAX_DEP_DIST);
+        }
+    }
+
+    #[test]
+    fn rat_hazard_rate_realised() {
+        let p = WorkloadProfile::builder("rat")
+            .rat_hazard_rate(0.10)
+            .build()
+            .unwrap();
+        let n = 200_000;
+        let hazards = SyntheticTrace::new(&p, 14)
+            .take(n)
+            .filter(|o| o.rat_hazard)
+            .count();
+        let got = hazards as f64 / n as f64;
+        assert!((got - 0.10).abs() < 0.01, "got={got}");
+    }
+
+    #[test]
+    fn taken_rate_shapes_outcomes() {
+        let mut code = crate::profile::CodeModel::default();
+        code.taken_rate = 0.9;
+        let p = WorkloadProfile::builder("taken").code(code).build().unwrap();
+        let (mut taken, mut total) = (0u64, 0u64);
+        for op in SyntheticTrace::new(&p, 15).take(200_000) {
+            if let OpKind::Branch { taken: t, .. } = op.kind {
+                total += 1;
+                taken += u64::from(t);
+            }
+        }
+        let rate = taken as f64 / total as f64;
+        assert!(rate > 0.75, "rate={rate}");
+    }
+
+    #[test]
+    fn narrow_mix_emits_divs() {
+        let mix = InstMix { div: 0.2, ..InstMix::default() };
+        let p = WorkloadProfile::builder("div").mix(mix).build().unwrap();
+        let divs = SyntheticTrace::new(&p, 16)
+            .take(50_000)
+            .filter(|o| o.kind == OpKind::Div)
+            .count();
+        assert!(divs > 5000);
+    }
+}

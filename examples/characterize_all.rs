@@ -1,0 +1,63 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release --example characterize_all            # everything
+//! cargo run --release --example characterize_all -- fig3    # one exhibit
+//! cargo run --release --example characterize_all -- table1
+//! ```
+
+use dc_datagen::Scale;
+use dcbench::{report, Characterizer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
+    let bench = Characterizer::full();
+    let scale = Scale::bytes(512 << 10);
+
+    if want("table1") {
+        println!("{}", report::table1().render());
+    }
+    if want("table2") {
+        println!("{}", report::table2());
+    }
+    if want("table3") {
+        println!("{}", report::table3(&bench));
+    }
+    if want("fig1") {
+        println!("{}", report::figure1().render());
+    }
+    if want("fig2") {
+        println!("{}", report::figure2(scale).render());
+    }
+    if want("fig3") {
+        println!("{}", report::figure3(&bench).render());
+    }
+    if want("fig4") {
+        println!("{}", report::figure4(&bench).render());
+    }
+    if want("fig5") {
+        println!("{}", report::figure5(scale).render());
+    }
+    if want("fig6") {
+        println!("{}", report::figure6(&bench).render());
+    }
+    if want("fig7") {
+        println!("{}", report::figure7(&bench).render());
+    }
+    if want("fig8") {
+        println!("{}", report::figure8(&bench).render());
+    }
+    if want("fig9") {
+        println!("{}", report::figure9(&bench).render());
+    }
+    if want("fig10") {
+        println!("{}", report::figure10(&bench).render());
+    }
+    if want("fig11") {
+        println!("{}", report::figure11(&bench).render());
+    }
+    if want("fig12") {
+        println!("{}", report::figure12(&bench).render());
+    }
+}

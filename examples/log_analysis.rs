@@ -1,0 +1,37 @@
+//! Search-engine scenario (Table II: "Log analysis" / "Word frequency
+//! count"): run Grep and WordCount over a generated corpus — the
+//! pipeline the paper's basic-operation workloads model.
+
+use dc_analytics::{grep, wordcount};
+use dc_datagen::{text, Scale};
+use dc_mapreduce::engine::JobConfig;
+
+fn main() {
+    let docs = text::documents(7, Scale::bytes(512 << 10), 60);
+    println!("corpus: {} documents", docs.len());
+    let cfg = JobConfig::default();
+
+    // Grep: extract the "error-class" tokens.
+    let (mut matches, gstats) = grep::run(docs.clone(), "w001..", &cfg);
+    matches.sort_by(|a, b| b.1.cmp(&a.1));
+    println!(
+        "grep 'w001..': {} distinct matches, {} total ({}ms map, {}ms reduce)",
+        matches.len(),
+        matches.iter().map(|(_, c)| c).sum::<u64>(),
+        gstats.map_ms,
+        gstats.reduce_ms,
+    );
+
+    // WordCount: global term frequencies.
+    let (mut counts, wstats) = wordcount::run(docs, &cfg);
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    println!(
+        "wordcount: {} distinct words; top 5: {:?}",
+        counts.len(),
+        counts.iter().take(5).map(|(w, c)| format!("{w}:{c}")).collect::<Vec<_>>(),
+    );
+    println!(
+        "shuffle shrank by the combiner: {} -> {} records",
+        wstats.map_output_records, wstats.combine_output_records,
+    );
+}

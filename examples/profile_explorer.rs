@@ -1,0 +1,38 @@
+//! Inspect one benchmark entry's simulated counters in detail —
+//! useful when building new profiles or recalibrating existing ones.
+//!
+//! ```text
+//! cargo run --release --example profile_explorer -- Sort "Naive Bayes"
+//! ```
+
+use dcbench::{BenchmarkId, Characterizer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = Characterizer::full();
+    for &id in BenchmarkId::all() {
+        if !args.is_empty() && !args.iter().any(|a| a == id.name()) {
+            continue;
+        }
+        let (m, events) = bench.run_with_events(id);
+        println!("== {} ==", id.name());
+        println!(
+            "  ipc={:.3} kern={:.2} l1i={:.1} itlbW={:.3} l2={:.1} l3r={:.2} dtlbW={:.3} br={:.4}",
+            m.ipc, m.kernel_fraction, m.l1i_mpki, m.itlb_walk_pki, m.l2_mpki,
+            m.l3_hit_ratio, m.dtlb_walk_pki, m.branch_misprediction
+        );
+        let raw = bench.raw_counts(id);
+        println!(
+            "  prefetches={} l1d_miss={} l2_acc={} l2_miss={} l3_miss={}",
+            raw.prefetches, raw.l1d_misses, raw.l2_accesses, raw.l2_misses, raw.l3_misses
+        );
+        let b = m.stall_breakdown;
+        println!(
+            "  stalls: fetch={:.2} rat={:.2} load={:.2} rs={:.2} store={:.2} rob={:.2}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        );
+        for (e, v) in events {
+            println!("  {e:?} = {v}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-crate shape validation: the paper's qualitative claims must
+//! hold in the reproduction (DESIGN.md §6). These are the headline
+//! findings of the paper, asserted against the simulated machine.
+
+use dc_perfmon::metrics::average;
+use dcbench::{BenchmarkId, Characterizer};
+
+fn bench() -> Characterizer {
+    Characterizer::full()
+}
+
+fn da(bench: &Characterizer) -> Vec<dc_perfmon::Metrics> {
+    BenchmarkId::data_analysis().iter().map(|&id| bench.run(id)).collect()
+}
+
+fn services(bench: &Characterizer) -> Vec<dc_perfmon::Metrics> {
+    BenchmarkId::services().iter().map(|&id| bench.run(id)).collect()
+}
+
+#[test]
+fn finding1_ipc_ordering() {
+    // "data analysis workloads have higher IPC than that of the services
+    // workloads while lower than that of computation-intensive HPCC".
+    let b = bench();
+    let da_avg = average("da", &da(&b));
+    let svc_avg = average("svc", &services(&b));
+    let hpl = b.run(BenchmarkId::HpccHpl);
+    let dgemm = b.run(BenchmarkId::HpccDgemm);
+    let stream = b.run(BenchmarkId::HpccStream);
+
+    assert!(svc_avg.ipc < 0.6, "service IPC < 0.6 (got {:.2})", svc_avg.ipc);
+    assert!(
+        da_avg.ipc > svc_avg.ipc + 0.1,
+        "DA IPC ({:.2}) must clearly exceed services ({:.2})",
+        da_avg.ipc,
+        svc_avg.ipc
+    );
+    assert!(
+        (0.6..1.0).contains(&da_avg.ipc),
+        "DA average IPC ≈ 0.78 (got {:.2})",
+        da_avg.ipc
+    );
+    assert!(hpl.ipc > 1.0, "HPL is compute-bound (got {:.2})", hpl.ipc);
+    assert!(dgemm.ipc > 1.0, "DGEMM is compute-bound (got {:.2})", dgemm.ipc);
+    assert!(dgemm.ipc > da_avg.ipc, "HPCC compute kernels beat DA");
+    assert!(stream.ipc < 0.5, "STREAM is memory-bound (got {:.2})", stream.ipc);
+}
+
+#[test]
+fn finding1b_kernel_mode_share() {
+    // Services >40% kernel; DA ≈4% with Sort ≈24%; RandomAccess ≈31%.
+    let b = bench();
+    for m in services(&b) {
+        assert!(m.kernel_fraction > 0.4, "{}: {:.2}", m.name, m.kernel_fraction);
+    }
+    let rows = da(&b);
+    let sort = rows.iter().find(|m| m.name == "Sort").expect("sort");
+    assert!((0.15..0.35).contains(&sort.kernel_fraction), "{}", sort.kernel_fraction);
+    let others_avg = average(
+        "rest",
+        &rows.iter().filter(|m| m.name != "Sort").cloned().collect::<Vec<_>>(),
+    );
+    assert!(others_avg.kernel_fraction < 0.10, "{}", others_avg.kernel_fraction);
+    let ra = b.run(BenchmarkId::HpccRandomAccess);
+    assert!((0.2..0.4).contains(&ra.kernel_fraction), "{}", ra.kernel_fraction);
+}
+
+#[test]
+fn finding2_stall_breakdown_contrast() {
+    // DA stalls concentrate in the out-of-order part (~57% on average);
+    // services stall before entering it (~73% on average).
+    let b = bench();
+    let da_avg = average("da", &da(&b));
+    let svc_avg = average("svc", &services(&b));
+    assert!(
+        da_avg.ooo_stall_share() > 0.5,
+        "DA OoO-part stall share: {:.2}",
+        da_avg.ooo_stall_share()
+    );
+    assert!(
+        svc_avg.in_order_stall_share() > 0.6,
+        "service in-order stall share: {:.2}",
+        svc_avg.in_order_stall_share()
+    );
+    // Both classes suffer notable front-end stalls (unlike SPEC/HPCC).
+    let dgemm = b.run(BenchmarkId::HpccDgemm);
+    assert!(da_avg.stall_breakdown[0] > dgemm.stall_breakdown[0]);
+}
+
+#[test]
+fn finding3_l1i_and_itlb() {
+    // DA ≈23 L1I MPKI — above SPEC/HPCC, below (most) services; Media
+    // Streaming ≈3× the DA average; Naive Bayes is the DA exception with
+    // the smallest instruction footprint effects.
+    let b = bench();
+    let rows = da(&b);
+    let da_avg = average("da", &rows);
+    assert!(
+        (10.0..40.0).contains(&da_avg.l1i_mpki),
+        "DA L1I MPKI ≈ 23 (got {:.1})",
+        da_avg.l1i_mpki
+    );
+    let media = b.run(BenchmarkId::MediaStreaming);
+    assert!(
+        media.l1i_mpki > 2.0 * da_avg.l1i_mpki,
+        "Media Streaming ≈3×: {:.1} vs {:.1}",
+        media.l1i_mpki,
+        da_avg.l1i_mpki
+    );
+    for id in [BenchmarkId::SpecFp, BenchmarkId::HpccDgemm, BenchmarkId::HpccStream] {
+        let m = b.run(id);
+        assert!(m.l1i_mpki < 5.0, "{}: L1I MPKI {:.1}", m.name, m.l1i_mpki);
+    }
+    let bayes = rows.iter().find(|m| m.name == "Naive Bayes").expect("bayes");
+    assert!(
+        bayes.l1i_mpki < da_avg.l1i_mpki / 2.0,
+        "Bayes has the smallest L1I misses: {:.1}",
+        bayes.l1i_mpki
+    );
+    let da_avg_itlb =
+        rows.iter().map(|m| m.itlb_walk_pki).sum::<f64>() / rows.len() as f64;
+    assert!(
+        bayes.itlb_walk_pki < da_avg_itlb / 2.0,
+        "Bayes is the ITLB exception: {:.3} vs DA avg {:.3}",
+        bayes.itlb_walk_pki,
+        da_avg_itlb
+    );
+}
+
+#[test]
+fn finding4_cache_hierarchy() {
+    // DA ≈11 L2 MPKI vs services ≈60; L3 captures 85.5% (DA) and 94.9%
+    // (services) of L2 misses; services above DA on both counts.
+    let b = bench();
+    let da_avg = average("da", &da(&b));
+    let svc_avg = average("svc", &services(&b));
+    assert!(
+        (5.0..25.0).contains(&da_avg.l2_mpki),
+        "DA L2 MPKI ≈ 11 (got {:.1})",
+        da_avg.l2_mpki
+    );
+    assert!(
+        (35.0..90.0).contains(&svc_avg.l2_mpki),
+        "service L2 MPKI ≈ 60 (got {:.1})",
+        svc_avg.l2_mpki
+    );
+    assert!(svc_avg.l2_mpki > 3.0 * da_avg.l2_mpki);
+    assert!(
+        (0.75..0.95).contains(&da_avg.l3_hit_ratio),
+        "DA L3 ratio ≈ 85.5% (got {:.2})",
+        da_avg.l3_hit_ratio
+    );
+    assert!(
+        svc_avg.l3_hit_ratio > da_avg.l3_hit_ratio,
+        "services' L2 misses are L3-resident: {:.2} vs {:.2}",
+        svc_avg.l3_hit_ratio,
+        da_avg.l3_hit_ratio
+    );
+    // HPCC's streaming kernels get much less help from the L3.
+    let stream = b.run(BenchmarkId::HpccStream);
+    let ra = b.run(BenchmarkId::HpccRandomAccess);
+    assert!(stream.l3_hit_ratio < da_avg.l3_hit_ratio);
+    assert!(ra.l3_hit_ratio < 0.5, "GUPS misses the whole hierarchy");
+}
+
+#[test]
+fn finding4b_dtlb_walks() {
+    // Most DA workloads walk less than services/SPEC; Naive Bayes is the
+    // exception with elevated DTLB walks.
+    let b = bench();
+    let rows = da(&b);
+    let bayes = rows.iter().find(|m| m.name == "Naive Bayes").expect("bayes");
+    let rest = average(
+        "rest",
+        &rows.iter().filter(|m| m.name != "Naive Bayes").cloned().collect::<Vec<_>>(),
+    );
+    assert!(
+        bayes.dtlb_walk_pki > 2.0 * rest.dtlb_walk_pki,
+        "Bayes walks more: {:.2} vs rest {:.2}",
+        bayes.dtlb_walk_pki,
+        rest.dtlb_walk_pki
+    );
+    let svc_avg = average("svc", &services(&b));
+    assert!(
+        svc_avg.dtlb_walk_pki > rest.dtlb_walk_pki,
+        "services walk more than typical DA: {:.2} vs {:.2}",
+        svc_avg.dtlb_walk_pki,
+        rest.dtlb_walk_pki
+    );
+    let dgemm = b.run(BenchmarkId::HpccDgemm);
+    assert!(dgemm.dtlb_walk_pki < rest.dtlb_walk_pki, "HPCC compute kernels walk least");
+}
+
+#[test]
+fn finding5_branch_prediction() {
+    // DA misprediction below services and SPECINT; HPCC ≈ 0.
+    let b = bench();
+    let da_avg = average("da", &da(&b));
+    let svc_avg = average("svc", &services(&b));
+    let specint = b.run(BenchmarkId::SpecInt);
+    assert!(
+        da_avg.branch_misprediction < 0.04,
+        "DA mispredicts ≈2-3% (got {:.3})",
+        da_avg.branch_misprediction
+    );
+    assert!(da_avg.branch_misprediction < svc_avg.branch_misprediction);
+    assert!(da_avg.branch_misprediction < specint.branch_misprediction);
+    for &id in BenchmarkId::hpcc() {
+        if id == BenchmarkId::HpccComm || id == BenchmarkId::HpccRandomAccess {
+            continue; // kernel-path branches (network / copy_user)
+        }
+        let m = b.run(id);
+        assert!(m.branch_misprediction < 0.012, "{}: {:.3}", m.name, m.branch_misprediction);
+    }
+}
