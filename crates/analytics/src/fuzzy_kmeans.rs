@@ -10,7 +10,7 @@
 //! point contributes to every center every iteration.
 
 use crate::kmeans::dist2;
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// Membership weights of one point to all centers (sums to 1).
 pub fn memberships(point: &[f64], centers: &[Vec<f64>], m: f64) -> Vec<f64> {
@@ -44,12 +44,15 @@ pub struct FuzzyResult {
 /// One fuzzy iteration as a MapReduce job: map emits
 /// `(cluster) → (uᵐ·x, uᵐ)` for **every** cluster, reduce computes the
 /// weighted means.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn iterate(
     points: &[Vec<f64>],
     centers: &[Vec<f64>],
     m: f64,
     cfg: &JobConfig,
-) -> (Vec<Vec<f64>>, JobStats) {
+) -> Result<(Vec<Vec<f64>>, JobStats), JobError> {
     let centers_owned = centers.to_vec();
     let k = centers.len();
     let (sums, stats) = run_job(
@@ -69,14 +72,14 @@ pub fn iterate(
             let center: Vec<f64> = sum.iter().map(|s| s / w.max(1e-12)).collect();
             vec![(*key, center)]
         },
-    );
+    )?;
     let mut new_centers = centers.to_vec();
     for (c, center) in sums {
         if (c as usize) < k {
             new_centers[c as usize] = center;
         }
     }
-    (new_centers, stats)
+    Ok((new_centers, stats))
 }
 
 fn weighted_sum(vs: &[(Vec<f64>, f64)]) -> (Vec<f64>, f64) {
@@ -93,6 +96,9 @@ fn weighted_sum(vs: &[(Vec<f64>, f64)]) -> (Vec<f64>, f64) {
 }
 
 /// Run fuzzy K-means with fuzziness `m` (> 1; Mahout default 2.0).
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn run(
     points: &[Vec<f64>],
     k: usize,
@@ -100,7 +106,7 @@ pub fn run(
     max_iters: u32,
     tol: f64,
     cfg: &JobConfig,
-) -> FuzzyResult {
+) -> Result<FuzzyResult, JobError> {
     assert!(k > 0 && !points.is_empty(), "need points and k > 0");
     assert!(m > 1.0, "fuzziness must exceed 1");
     let mut centers: Vec<Vec<f64>> = (0..k)
@@ -109,7 +115,7 @@ pub fn run(
     let mut stats = JobStats::default();
     let mut iterations = 0;
     for _ in 0..max_iters {
-        let (next, s) = iterate(points, &centers, m, cfg);
+        let (next, s) = iterate(points, &centers, m, cfg)?;
         stats.accumulate(&s);
         iterations += 1;
         let moved: f64 = centers
@@ -123,7 +129,7 @@ pub fn run(
             break;
         }
     }
-    FuzzyResult { centers, iterations, stats }
+    Ok(FuzzyResult { centers, iterations, stats })
 }
 
 #[cfg(test)]
@@ -150,7 +156,8 @@ mod tests {
     #[test]
     fn recovers_separated_clusters() {
         let set = gaussian_mixture(31, Scale::bytes(96 << 10), 3, 4);
-        let result = run(&set.points, 3, 2.0, 15, 1e-3, &JobConfig::default());
+        let result = run(&set.points, 3, 2.0, 15, 1e-3, &JobConfig::default())
+            .expect("fault-free job");
         for truth in &set.true_centers {
             let best = result
                 .centers
@@ -171,12 +178,14 @@ mod tests {
             &[vec![0.0; 3], vec![1.0; 3], vec![2.0; 3], vec![3.0; 3]],
             2.0,
             &JobConfig::default(),
-        );
+        )
+        .expect("fault-free job");
         let (_, hard_stats) = crate::kmeans::iterate(
             &set.points,
             &[vec![0.0; 3], vec![1.0; 3], vec![2.0; 3], vec![3.0; 3]],
             &JobConfig::default(),
-        );
+        )
+        .expect("fault-free job");
         assert!(
             fuzzy_stats.map_output_records >= 3 * hard_stats.map_output_records,
             "fuzzy emits one record per (point, cluster)"
@@ -186,6 +195,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn fuzziness_must_exceed_one() {
-        run(&[vec![0.0]], 1, 1.0, 1, 0.1, &JobConfig::default());
+        let _ = run(&[vec![0.0]], 1, 1.0, 1, 0.1, &JobConfig::default());
     }
 }

@@ -6,7 +6,7 @@
 //! previous) operators — the subset Hadoop-example grep jobs typically
 //! use.
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// A compiled pattern: literal with optional `.`/`*` operators.
 #[derive(Debug, Clone)]
@@ -121,11 +121,14 @@ impl Pattern {
 
 /// MapReduce grep: map extracts match counts per matched string, reduce
 /// sums them (the Hadoop grep example's first job).
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn run(
     docs: Vec<String>,
     pattern: &str,
     cfg: &JobConfig,
-) -> (Vec<(String, u64)>, JobStats) {
+) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
     let pat = Pattern::compile(pattern);
     run_job(
         docs,
@@ -182,7 +185,8 @@ mod tests {
             "error42 warn error7 info".to_string(),
             "error42 trace".to_string(),
         ];
-        let (mut out, stats) = run(docs, "error4.", &JobConfig::default());
+        let (mut out, stats) =
+            run(docs, "error4.", &JobConfig::default()).expect("fault-free job");
         out.sort();
         assert_eq!(out, vec![("error42".to_string(), 2)]);
         assert!(stats.map_output_records >= 2);
@@ -192,7 +196,8 @@ mod tests {
     fn grep_selectivity_shrinks_shuffle() {
         let docs: Vec<String> =
             (0..200).map(|i| format!("needle{} hay hay hay", i % 3)).collect();
-        let (_, stats) = run(docs, "needle0", &JobConfig::default());
+        let (_, stats) =
+            run(docs, "needle0", &JobConfig::default()).expect("fault-free job");
         // Only ~1/4 of words match; shuffle must be far below input.
         assert!(stats.shuffle_bytes < stats.map_input_bytes / 4);
     }

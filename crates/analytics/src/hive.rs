@@ -13,7 +13,7 @@
 //!    URL, with a date filter and a top-1 ORDER BY.
 
 use dc_datagen::tables::{RankingRow, UserVisitRow, Warehouse};
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// A dynamically-typed cell value.
 #[derive(Debug, Clone, PartialEq, PartialOrd)]
@@ -64,10 +64,13 @@ pub fn q1_filter_scan(w: &Warehouse, min_rank: u32) -> Vec<Row> {
 
 /// Query 2: grouped aggregation over `uservisits` as a MapReduce job —
 /// `SELECT substr(sourceIP, 1, 7), SUM(adRevenue) GROUP BY 1`.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn q2_aggregation(
     w: &Warehouse,
     cfg: &JobConfig,
-) -> (Vec<(String, f64)>, JobStats) {
+) -> Result<(Vec<(String, f64)>, JobStats), JobError> {
     run_job(
         w.uservisits.clone(),
         cfg,
@@ -100,14 +103,21 @@ impl dc_mapreduce::ByteSize for JoinSide {
 /// (sourceIP, revenue) side.
 type JoinTuple = (Option<u32>, Option<(String, f64)>);
 
+/// Query 3's answer: the top-earning `(source_ip, revenue, avg_rank)`,
+/// when any visits fall in the date window.
+pub type TopEarner = Option<(String, f64, f64)>;
+
 /// Query 3: repartition join + aggregation, Hive's `JOIN … GROUP BY`
 /// plan — revenue and average rank per source IP over a date window,
 /// returning the top earner.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn q3_join(
     w: &Warehouse,
     date_range: (u32, u32),
     cfg: &JobConfig,
-) -> (Option<(String, f64, f64)>, JobStats) {
+) -> Result<(TopEarner, JobStats), JobError> {
     // Stage 1: repartition join on URL.
     let mut inputs: Vec<JoinSide> =
         w.rankings.iter().cloned().map(JoinSide::Ranking).collect();
@@ -140,7 +150,7 @@ pub fn q3_join(
                 .map(|(ip, rev)| (ip.clone(), rank, *rev))
                 .collect::<Vec<(String, u32, f64)>>()
         },
-    );
+    )?;
 
     // Stage 2: group by source IP, aggregate revenue and average rank.
     let (grouped, s2) = run_job(
@@ -161,7 +171,7 @@ pub fn q3_join(
             });
             vec![(k.clone(), rev, rank / n.max(1) as f64)]
         },
-    );
+    )?;
     stats.accumulate(&s2);
 
     // ORDER BY totalRevenue DESC LIMIT 1 (driver-side, as Hive does for
@@ -169,16 +179,22 @@ pub fn q3_join(
     let top = grouped.into_iter().max_by(|a, b| {
         a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
     });
-    (top, stats)
+    Ok((top, stats))
 }
 
 /// Run the whole Hive-bench query suite; returns combined statistics.
-pub fn run_suite(w: &Warehouse, cfg: &JobConfig) -> (usize, JobStats) {
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
+pub fn run_suite(
+    w: &Warehouse,
+    cfg: &JobConfig,
+) -> Result<(usize, JobStats), JobError> {
     let q1 = q1_filter_scan(w, 1000);
-    let (q2, mut stats) = q2_aggregation(w, cfg);
-    let (q3, s3) = q3_join(w, (14_000, 15_000), cfg);
+    let (q2, mut stats) = q2_aggregation(w, cfg)?;
+    let (q3, s3) = q3_join(w, (14_000, 15_000), cfg)?;
     stats.accumulate(&s3);
-    (q1.len() + q2.len() + usize::from(q3.is_some()), stats)
+    Ok((q1.len() + q2.len() + usize::from(q3.is_some()), stats))
 }
 
 #[cfg(test)]
@@ -209,7 +225,8 @@ mod tests {
     #[test]
     fn q2_preserves_total_revenue() {
         let w = small_warehouse();
-        let (groups, stats) = q2_aggregation(&w, &JobConfig::default());
+        let (groups, stats) =
+            q2_aggregation(&w, &JobConfig::default()).expect("fault-free job");
         let grouped_total: f64 = groups.iter().map(|(_, r)| r).sum();
         let raw_total: f64 = w.uservisits.iter().map(|v| v.ad_revenue).sum();
         assert!((grouped_total - raw_total).abs() / raw_total < 1e-9);
@@ -220,7 +237,8 @@ mod tests {
     #[test]
     fn q3_join_finds_top_ip() {
         let w = small_warehouse();
-        let (top, stats) = q3_join(&w, (14_000, 15_000), &JobConfig::default());
+        let (top, stats) =
+            q3_join(&w, (14_000, 15_000), &JobConfig::default()).expect("fault-free job");
         let (ip, revenue, avg_rank) = top.expect("at least one visit in range");
         assert!(!ip.is_empty());
         assert!(revenue > 0.0);
@@ -239,14 +257,14 @@ mod tests {
     #[test]
     fn q3_date_filter_is_effective() {
         let w = small_warehouse();
-        let (none, _) = q3_join(&w, (0, 1), &JobConfig::default());
+        let (none, _) = q3_join(&w, (0, 1), &JobConfig::default()).expect("fault-free job");
         assert!(none.is_none(), "empty date window joins nothing");
     }
 
     #[test]
     fn suite_runs_all_queries() {
         let w = small_warehouse();
-        let (results, stats) = run_suite(&w, &JobConfig::default());
+        let (results, stats) = run_suite(&w, &JobConfig::default()).expect("fault-free job");
         assert!(results > 0);
         assert!(stats.map_input_records > 0);
     }

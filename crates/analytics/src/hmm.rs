@@ -8,7 +8,7 @@
 //! job), and Viterbi decoding recovers word boundaries from unsegmented
 //! text.
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use std::collections::HashMap;
 
 /// BMES tag states.
@@ -57,7 +57,13 @@ pub fn tags_of(words: &[&str]) -> Vec<(char, usize)> {
 
 /// Train from pre-segmented sentences (each a list of words separated by
 /// spaces) with a MapReduce counting job.
-pub fn train(sentences: Vec<String>, cfg: &JobConfig) -> (HmmModel, JobStats) {
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
+pub fn train(
+    sentences: Vec<String>,
+    cfg: &JobConfig,
+) -> Result<(HmmModel, JobStats), JobError> {
     let (counts, stats) = run_job(
         sentences,
         cfg,
@@ -75,7 +81,7 @@ pub fn train(sentences: Vec<String>, cfg: &JobConfig) -> (HmmModel, JobStats) {
         },
         Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
         |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
-    );
+    )?;
 
     let mut start_counts = [1u64; STATES];
     let mut trans_counts = [[1u64; STATES]; STATES];
@@ -127,7 +133,7 @@ pub fn train(sentences: Vec<String>, cfg: &JobConfig) -> (HmmModel, JobStats) {
         );
         emit_floor[s] = (1.0 / (total as f64 + vocab)).ln();
     }
-    (HmmModel { start, trans, emit, emit_floor }, stats)
+    Ok((HmmModel { start, trans, emit, emit_floor }, stats))
 }
 
 impl HmmModel {
@@ -221,7 +227,8 @@ mod tests {
 
     #[test]
     fn learns_to_segment_artificial_language() {
-        let (model, stats) = train(training_corpus(), &JobConfig::default());
+        let (model, stats) =
+            train(training_corpus(), &JobConfig::default()).expect("fault-free job");
         assert!(stats.map_output_records > 0);
         let words = model.segment("xyzpqr");
         assert_eq!(words, vec!["xy", "z", "pqr"]);
@@ -231,14 +238,16 @@ mod tests {
 
     #[test]
     fn viterbi_emits_one_tag_per_char() {
-        let (model, _) = train(training_corpus(), &JobConfig::default());
+        let (model, _) =
+            train(training_corpus(), &JobConfig::default()).expect("fault-free job");
         assert_eq!(model.viterbi("xyzxy").len(), 5);
         assert!(model.viterbi("").is_empty());
     }
 
     #[test]
     fn segmentation_is_lossless() {
-        let (model, _) = train(training_corpus(), &JobConfig::default());
+        let (model, _) =
+            train(training_corpus(), &JobConfig::default()).expect("fault-free job");
         let text = "xyzpqrzz";
         let rejoined: String = model.segment(text).concat();
         assert_eq!(rejoined, text, "segmentation must preserve the text");

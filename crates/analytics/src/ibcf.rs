@@ -10,7 +10,7 @@
 //! related items".
 
 use dc_datagen::ratings::{Rating, RatingSet};
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use std::collections::HashMap;
 
 /// Item-item similarity model.
@@ -49,7 +49,13 @@ impl SimilarityModel {
 }
 
 /// Train the item-item model on a rating set via MapReduce.
-pub fn train(set: &RatingSet, cfg: &JobConfig) -> (SimilarityModel, JobStats) {
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
+pub fn train(
+    set: &RatingSet,
+    cfg: &JobConfig,
+) -> Result<(SimilarityModel, JobStats), JobError> {
     // Stage 1: group by user → co-rated pairs.
     let (pairs, mut stats) = run_job(
         set.ratings.clone(),
@@ -76,7 +82,7 @@ pub fn train(set: &RatingSet, cfg: &JobConfig) -> (SimilarityModel, JobStats) {
             }
             out
         },
-    );
+    )?;
 
     // Stage 2: aggregate pair statistics into similarities.
     let (sims, s2) = run_job(
@@ -98,11 +104,11 @@ pub fn train(set: &RatingSet, cfg: &JobConfig) -> (SimilarityModel, JobStats) {
             let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
             vec![(*k, dot / denom)]
         },
-    );
+    )?;
     stats.accumulate(&s2);
 
     let model = SimilarityModel { sim: sims.into_iter().collect() };
-    (model, stats)
+    Ok((model, stats))
 }
 
 /// Collect each user's ratings (driver-side helper for prediction).
@@ -137,7 +143,7 @@ mod tests {
 
     #[test]
     fn co_liked_items_are_similar() {
-        let (model, stats) = train(&tiny_set(), &JobConfig::default());
+        let (model, stats) = train(&tiny_set(), &JobConfig::default()).expect("fault-free job");
         assert!(model.similarity(0, 1) > 0.99);
         assert!(model.similarity(0, 1) > model.similarity(0, 2) - 1e-9);
         assert!(stats.map_input_records > 0);
@@ -145,7 +151,7 @@ mod tests {
 
     #[test]
     fn similarity_is_symmetric_and_reflexive() {
-        let (model, _) = train(&tiny_set(), &JobConfig::default());
+        let (model, _) = train(&tiny_set(), &JobConfig::default()).expect("fault-free job");
         assert_eq!(model.similarity(0, 1), model.similarity(1, 0));
         assert_eq!(model.similarity(2, 2), 1.0);
     }
@@ -153,7 +159,7 @@ mod tests {
     #[test]
     fn prediction_follows_taste_groups() {
         let set = ratings(41, Scale::bytes(96 << 10), 2);
-        let (model, _) = train(&set, &JobConfig::default());
+        let (model, _) = train(&set, &JobConfig::default()).expect("fault-free job");
         let profiles = user_profiles(&set);
         // For users with enough history, predicted ratings for same-genre
         // items should generally beat cross-genre ones.
@@ -196,7 +202,7 @@ mod tests {
 
     #[test]
     fn predict_without_overlap_is_none() {
-        let (model, _) = train(&tiny_set(), &JobConfig::default());
+        let (model, _) = train(&tiny_set(), &JobConfig::default()).expect("fault-free job");
         assert_eq!(model.predict(&[], 0), None);
     }
 }

@@ -5,7 +5,7 @@
 //! sums, a combiner pre-aggregates, reduce computes new centers, the
 //! driver iterates until movement falls below a tolerance.
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// Squared Euclidean distance.
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
@@ -36,11 +36,14 @@ pub struct KmeansResult {
 }
 
 /// One Lloyd iteration as a MapReduce job; returns the new centers.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn iterate(
     points: &[Vec<f64>],
     centers: &[Vec<f64>],
     cfg: &JobConfig,
-) -> (Vec<Vec<f64>>, JobStats) {
+) -> Result<(Vec<Vec<f64>>, JobStats), JobError> {
     let centers_owned: Vec<Vec<f64>> = centers.to_vec();
     let k = centers.len();
     let (sums, stats) = run_job(
@@ -59,14 +62,14 @@ pub fn iterate(
                 sum.iter().map(|s| s / n.max(1) as f64).collect();
             vec![(*k, center)]
         },
-    );
+    )?;
     let mut new_centers: Vec<Vec<f64>> = centers.to_vec();
     for (c, center) in sums {
         if (c as usize) < k {
             new_centers[c as usize] = center;
         }
     }
-    (new_centers, stats)
+    Ok((new_centers, stats))
 }
 
 fn partial_sum(vs: &[(Vec<f64>, u64)]) -> (Vec<f64>, u64) {
@@ -83,13 +86,16 @@ fn partial_sum(vs: &[(Vec<f64>, u64)]) -> (Vec<f64>, u64) {
 }
 
 /// Run K-means to convergence (center movement < `tol`) or `max_iters`.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn run(
     points: &[Vec<f64>],
     k: usize,
     max_iters: u32,
     tol: f64,
     cfg: &JobConfig,
-) -> KmeansResult {
+) -> Result<KmeansResult, JobError> {
     assert!(k > 0 && !points.is_empty(), "need points and k > 0");
     // Deterministic init: spread over the input.
     let mut centers: Vec<Vec<f64>> = (0..k)
@@ -98,7 +104,7 @@ pub fn run(
     let mut stats = JobStats::default();
     let mut iterations = 0;
     for _ in 0..max_iters {
-        let (next, s) = iterate(points, &centers, cfg);
+        let (next, s) = iterate(points, &centers, cfg)?;
         stats.accumulate(&s);
         iterations += 1;
         let moved: f64 = centers
@@ -112,7 +118,7 @@ pub fn run(
             break;
         }
     }
-    KmeansResult { centers, iterations, stats }
+    Ok(KmeansResult { centers, iterations, stats })
 }
 
 /// Within-cluster sum of squares (clustering quality).
@@ -139,7 +145,8 @@ mod tests {
     #[test]
     fn recovers_gaussian_centers() {
         let set = gaussian_mixture(21, Scale::bytes(128 << 10), 3, 4);
-        let result = run(&set.points, 3, 20, 1e-3, &JobConfig::default());
+        let result =
+            run(&set.points, 3, 20, 1e-3, &JobConfig::default()).expect("fault-free job");
         // Each true center should have a recovered center nearby.
         for truth in &set.true_centers {
             let best = result
@@ -158,8 +165,10 @@ mod tests {
         let init: Vec<Vec<f64>> =
             (0..4).map(|i| set.points[i * set.points.len() / 4].clone()).collect();
         let before = wcss(&set.points, &init);
-        let (after_centers, _) = iterate(&set.points, &init, &JobConfig::default());
-        let (after2, _) = iterate(&set.points, &after_centers, &JobConfig::default());
+        let (after_centers, _) =
+            iterate(&set.points, &init, &JobConfig::default()).expect("fault-free job");
+        let (after2, _) = iterate(&set.points, &after_centers, &JobConfig::default())
+            .expect("fault-free job");
         let after = wcss(&set.points, &after2);
         assert!(after <= before, "Lloyd iterations never increase WCSS");
     }
@@ -167,13 +176,14 @@ mod tests {
     #[test]
     fn converges_and_stops_early() {
         let set = gaussian_mixture(23, Scale::bytes(32 << 10), 2, 3);
-        let result = run(&set.points, 2, 50, 1e-6, &JobConfig::default());
+        let result =
+            run(&set.points, 2, 50, 1e-6, &JobConfig::default()).expect("fault-free job");
         assert!(result.iterations < 50, "should converge before the cap");
     }
 
     #[test]
     #[should_panic]
     fn zero_k_panics() {
-        run(&[vec![1.0]], 0, 1, 0.1, &JobConfig::default());
+        let _ = run(&[vec![1.0]], 0, 1, 0.1, &JobConfig::default());
     }
 }

@@ -1,7 +1,7 @@
 //! Naive Bayes: multinomial text classifier (Mahout workload, Table I
 //! row 4 — the one data-analysis workload CloudSuite also includes).
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use dc_datagen::text::LabeledDoc;
 use std::collections::HashMap;
 
@@ -40,11 +40,14 @@ impl Model {
 /// Train on labeled documents via MapReduce: map emits
 /// `(class:word) → count` and `(class) → doc count`; reduce sums; the
 /// driver assembles log-probabilities (mirroring Mahout's trainer jobs).
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn train(
     docs: Vec<LabeledDoc>,
     classes: u32,
     cfg: &JobConfig,
-) -> (Model, JobStats) {
+) -> Result<(Model, JobStats), JobError> {
     let (pairs, stats) = run_job(
         docs,
         cfg,
@@ -56,7 +59,7 @@ pub fn train(
         },
         Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
         |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
-    );
+    )?;
 
     let mut doc_counts = vec![0u64; classes as usize];
     let mut word_counts: Vec<HashMap<String, u64>> =
@@ -93,7 +96,7 @@ pub fn train(
         );
         log_unseen.push((1.0 / denom).ln());
     }
-    (Model { log_prior, log_likelihood, log_unseen }, stats)
+    Ok((Model { log_prior, log_likelihood, log_unseen }, stats))
 }
 
 #[cfg(test)]
@@ -113,7 +116,7 @@ mod tests {
             mk(1, "meeting notes agenda"),
             mk(1, "project meeting schedule"),
         ];
-        let (model, _) = train(docs, 2, &JobConfig::default());
+        let (model, _) = train(docs, 2, &JobConfig::default()).expect("fault-free job");
         assert_eq!(model.classify("money offer spam"), 0);
         assert_eq!(model.classify("agenda for the meeting"), 1);
     }
@@ -123,7 +126,8 @@ mod tests {
         let docs = labeled_documents(11, Scale::bytes(96 << 10), 3, 40);
         let split = docs.len() * 4 / 5;
         let (train_docs, test_docs) = docs.split_at(split);
-        let (model, stats) = train(train_docs.to_vec(), 3, &JobConfig::default());
+        let (model, stats) =
+            train(train_docs.to_vec(), 3, &JobConfig::default()).expect("fault-free job");
         let correct = test_docs
             .iter()
             .filter(|d| model.classify(&d.text) == d.label)
@@ -141,14 +145,14 @@ mod tests {
             mk(0, "c"),
             mk(1, "d"),
         ];
-        let (model, _) = train(docs, 2, &JobConfig::default());
+        let (model, _) = train(docs, 2, &JobConfig::default()).expect("fault-free job");
         assert!(model.log_prior[0] > model.log_prior[1]);
     }
 
     #[test]
     fn unseen_words_do_not_panic() {
-        let (model, _) =
-            train(vec![mk(0, "x"), mk(1, "y")], 2, &JobConfig::default());
+        let (model, _) = train(vec![mk(0, "x"), mk(1, "y")], 2, &JobConfig::default())
+            .expect("fault-free job");
         let _ = model.classify("totally unseen words only");
     }
 }

@@ -2,7 +2,7 @@
 //! iteration, "frequently used in search engine\[s\]".
 
 use dc_datagen::graph::WebGraph;
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// Result of a PageRank computation.
 #[derive(Debug, Clone)]
@@ -18,12 +18,15 @@ pub struct PageRankResult {
 /// One power iteration as a MapReduce job: map distributes each node's
 /// rank over its out-links, reduce sums incoming contributions and
 /// applies the damping factor.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn iterate(
     graph: &WebGraph,
     ranks: &[f64],
     damping: f64,
     cfg: &JobConfig,
-) -> (Vec<f64>, JobStats) {
+) -> Result<(Vec<f64>, JobStats), JobError> {
     let n = graph.num_nodes();
     let inputs: Vec<(u32, f64, Vec<u32>)> = graph
         .out_links
@@ -53,30 +56,33 @@ pub fn iterate(
         },
         Some(&|_k: &u32, vs: &[f64]| vec![vs.iter().sum::<f64>()]),
         |k: &u32, vs: &[f64]| vec![(*k, vs.iter().sum::<f64>())],
-    );
+    )?;
 
     let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
     let mut next = vec![base; n];
     for (v, c) in contribs {
         next[v as usize] += damping * c;
     }
-    (next, stats)
+    Ok((next, stats))
 }
 
 /// Run PageRank until the L1 delta falls below `tol` or `max_iters`.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn run(
     graph: &WebGraph,
     damping: f64,
     max_iters: u32,
     tol: f64,
     cfg: &JobConfig,
-) -> PageRankResult {
+) -> Result<PageRankResult, JobError> {
     let n = graph.num_nodes().max(1);
     let mut ranks = vec![1.0 / n as f64; n];
     let mut stats = JobStats::default();
     let mut iterations = 0;
     for _ in 0..max_iters {
-        let (next, s) = iterate(graph, &ranks, damping, cfg);
+        let (next, s) = iterate(graph, &ranks, damping, cfg)?;
         stats.accumulate(&s);
         iterations += 1;
         let delta: f64 =
@@ -86,7 +92,7 @@ pub fn run(
             break;
         }
     }
-    PageRankResult { ranks, iterations, stats }
+    Ok(PageRankResult { ranks, iterations, stats })
 }
 
 #[cfg(test)]
@@ -98,7 +104,8 @@ mod tests {
     #[test]
     fn cycle_is_uniform() {
         let graph = WebGraph { out_links: vec![vec![1], vec![2], vec![0]] };
-        let result = run(&graph, 0.85, 50, 1e-10, &JobConfig::default());
+        let result =
+            run(&graph, 0.85, 50, 1e-10, &JobConfig::default()).expect("fault-free job");
         for r in &result.ranks {
             assert!((r - 1.0 / 3.0).abs() < 1e-6, "rank {r}");
         }
@@ -107,7 +114,8 @@ mod tests {
     #[test]
     fn ranks_sum_to_one() {
         let graph = web_graph(51, Scale::bytes(32 << 10), 5);
-        let result = run(&graph, 0.85, 20, 1e-8, &JobConfig::default());
+        let result =
+            run(&graph, 0.85, 20, 1e-8, &JobConfig::default()).expect("fault-free job");
         let total: f64 = result.ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-6, "total rank {total}");
     }
@@ -115,7 +123,8 @@ mod tests {
     #[test]
     fn hubs_outrank_leaves() {
         let graph = web_graph(52, Scale::bytes(64 << 10), 6);
-        let result = run(&graph, 0.85, 25, 1e-9, &JobConfig::default());
+        let result =
+            run(&graph, 0.85, 25, 1e-9, &JobConfig::default()).expect("fault-free job");
         let deg = graph.in_degrees();
         let (hub, _) = deg
             .iter()
@@ -139,7 +148,8 @@ mod tests {
     fn dangling_mass_is_conserved() {
         // Node 1 dangles; ranks must still sum to 1.
         let graph = WebGraph { out_links: vec![vec![1], vec![], vec![0]] };
-        let result = run(&graph, 0.85, 30, 1e-10, &JobConfig::default());
+        let result =
+            run(&graph, 0.85, 30, 1e-10, &JobConfig::default()).expect("fault-free job");
         let total: f64 = result.ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
     }
@@ -147,7 +157,8 @@ mod tests {
     #[test]
     fn converges_before_cap() {
         let graph = web_graph(53, Scale::bytes(16 << 10), 4);
-        let result = run(&graph, 0.85, 100, 1e-6, &JobConfig::default());
+        let result =
+            run(&graph, 0.85, 100, 1e-6, &JobConfig::default()).expect("fault-free job");
         assert!(result.iterations < 100);
         assert!(result.iterations > 2);
     }

@@ -5,7 +5,7 @@
 //! writes its full volume to disk or network, and the computation itself
 //! is only comparison.
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// Pure kernel: sort records by their key (used for verification and for
 /// probe-based profiling).
@@ -17,7 +17,13 @@ pub fn sort_records(mut records: Vec<(String, String)>) -> Vec<(String, String)>
 /// MapReduce sort: identity map keyed on the record, totally ordered
 /// output when `reduce_tasks == 1`, partition-ordered otherwise (as in
 /// Hadoop TeraSort without the custom partitioner).
-pub fn run(lines: Vec<String>, cfg: &JobConfig) -> (Vec<String>, JobStats) {
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
+pub fn run(
+    lines: Vec<String>,
+    cfg: &JobConfig,
+) -> Result<(Vec<String>, JobStats), JobError> {
     let (mut out, stats) = run_job(
         lines,
         cfg,
@@ -26,11 +32,11 @@ pub fn run(lines: Vec<String>, cfg: &JobConfig) -> (Vec<String>, JobStats) {
         },
         None,
         |k: &String, vs: &[u32]| vs.iter().map(|_| k.clone()).collect(),
-    );
+    )?;
     // Hadoop writes one ordered file per reducer; concatenating partition
     // outputs sorted keeps verification simple without changing the I/O.
     out.sort();
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -56,7 +62,7 @@ mod tests {
                 .into_iter()
                 .map(String::from)
                 .collect();
-        let (out, stats) = run(lines, &JobConfig::default());
+        let (out, stats) = run(lines, &JobConfig::default()).expect("fault-free job");
         assert_eq!(out, vec!["apple", "apple", "banana", "mango", "pear"]);
         assert_eq!(stats.map_input_records, 5);
         assert_eq!(stats.reduce_output_records, 5);
@@ -68,7 +74,7 @@ mod tests {
         // input volume (shuffle carries everything).
         let lines: Vec<String> = (0..500).map(|i| format!("line{:05}", 997 * i % 500)).collect();
         let input_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 4).sum();
-        let (_, stats) = run(lines, &JobConfig::default());
+        let (_, stats) = run(lines, &JobConfig::default()).expect("fault-free job");
         assert!(stats.shuffle_bytes >= input_bytes, "shuffle carries the whole input");
     }
 }

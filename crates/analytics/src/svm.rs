@@ -6,7 +6,7 @@
 //! each map task trains a local model on its split; the reducer averages
 //! the models (parameter mixing); the driver iterates.
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 
 /// A linear model `y = sign(w · x)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,12 +72,15 @@ pub fn pegasos_epoch(
 
 /// One distributed training round: map tasks train local models on their
 /// splits, the reducer averages them. Returns the mixed model.
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn train_round(
     data: Vec<(Vec<f64>, f64)>,
     start: &LinearModel,
     lambda: f64,
     cfg: &JobConfig,
-) -> (LinearModel, JobStats) {
+) -> Result<(LinearModel, JobStats), JobError> {
     let dim = start.w.len();
     let start_w = start.w.clone();
     let (partials, stats) = run_job(
@@ -102,24 +105,27 @@ pub fn train_round(
             }
             vec![avg]
         },
-    );
+    )?;
     let w = partials.into_iter().next().unwrap_or_else(|| vec![0.0; dim]);
-    (LinearModel { w }, stats)
+    Ok((LinearModel { w }, stats))
 }
 
 /// Full training: `rounds` of distributed parameter mixing followed by a
 /// few sequential polish epochs (as Mahout-style drivers do).
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]).
 pub fn train(
     data: &[(Vec<f64>, f64)],
     dim: usize,
     lambda: f64,
     rounds: u32,
     cfg: &JobConfig,
-) -> (LinearModel, JobStats) {
+) -> Result<(LinearModel, JobStats), JobError> {
     let mut model = LinearModel::zeros(dim);
     let mut stats = JobStats::default();
     for _ in 0..rounds.max(1) {
-        let (next, s) = train_round(data.to_vec(), &model, lambda, cfg);
+        let (next, s) = train_round(data.to_vec(), &model, lambda, cfg)?;
         model = next;
         stats.accumulate(&s);
     }
@@ -128,7 +134,7 @@ pub fn train(
     for _ in 0..3 {
         t = pegasos_epoch(&mut model, data, lambda, t);
     }
-    (model, stats)
+    Ok((model, stats))
 }
 
 #[cfg(test)]
@@ -158,7 +164,8 @@ mod tests {
     #[test]
     fn distributed_training_learns() {
         let (data, _) = linearly_separable(5, Scale::bytes(32 << 10), 6, 0.02);
-        let (model, stats) = train(&data, 6, 0.01, 2, &JobConfig::default());
+        let (model, stats) =
+            train(&data, 6, 0.01, 2, &JobConfig::default()).expect("fault-free job");
         let acc = model.accuracy(&data);
         assert!(acc > 0.85, "distributed accuracy {acc}");
         assert!(stats.map_input_records > 0);
@@ -167,7 +174,8 @@ mod tests {
     #[test]
     fn noise_bounds_accuracy() {
         let (data, _) = linearly_separable(7, Scale::bytes(32 << 10), 6, 0.25);
-        let (model, _) = train(&data, 6, 0.01, 1, &JobConfig::default());
+        let (model, _) =
+            train(&data, 6, 0.01, 1, &JobConfig::default()).expect("fault-free job");
         let acc = model.accuracy(&data);
         assert!(acc < 0.95, "25% label noise caps accuracy: {acc}");
     }

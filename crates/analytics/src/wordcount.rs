@@ -1,6 +1,6 @@
 //! WordCount: occurrences of each word (Hadoop example, Table I row 2).
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobStats};
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use std::collections::HashMap;
 
 /// Pure kernel: count words in a corpus.
@@ -16,7 +16,14 @@ pub fn count_words(docs: &[String]) -> HashMap<String, u64> {
 
 /// MapReduce WordCount with map-side combining (the Hadoop example uses
 /// the reducer as combiner, as we do here).
-pub fn run(docs: Vec<String>, cfg: &JobConfig) -> (Vec<(String, u64)>, JobStats) {
+///
+/// # Errors
+/// Fails when a task exhausts its attempts (see [`JobError`]); this can
+/// only happen under injected or real repeated task failures.
+pub fn run(
+    docs: Vec<String>,
+    cfg: &JobConfig,
+) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
     run_job(
         docs,
         cfg,
@@ -49,7 +56,7 @@ mod tests {
         let docs: Vec<String> =
             (0..100).map(|i| format!("w{} w{} shared", i % 7, i % 13)).collect();
         let expected = count_words(&docs);
-        let (out, _) = run(docs, &JobConfig::default());
+        let (out, _) = run(docs, &JobConfig::default()).expect("fault-free job");
         assert_eq!(out.len(), expected.len());
         for (w, c) in out {
             assert_eq!(expected[&w], c, "count mismatch for {w}");
@@ -67,9 +74,8 @@ mod tests {
             let docs: Vec<String> = docs;
             let total_in: u64 =
                 docs.iter().map(|d| d.split_whitespace().count() as u64).sum();
-            let mut cfg = JobConfig::default();
-            cfg.map_slots = slots;
-            let (out, _) = run(docs, &cfg);
+            let cfg = JobConfig { map_slots: slots, ..JobConfig::default() };
+            let (out, _) = run(docs, &cfg).expect("fault-free job");
             let total_out: u64 = out.iter().map(|(_, c)| *c).sum();
             prop_assert_eq!(total_in, total_out);
         }

@@ -4,7 +4,8 @@
 use crate::{fuzzy_kmeans, grep, hive, hmm, ibcf, kmeans, naive_bayes, pagerank, sort,
             svm, wordcount};
 use dc_datagen::{graph, ratings, tables, text, vectors, Scale};
-use dc_mapreduce::engine::{JobConfig, JobStats};
+use dc_mapreduce::engine::{JobConfig, JobError, JobStats};
+use dc_mapreduce::faults::FaultPlan;
 use std::fmt;
 
 /// The eleven data-analysis workloads (Table I order).
@@ -199,69 +200,99 @@ impl Workload {
 
     /// Execute the workload **for real** on the local MapReduce engine at
     /// the given input scale, with a fixed seed.
-    pub fn run(&self, scale: Scale, cfg: &JobConfig) -> WorkloadRun {
+    ///
+    /// # Errors
+    /// Fails when a task exhausts its attempts (see [`JobError`]); this
+    /// cannot happen without injected faults, but the signature is fallible
+    /// so drivers handle recovery uniformly.
+    pub fn run(&self, scale: Scale, cfg: &JobConfig) -> Result<WorkloadRun, JobError> {
+        self.run_with_faults(scale, cfg, None)
+    }
+
+    /// Like [`Workload::run`], but executing under a seeded [`FaultPlan`]:
+    /// the chosen task attempts panic, stall, or fail with transient I/O
+    /// errors, and the engine's Hadoop-style recovery (retries, backoff,
+    /// speculation) must still deliver the exact fault-free output.
+    ///
+    /// The plan applies to the *map/reduce phases of each constituent
+    /// job* — iterative workloads (K-means, PageRank, …) re-apply it on
+    /// every iteration, which mirrors a flaky node harassing a whole job
+    /// chain.
+    ///
+    /// # Errors
+    /// Fails when a task exhausts its attempts (see [`JobError`]), e.g.
+    /// with a plan that panics `max_attempts` times in the same task.
+    pub fn run_with_faults(
+        &self,
+        scale: Scale,
+        cfg: &JobConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<WorkloadRun, JobError> {
         let seed = 0xDCBE ^ (*self as u64);
+        let mut cfg = cfg.clone();
+        cfg.faults = faults.cloned();
+        let cfg = &cfg;
         let (outputs, stats) = match self {
             Workload::Sort => {
                 let docs = text::documents(seed, scale, 12);
-                let (out, stats) = sort::run(docs, cfg);
+                let (out, stats) = sort::run(docs, cfg)?;
                 (out.len(), stats)
             }
             Workload::WordCount => {
                 let docs = text::documents(seed, scale, 80);
-                let (out, stats) = wordcount::run(docs, cfg);
+                let (out, stats) = wordcount::run(docs, cfg)?;
                 (out.len(), stats)
             }
             Workload::Grep => {
                 let docs = text::documents(seed, scale, 80);
-                let (out, stats) = grep::run(docs, "w012..", cfg);
+                let (out, stats) = grep::run(docs, "w012..", cfg)?;
                 (out.len(), stats)
             }
             Workload::NaiveBayes => {
                 let docs = text::labeled_documents(seed, scale, 4, 60);
-                let (model, stats) = naive_bayes::train(docs, 4, cfg);
+                let (model, stats) = naive_bayes::train(docs, 4, cfg)?;
                 (model.log_prior.len(), stats)
             }
             Workload::Svm => {
                 let bytes = scale.bytes / 4; // vectors are denser than text
                 let (data, _) =
                     vectors::linearly_separable(seed, Scale::bytes(bytes), 16, 0.05);
-                let (model, stats) = svm::train(&data, 16, 0.01, 3, cfg);
+                let (model, stats) = svm::train(&data, 16, 0.01, 3, cfg)?;
                 (model.w.len(), stats)
             }
             Workload::KMeans => {
                 let set = vectors::gaussian_mixture(seed, scale, 8, 16);
-                let result = kmeans::run(&set.points, 8, 5, 1e-3, cfg);
+                let result = kmeans::run(&set.points, 8, 5, 1e-3, cfg)?;
                 (result.centers.len(), result.stats)
             }
             Workload::FuzzyKMeans => {
                 let small = Scale::bytes(scale.bytes / 2); // k× shuffle blow-up
                 let set = vectors::gaussian_mixture(seed, small, 8, 16);
-                let result = fuzzy_kmeans::run(&set.points, 8, 2.0, 5, 1e-3, cfg);
+                let result = fuzzy_kmeans::run(&set.points, 8, 2.0, 5, 1e-3, cfg)?;
                 (result.centers.len(), result.stats)
             }
             Workload::Ibcf => {
                 let set = ratings::ratings(seed, scale, 8);
-                let (model, stats) = ibcf::train(&set, cfg);
+                let (model, stats) = ibcf::train(&set, cfg)?;
                 (model.sim.len(), stats)
             }
             Workload::Hmm => {
                 let docs = text::documents(seed, scale, 40);
-                let (model, stats) = hmm::train(docs, cfg);
+                let (model, stats) = hmm::train(docs, cfg)?;
                 (model.emit.len(), stats)
             }
             Workload::PageRank => {
                 let g = graph::web_graph(seed, scale, 12);
-                let result = pagerank::run(&g, 0.85, 8, 1e-8, cfg);
+                let result = pagerank::run(&g, 0.85, 8, 1e-8, cfg)?;
                 (result.ranks.len(), result.stats)
             }
             Workload::HiveBench => {
                 let w = tables::warehouse(seed, scale);
-                let (n, stats) = hive::run_suite(&w, cfg);
+                let (n, stats) = hive::run_suite(&w, cfg)?;
                 (n, stats)
             }
         };
-        WorkloadRun { workload: *self, stats, outputs }
+        Ok(WorkloadRun { workload: *self, stats, outputs })
     }
 }
 
@@ -302,10 +333,38 @@ mod tests {
     fn every_workload_runs_at_tiny_scale() {
         let cfg = JobConfig::default();
         for w in Workload::all() {
-            let run = w.run(Scale::bytes(24 << 10), &cfg);
+            let run = w.run(Scale::bytes(24 << 10), &cfg).expect("fault-free run");
             assert!(run.stats.map_input_records > 0, "{w}: no input consumed");
             assert!(run.outputs > 0, "{w}: no outputs produced");
             assert!(run.stats.total_ms() < 120_000, "{w}: unreasonably slow");
+        }
+    }
+
+    #[test]
+    fn every_workload_survives_first_attempt_faults() {
+        use dc_mapreduce::faults::{Fault, FaultPlan, TaskKind};
+        let cfg = JobConfig::default();
+        let scale = Scale::bytes(24 << 10);
+        // Panic the first attempt of one map and one reduce task of every
+        // constituent job; recovery must reproduce the clean data counters.
+        let plan = FaultPlan::new(7)
+            .with_fault(TaskKind::Map, 0, 0, Fault::Panic)
+            .with_fault(TaskKind::Reduce, 0, 0, Fault::IoError);
+        for w in Workload::all() {
+            let clean = w.run(scale, &cfg).expect("fault-free run");
+            let faulted = w
+                .run_with_faults(scale, &cfg, Some(&plan))
+                .unwrap_or_else(|e| panic!("{w} failed under faults: {e}"));
+            assert_eq!(faulted.outputs, clean.outputs, "{w}: outputs differ");
+            assert_eq!(
+                faulted.stats.data_counters(),
+                clean.stats.data_counters(),
+                "{w}: dataflow counters differ under faults"
+            );
+            assert!(
+                faulted.stats.failed_attempts > 0,
+                "{w}: plan injected no faults"
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Table/figure renderers: regenerate every exhibit of the paper.
 //!
-//! Each `figure*`/`table*` function returns a serializable
+//! Each `figure*`/`table*` function returns a structured
 //! [`FigureData`] and a ready-to-print text rendering, so both the
 //! examples and the Criterion benches print exactly the rows/series the
 //! paper reports.
@@ -12,11 +12,10 @@ use crate::topsites;
 use dc_analytics::Workload;
 use dc_datagen::Scale;
 use dc_perfmon::Metrics;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One regenerated exhibit: labelled rows of numeric series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureData {
     /// Exhibit id (e.g. "Figure 3").
     pub id: String,
@@ -140,6 +139,38 @@ pub fn figure5(scale: Scale) -> FigureData {
         rows: cluster_experiments::figure5_disk_writes(scale)
             .into_iter()
             .map(|(w, r)| (w.name().to_string(), vec![r]))
+            .collect(),
+    }
+}
+
+/// Fault-tolerance exhibit (extension of Figure 2): each workload's
+/// 8-slave speedup healthy vs. with one slave lost halfway through the
+/// map phase, plus the recovery cost (re-executed slave-seconds and HDFS
+/// re-replication traffic). Every job still completes — Hadoop re-runs
+/// the lost waves on survivors — so the column is degraded, never empty.
+pub fn fault_tolerance_exhibit(scale: Scale) -> FigureData {
+    FigureData {
+        id: "Exhibit FT".into(),
+        title: "Speed up under single-node loss at 8 slaves".into(),
+        columns: vec![
+            "healthy".into(),
+            "degraded".into(),
+            "rework s".into(),
+            "rerepl MB".into(),
+        ],
+        rows: cluster_experiments::speedups_under_node_loss(scale)
+            .into_iter()
+            .map(|row| {
+                (
+                    row.workload.name().to_string(),
+                    vec![
+                        row.healthy_speedup,
+                        row.degraded_speedup,
+                        row.reexecuted_work_secs,
+                        row.rereplicated_mb,
+                    ],
+                )
+            })
             .collect(),
     }
 }
@@ -354,6 +385,21 @@ mod tests {
                 "{label}: breakdown sums to {sum}"
             );
         }
+    }
+
+    #[test]
+    fn fault_tolerance_exhibit_degrades_all_rows() {
+        let fig = fault_tolerance_exhibit(Scale::bytes(48 << 10));
+        assert_eq!(fig.rows.len(), 11);
+        for (label, row) in &fig.rows {
+            let [healthy, degraded, rework, rerepl] = row[..] else {
+                panic!("{label}: expected 4 columns");
+            };
+            assert!(degraded.is_finite() && degraded > 0.0, "{label}");
+            assert!(degraded < healthy, "{label}: loss must cost speedup");
+            assert!(rework > 0.0 && rerepl > 0.0, "{label}: no recovery cost");
+        }
+        assert!(fig.render().contains("Exhibit FT"));
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! (rank by combined daily visitors × page views, classify, share) is
 //! the paper's.
 
-use serde::{Deserialize, Serialize};
 
 /// Site categories used in Figure 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Search engines.
     SearchEngine,
@@ -40,7 +39,7 @@ impl Category {
 }
 
 /// One site in the census.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Site {
     /// Domain name.
     pub domain: &'static str,

@@ -434,7 +434,7 @@ mod tests {
         let mut x = 1u64;
         let ops = (0..200_000).map(move |i| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let addr = 0x1000_0000 + ((x >> 16) % (256 << 20)) & !7;
+            let addr = (0x1000_0000 + ((x >> 16) % (256 << 20))) & !7;
             let mut op = MicroOp::load(0x40_0000 + (i % 16) * 4, addr);
             op.dep_dist = 2;
             op
@@ -457,7 +457,7 @@ mod tests {
         let mut x = 7u64;
         let ops = (0..200_000).map(move |_| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let pc = 0x40_0000 + ((x >> 20) % (4 << 20)) & !63;
+            let pc = (0x40_0000 + ((x >> 20) % (4 << 20))) & !63;
             MicroOp::int_alu(pc)
         });
         let counts =
@@ -577,7 +577,7 @@ mod tests {
             (0..50_000u64).map(|i| {
                 let mut op = MicroOp::load(
                     0x40_0000 + (i % 256) * 4,
-                    0x1000_0000 + (i * 2654435761 % (8 << 20)) & !7,
+                    (0x1000_0000 + (i * 2654435761 % (8 << 20))) & !7,
                 );
                 op.dep_dist = (i % 5) as u16;
                 op
@@ -594,7 +594,7 @@ mod tests {
             let mut x = 1u64;
             (0..300_000).map(move |_| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let addr = 0x1000_0000 + ((x >> 16) % (64 << 20)) & !7;
+                let addr = (0x1000_0000 + ((x >> 16) % (64 << 20))) & !7;
                 MicroOp::load(0x40_0000, addr)
             })
         };

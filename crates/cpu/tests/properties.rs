@@ -55,7 +55,7 @@ proptest! {
         let ops = (0..30_000).map(move |i| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             if x % 3 == 0 {
-                MicroOp::load(0x40_0000 + (i % 128) * 4, 0x1000_0000 + (x % (16 << 20)) & !7)
+                MicroOp::load(0x40_0000 + (i % 128) * 4, (0x1000_0000 + (x % (16 << 20))) & !7)
             } else {
                 MicroOp::int_alu(0x40_0000 + (i % 128) * 4)
             }

@@ -1,0 +1,192 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the small API subset `dc-benches` uses: a
+//! [`Criterion`] handle with `bench_function`/`benchmark_group`, a
+//! [`Bencher`] with `iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical
+//! engine, each benchmark runs a fixed warm-up then `sample_size`
+//! timed passes and prints min/mean per-iteration wall time — enough
+//! for the repo's "print the reproduction, then time it" harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly and record per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up / calibration pass.
+        let t0 = Instant::now();
+        black_box(body());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~20ms per sample, capped to keep total runtime low.
+        self.iters_per_sample =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(body());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Benchmark registry/configuration handle.
+pub struct Criterion {
+    sample_size: usize,
+    group_prefix: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, group_prefix: None }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is iteration-count
+    /// driven rather than time driven.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.as_ref();
+        let full = match &self.group_prefix {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Open a named group; benchmarks in it are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, prefix: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.parent.group_prefix = Some(self.prefix.clone());
+        self.parent.bench_function(name, f);
+        self.parent.group_prefix = None;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().expect("non-empty");
+    let mean: Duration =
+        b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{name:<40} min {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+        min,
+        mean,
+        b.samples.len(),
+        b.iters_per_sample
+    );
+}
+
+/// Identity function that defeats trivial dead-code elimination by
+/// moving the value through a volatile-ish observation point.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    criterion_group!(smoke, bench_addition);
+
+    #[test]
+    fn harness_runs_and_samples() {
+        smoke();
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("x", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -13,6 +13,14 @@
 //! linearly, while shuffle- and output-heavy jobs (Sort) are capped by
 //! the network fabric and replicated writes that do not exist in the
 //! 1-slave configuration.
+//!
+//! A [`FailureModel`] extends the simulation with Hadoop's behaviour
+//! under slave loss ([`simulate_with_failures`]): capacity drops to the
+//! surviving nodes, map work completed on lost nodes is re-executed
+//! (map outputs are node-local in Hadoop 1.x), and HDFS re-replicates
+//! the lost blocks over the shared fabric. Failed runs complete with a
+//! degraded — never undefined — makespan, so Figure 2 under failure
+//! shows lower speed-ups rather than simulation error.
 
 use crate::engine::JobStats;
 
@@ -141,6 +149,12 @@ pub struct ClusterRun {
     /// Disk write operations per second per node (Figure 5's metric,
     /// assuming 64 KiB writes).
     pub disk_writes_per_sec_per_node: f64,
+    /// Slave-seconds of work re-executed after node loss (0 in a
+    /// failure-free run).
+    pub reexecuted_work_secs: f64,
+    /// Megabytes re-replicated by HDFS after node loss (0 in a
+    /// failure-free run).
+    pub rereplicated_mb: f64,
 }
 
 /// Simulate `job` on `cluster`.
@@ -206,6 +220,8 @@ pub fn simulate(cluster: &ClusterConfig, job: &JobModel) -> ClusterRun {
         reduce_secs,
         disk_write_bytes,
         disk_writes_per_sec_per_node: writes / makespan / s,
+        reexecuted_work_secs: 0.0,
+        rereplicated_mb: 0.0,
     }
 }
 
@@ -213,6 +229,254 @@ pub fn simulate(cluster: &ClusterConfig, job: &JobModel) -> ClusterRun {
 pub fn speedup(job: &JobModel, slaves: u32) -> f64 {
     let t1 = simulate(&ClusterConfig::paper(1), job).makespan_secs;
     let tn = simulate(&ClusterConfig::paper(slaves), job).makespan_secs;
+    t1 / tn
+}
+
+/// One scheduled node-loss event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// When the nodes fail, seconds after job submission.
+    pub at_secs: f64,
+    /// How many slaves fail at once.
+    pub nodes: u32,
+    /// When the nodes rejoin the cluster (seconds after the failure),
+    /// or `None` for a permanent loss.
+    pub recover_after_secs: Option<f64>,
+}
+
+/// A schedule of slave failures and recoveries applied to a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureModel {
+    /// The failure events, in any order.
+    pub events: Vec<NodeFailure>,
+}
+
+impl FailureModel {
+    /// The failure-free schedule.
+    pub fn none() -> Self {
+        FailureModel { events: Vec::new() }
+    }
+
+    /// One slave lost permanently at `at_secs`.
+    pub fn single_loss(at_secs: f64) -> Self {
+        FailureModel {
+            events: vec![NodeFailure { at_secs, nodes: 1, recover_after_secs: None }],
+        }
+    }
+
+    /// One slave lost at `at_secs`, rejoining `recover_after_secs`
+    /// later (a rebooted node).
+    pub fn single_loss_with_recovery(at_secs: f64, recover_after_secs: f64) -> Self {
+        FailureModel {
+            events: vec![NodeFailure {
+                at_secs,
+                nodes: 1,
+                recover_after_secs: Some(recover_after_secs),
+            }],
+        }
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Simulate `job` on `cluster` under a failure schedule.
+///
+/// The healthy per-phase times from [`simulate`] are re-played as a
+/// piecewise timeline — fixed wall segments (job setup, fabric-bound
+/// shuffle) and work segments (map/reduce slave-seconds drained at the
+/// current surviving capacity). A node loss:
+///
+/// * drops capacity to the survivors (never below one slave),
+/// * re-queues the lost nodes' share of this iteration's completed map
+///   work (Hadoop 1.x re-executes completed maps whose node-local
+///   output is gone),
+/// * stalls the fabric while HDFS re-replicates the lost blocks.
+///
+/// With an empty schedule this is exactly [`simulate`].
+pub fn simulate_with_failures(
+    cluster: &ClusterConfig,
+    job: &JobModel,
+    failures: &FailureModel,
+) -> ClusterRun {
+    let base = simulate(cluster, job);
+    if failures.is_empty() {
+        return base;
+    }
+
+    let s = f64::from(cluster.slaves);
+    let fabric = cluster.fabric_mb_per_sec();
+    let input_mb = job.input_gb * 1024.0;
+    let shuffle_mb = input_mb * job.shuffle_ratio;
+
+    // Capacity deltas on a sorted timeline (loss > 0, recovery < 0).
+    let mut deltas: Vec<(f64, f64)> = Vec::new();
+    for ev in &failures.events {
+        let k = f64::from(ev.nodes.min(cluster.slaves));
+        if k <= 0.0 || !ev.at_secs.is_finite() {
+            continue;
+        }
+        let at = ev.at_secs.max(0.0);
+        deltas.push((at, k));
+        if let Some(after) = ev.recover_after_secs {
+            deltas.push((at + after.max(0.0), -k));
+        }
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut t = 0.0f64;
+    let mut alive = s;
+    let mut next = 0usize;
+    let mut extra_work = 0.0f64; // re-executed slave-seconds
+    let mut rerepl_mb = 0.0f64;
+    let mut debt = 0.0f64; // rework queued for the next work segment
+    let mut map_done: f64; // map slave-seconds banked this iteration
+    let mut phase_wall = [0.0f64; 3];
+
+    // Applies the delta at `deltas[next]`; returns the new `alive`.
+    let apply = |t: &mut f64,
+                     alive: f64,
+                     lost: f64,
+                     map_done: &mut f64,
+                     debt: &mut f64,
+                     extra_work: &mut f64,
+                     rerepl_mb: &mut f64|
+     -> f64 {
+        if lost > 0.0 {
+            // Keep at least one slave so the job always completes.
+            let k = lost.min(alive - 1.0).max(0.0);
+            let frac = k / s;
+            // Completed map work on the lost nodes is gone.
+            let rework = *map_done * frac;
+            *map_done -= rework;
+            *debt += rework;
+            *extra_work += rework;
+            // HDFS restores one fresh copy of every lost block.
+            let lost_mb = input_mb * frac;
+            if fabric.is_finite() && lost_mb > 0.0 {
+                *t += lost_mb / fabric;
+                *rerepl_mb += lost_mb;
+            }
+            alive - k
+        } else {
+            (alive - lost).min(s)
+        }
+    };
+
+    let iters = job.iterations.max(1);
+    for _ in 0..iters {
+        map_done = 0.0;
+        // (wall secs, work slave-secs, phase index) per segment.
+        let segments: [(Option<f64>, Option<f64>, Option<usize>); 4] = [
+            (Some(cluster.job_setup_secs), None, None),
+            (None, Some(base.map_secs * s), Some(0)),
+            (Some(base.shuffle_secs), None, Some(1)),
+            (None, Some(base.reduce_secs * s), Some(2)),
+        ];
+        for (wall, work, phase) in segments {
+            if let Some(d) = wall {
+                let mut remaining = d;
+                loop {
+                    let finish = t + remaining;
+                    if next < deltas.len() && deltas[next].0 < finish {
+                        remaining -= (deltas[next].0 - t).max(0.0);
+                        t = deltas[next].0;
+                        alive = apply(
+                            &mut t,
+                            alive,
+                            deltas[next].1,
+                            &mut map_done,
+                            &mut debt,
+                            &mut extra_work,
+                            &mut rerepl_mb,
+                        );
+                        next += 1;
+                    } else {
+                        t = finish;
+                        break;
+                    }
+                }
+                if let Some(p) = phase {
+                    phase_wall[p] += d;
+                }
+            } else if let Some(w0) = work {
+                let seg_start = t;
+                let mut w = w0 + debt;
+                debt = 0.0;
+                let is_map = phase == Some(0);
+                loop {
+                    w += debt;
+                    debt = 0.0;
+                    let cap = alive.max(1.0);
+                    let finish = t + w / cap;
+                    if next < deltas.len() && deltas[next].0 < finish {
+                        let done = (deltas[next].0 - t).max(0.0) * cap;
+                        w -= done;
+                        if is_map {
+                            map_done += done;
+                        }
+                        t = deltas[next].0;
+                        alive = apply(
+                            &mut t,
+                            alive,
+                            deltas[next].1,
+                            &mut map_done,
+                            &mut debt,
+                            &mut extra_work,
+                            &mut rerepl_mb,
+                        );
+                        next += 1;
+                    } else {
+                        if is_map {
+                            map_done += w;
+                        }
+                        t = finish;
+                        break;
+                    }
+                }
+                if let Some(p) = phase {
+                    phase_wall[p] += t - seg_start;
+                }
+            }
+        }
+    }
+
+    // Re-executed map work re-spills its share of the shuffle, and the
+    // re-replicated blocks land on the survivors' disks.
+    let map_work_total = base.map_secs * s * f64::from(iters);
+    let rework_spill_mb = if map_work_total > 0.0 {
+        shuffle_mb * (extra_work / map_work_total)
+    } else {
+        0.0
+    };
+    let disk_write_bytes =
+        base.disk_write_bytes + (rerepl_mb + rework_spill_mb) * 1e6;
+    let writes = disk_write_bytes / (64.0 * 1024.0);
+    let fi = f64::from(iters);
+    ClusterRun {
+        makespan_secs: t,
+        map_secs: phase_wall[0] / fi,
+        shuffle_secs: phase_wall[1] / fi,
+        reduce_secs: phase_wall[2] / fi,
+        disk_write_bytes,
+        disk_writes_per_sec_per_node: writes / t.max(1e-9) / s,
+        reexecuted_work_secs: extra_work,
+        rereplicated_mb: rerepl_mb,
+    }
+}
+
+/// Speed-up of `job` on `slaves` under a failure schedule, relative to
+/// a *healthy* single slave — the degraded Figure 2 series.
+pub fn speedup_with_failures(
+    job: &JobModel,
+    slaves: u32,
+    failures: &FailureModel,
+) -> f64 {
+    let t1 = simulate(&ClusterConfig::paper(1), job).makespan_secs;
+    let tn = simulate_with_failures(&ClusterConfig::paper(slaves), job, failures)
+        .makespan_secs;
     t1 / tn
 }
 
@@ -301,6 +565,96 @@ mod tests {
     fn single_slave_has_no_network_cost() {
         let run = simulate(&ClusterConfig::paper(1), &io_job());
         assert_eq!(run.shuffle_secs, 0.0);
+    }
+
+    #[test]
+    fn empty_failure_model_is_exactly_the_baseline() {
+        for job in [cpu_job(), io_job()] {
+            let base = simulate(&ClusterConfig::paper(8), &job);
+            let run =
+                simulate_with_failures(&ClusterConfig::paper(8), &job, &FailureModel::none());
+            assert_eq!(run, base);
+            assert_eq!(run.reexecuted_work_secs, 0.0);
+            assert_eq!(run.rereplicated_mb, 0.0);
+        }
+    }
+
+    #[test]
+    fn mid_map_loss_degrades_but_completes() {
+        // One slave dies 60 s in — mid-map for both job shapes at 8
+        // slaves (map starts after the 18 s setup).
+        let failures = FailureModel::single_loss(60.0);
+        for job in [cpu_job(), io_job()] {
+            let base = simulate(&ClusterConfig::paper(8), &job);
+            let run = simulate_with_failures(&ClusterConfig::paper(8), &job, &failures);
+            assert!(run.makespan_secs.is_finite(), "{}", job.name);
+            assert!(
+                run.makespan_secs > base.makespan_secs,
+                "{}: degraded {} vs healthy {}",
+                job.name,
+                run.makespan_secs,
+                base.makespan_secs
+            );
+            assert!(run.reexecuted_work_secs > 0.0, "{}", job.name);
+            assert!(run.rereplicated_mb > 0.0, "{}", job.name);
+            assert!(run.disk_write_bytes > base.disk_write_bytes);
+            let healthy = speedup(&job, 8);
+            let degraded = speedup_with_failures(&job, 8, &failures);
+            assert!(degraded.is_finite() && degraded > 0.0);
+            assert!(
+                degraded < healthy,
+                "{}: degraded speedup {degraded} vs healthy {healthy}",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_restores_capacity() {
+        let job = cpu_job();
+        let permanent = simulate_with_failures(
+            &ClusterConfig::paper(8),
+            &job,
+            &FailureModel::single_loss(60.0),
+        );
+        let recovered = simulate_with_failures(
+            &ClusterConfig::paper(8),
+            &job,
+            &FailureModel::single_loss_with_recovery(60.0, 30.0),
+        );
+        let base = simulate(&ClusterConfig::paper(8), &job);
+        assert!(recovered.makespan_secs > base.makespan_secs);
+        assert!(
+            recovered.makespan_secs < permanent.makespan_secs,
+            "a rejoining node must help: {} vs {}",
+            recovered.makespan_secs,
+            permanent.makespan_secs
+        );
+    }
+
+    #[test]
+    fn losing_the_only_slave_still_completes() {
+        let job = io_job();
+        let run = simulate_with_failures(
+            &ClusterConfig::paper(1),
+            &job,
+            &FailureModel::single_loss(30.0),
+        );
+        let base = simulate(&ClusterConfig::paper(1), &job);
+        assert!(run.makespan_secs.is_finite());
+        assert!(run.makespan_secs >= base.makespan_secs);
+    }
+
+    #[test]
+    fn late_failures_after_job_end_change_nothing_material() {
+        let job = cpu_job();
+        let base = simulate(&ClusterConfig::paper(8), &job);
+        let run = simulate_with_failures(
+            &ClusterConfig::paper(8),
+            &job,
+            &FailureModel::single_loss(base.makespan_secs * 10.0),
+        );
+        assert!((run.makespan_secs - base.makespan_secs).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the MapReduce engine.
+//!
+//! Hadoop's defining runtime property is that tasks fail — JVMs crash,
+//! disks throw transient errors, stragglers run long — and the job still
+//! completes. To exercise that machinery reproducibly, the engine
+//! consults a [`FaultPlan`] before every task attempt. A plan is either
+//! a set of explicitly pinned faults (`(kind, task, attempt) → fault`)
+//! or a seeded chaos mode that derives each decision from a stateless
+//! hash of `(seed, kind, task, attempt)` — so a chaos run with the same
+//! seed injects byte-for-byte the same faults, independent of thread
+//! scheduling.
+
+use std::collections::HashMap;
+
+/// Which phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::Map => write!(f, "map"),
+            TaskKind::Reduce => write!(f, "reduce"),
+        }
+    }
+}
+
+/// One injected fault, applied to a single task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The attempt panics mid-task (a crashing child JVM).
+    Panic,
+    /// The attempt runs, but only after this much injected delay
+    /// (a straggler; triggers speculative execution when long enough).
+    SlowdownMs(u64),
+    /// The attempt fails cleanly with a transient I/O error
+    /// (a failed spill or shuffle fetch).
+    IoError,
+}
+
+/// Chaos-mode parameters: hash-derived faults instead of pinned ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Probability that a given eligible attempt is faulted.
+    pub fault_prob: f64,
+    /// Only attempts numbered below this are eligible. Keeping it below
+    /// `JobConfig::max_attempts` guarantees every task eventually
+    /// succeeds, which is what the exactly-once property test relies on.
+    pub max_faulted_attempt: u32,
+    /// Delay used when the drawn fault is a slowdown.
+    pub slowdown_ms: u64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec { fault_prob: 0.2, max_faulted_attempt: 2, slowdown_ms: 1 }
+    }
+}
+
+/// A deterministic, seeded schedule of faults for one job run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    pinned: HashMap<(TaskKind, usize, u32), Fault>,
+    chaos: Option<ChaosSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) carrying a seed for chaos extension.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, pinned: HashMap::new(), chaos: None }
+    }
+
+    /// A chaos plan: every attempt decision is a pure function of
+    /// `(seed, kind, task, attempt)`.
+    pub fn chaos(seed: u64, spec: ChaosSpec) -> Self {
+        FaultPlan { seed, pinned: HashMap::new(), chaos: Some(spec) }
+    }
+
+    /// Pin a fault on one specific attempt of one task.
+    pub fn with_fault(mut self, kind: TaskKind, task: usize, attempt: u32, fault: Fault) -> Self {
+        self.pinned.insert((kind, task, attempt), fault);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of explicitly pinned faults.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// The fault to inject for this attempt, if any. Pinned faults take
+    /// precedence over chaos draws.
+    pub fn fault_for(&self, kind: TaskKind, task: usize, attempt: u32) -> Option<Fault> {
+        if let Some(f) = self.pinned.get(&(kind, task, attempt)) {
+            return Some(*f);
+        }
+        let spec = self.chaos?;
+        if attempt >= spec.max_faulted_attempt {
+            return None;
+        }
+        let h = mix(self.seed, kind, task, attempt);
+        let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw >= spec.fault_prob {
+            return None;
+        }
+        Some(match h % 3 {
+            0 => Fault::Panic,
+            1 => Fault::SlowdownMs(spec.slowdown_ms),
+            _ => Fault::IoError,
+        })
+    }
+}
+
+/// SplitMix64-style stateless mix of the fault coordinates.
+fn mix(seed: u64, kind: TaskKind, task: usize, attempt: u32) -> u64 {
+    let kind_tag = match kind {
+        TaskKind::Map => 0x4D41_5000u64,
+        TaskKind::Reduce => 0x5244_4300u64,
+    };
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(kind_tag)
+        .wrapping_add((task as u64).wrapping_mul(0x0000_0001_0000_0001))
+        .wrapping_add((attempt as u64) << 17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_faults_hit_their_attempt_only() {
+        let plan = FaultPlan::new(1).with_fault(TaskKind::Map, 3, 0, Fault::Panic);
+        assert_eq!(plan.fault_for(TaskKind::Map, 3, 0), Some(Fault::Panic));
+        assert_eq!(plan.fault_for(TaskKind::Map, 3, 1), None);
+        assert_eq!(plan.fault_for(TaskKind::Map, 2, 0), None);
+        assert_eq!(plan.fault_for(TaskKind::Reduce, 3, 0), None);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let spec = ChaosSpec::default();
+        let a = FaultPlan::chaos(42, spec);
+        let b = FaultPlan::chaos(42, spec);
+        let c = FaultPlan::chaos(43, spec);
+        let mut draws_a = Vec::new();
+        let mut draws_c = Vec::new();
+        for task in 0..64 {
+            for attempt in 0..2 {
+                assert_eq!(
+                    a.fault_for(TaskKind::Map, task, attempt),
+                    b.fault_for(TaskKind::Map, task, attempt)
+                );
+                draws_a.push(a.fault_for(TaskKind::Map, task, attempt));
+                draws_c.push(c.fault_for(TaskKind::Map, task, attempt));
+            }
+        }
+        assert_ne!(draws_a, draws_c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn chaos_respects_attempt_ceiling_and_probability() {
+        let spec =
+            ChaosSpec { fault_prob: 0.5, max_faulted_attempt: 1, slowdown_ms: 1 };
+        let plan = FaultPlan::chaos(7, spec);
+        let mut faulted = 0;
+        for task in 0..1000 {
+            assert_eq!(plan.fault_for(TaskKind::Reduce, task, 1), None);
+            assert_eq!(plan.fault_for(TaskKind::Reduce, task, 9), None);
+            if plan.fault_for(TaskKind::Reduce, task, 0).is_some() {
+                faulted += 1;
+            }
+        }
+        assert!((350..650).contains(&faulted), "~half faulted, got {faulted}");
+    }
+
+    #[test]
+    fn zero_probability_chaos_never_faults() {
+        let spec =
+            ChaosSpec { fault_prob: 0.0, max_faulted_attempt: 4, slowdown_ms: 1 };
+        let plan = FaultPlan::chaos(9, spec);
+        for task in 0..200 {
+            for attempt in 0..4 {
+                assert_eq!(plan.fault_for(TaskKind::Map, task, attempt), None);
+            }
+        }
+    }
+}

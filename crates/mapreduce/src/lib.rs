@@ -11,11 +11,15 @@
 //!   this engine for real.
 //! * [`cluster`] — a discrete-event model of the multi-node Hadoop
 //!   cluster (slot waves, disk and NIC bandwidth sharing, job setup
-//!   overhead, shuffle/compute overlap). Per-task costs are derived from
-//!   *measured* local-engine statistics via
-//!   [`cluster::JobModel::scaled_from`], and the model regenerates the
-//!   paper's Figure 2 (speed-up on 1/4/8 slaves) and Figure 5 (disk
+//!   overhead, shuffle/compute overlap, node failure and recovery).
+//!   Per-task costs are derived from *measured* local-engine statistics
+//!   via [`cluster::JobModel::scaled_from`], and the model regenerates
+//!   the paper's Figure 2 (speed-up on 1/4/8 slaves) and Figure 5 (disk
 //!   writes per second).
+//! * [`faults`] — seeded, deterministic fault injection (task panics,
+//!   stragglers, transient I/O errors) exercising the engine's
+//!   Hadoop-style task-attempt recovery: retries with backoff,
+//!   speculative execution, and exactly-once output commit.
 //!
 //! ```
 //! use dc_mapreduce::engine::{run_job, JobConfig};
@@ -32,7 +36,8 @@
 //!     },
 //!     Some(&|_k: &String, vs: &[u64]| vec![vs.iter().sum::<u64>()]),
 //!     |k, vs| vec![(k.clone(), vs.iter().sum::<u64>())],
-//! );
+//! )
+//! .expect("no task exhausted its attempts");
 //! out.sort();
 //! assert_eq!(out, vec![("a".into(), 2), ("b".into(), 3)]);
 //! assert!(stats.map_output_records >= 5);
@@ -44,7 +49,9 @@
 pub mod bytes;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 
 pub use bytes::ByteSize;
-pub use cluster::{ClusterConfig, ClusterRun, JobModel};
-pub use engine::{run_job, JobConfig, JobStats};
+pub use cluster::{ClusterConfig, ClusterRun, FailureModel, JobModel, NodeFailure};
+pub use engine::{run_job, run_job_with_faults, JobConfig, JobError, JobStats};
+pub use faults::{ChaosSpec, Fault, FaultPlan, TaskKind};

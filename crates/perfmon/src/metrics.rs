@@ -1,12 +1,11 @@
 //! Derived per-workload metrics: one row of every figure in the paper.
 
 use dc_cpu::PerfCounts;
-use serde::{Deserialize, Serialize};
 
 /// The derived metrics the paper's figures report, computed from one
-/// measured counter block. Serializable so experiment results can be
+/// measured counter block, so experiment results can be
 /// stored and compared across runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Workload name (figure x-axis label).
     pub name: String,

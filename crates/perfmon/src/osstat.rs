@@ -8,11 +8,10 @@
 //! `/proc/diskstats` would, keeping the collection path shaped like the
 //! paper's.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Accumulated OS-level I/O statistics for one node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OsStats {
     /// Completed disk write operations.
     pub disk_writes: u64,

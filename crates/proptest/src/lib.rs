@@ -1,0 +1,296 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the subset of proptest it actually uses:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(arg in strategy, ...)`
+//!   test cases,
+//! * [`Strategy`] implementations for numeric ranges, `"[chars]{m,n}"`
+//!   string patterns, and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Each test runs `PROPTEST_CASES` (default 64) deterministic cases; a
+//! failing case re-panics with the sampled inputs so failures are
+//! reproducible and debuggable. Shrinking is not implemented — cases are
+//! drawn smallest-bias-free, and the deterministic seed makes any
+//! failure replayable as-is.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving case sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0xA076_1D64_78BD_642F }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform u64 in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator: the proptest strategy trait, minus shrinking.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        Range { start: self.start as f64, end: self.end as f64 }.sample(rng) as f32
+    }
+}
+
+/// `"[chars]{min,max}"` regex-lite string strategy, as used by upstream
+/// proptest's `&str` strategies. Supports a single character class with
+/// `a-z` ranges and literal characters, followed by a repetition count.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into (alphabet, min, max).
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let min: usize = lo.trim().parse().ok()?;
+    let max: usize = hi.trim().parse().ok()?;
+    if max < min {
+        return None;
+    }
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` of `inner`-sampled values with a
+    /// length drawn from `len`.
+    pub struct VecStrategy<S> {
+        inner: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(inner: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { inner, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.inner.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Extract a panic payload's message, if any.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Strategy, TestRng};
+}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn holds(x in 0u64..100, v in proptest::collection::vec(0u32..9, 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    // Distinct deterministic seed per (test, case).
+                    let mut seed: u64 = 0xDCB0_0000 ^ case;
+                    for b in stringify!($name).bytes() {
+                        seed = seed.wrapping_mul(1099511628211).wrapping_add(b as u64);
+                    }
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(payload) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}\n  inputs: {}\n  cause: {}",
+                            stringify!($name),
+                            case,
+                            cases,
+                            described,
+                            $crate::panic_message(payload.as_ref()),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert within a property body (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_parsing_covers_ranges_and_literals() {
+        let (alpha, min, max) = super::parse_pattern("[a-d ]{0,30}").expect("parses");
+        assert_eq!(alpha, vec!['a', 'b', 'c', 'd', ' ']);
+        assert_eq!((min, max), (0, 30));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = collection::vec("[a-c ]{0,40}", 0..20);
+        let a = strat.sample(&mut TestRng::new(42));
+        let b = strat.sample(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The macro itself: ranges respected, vec lengths respected.
+        #[test]
+        fn macro_samples_in_range(
+            x in 3u64..17,
+            f in -2.0f64..2.0,
+            v in collection::vec(0u32..5, 1..9),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|e| *e < 5));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 99);
+        }
+    }
+}

@@ -504,16 +504,14 @@ mod tests {
 
     #[test]
     fn rejects_tiny_code() {
-        let mut c = CodeModel::default();
-        c.footprint_bytes = 10;
+        let c = CodeModel { footprint_bytes: 10, ..CodeModel::default() };
         assert!(WorkloadProfile::builder("w").code(c).build().is_err());
     }
 
     #[test]
     fn rejects_out_of_range_rates() {
         assert!(WorkloadProfile::builder("w").rat_hazard_rate(1.5).build().is_err());
-        let mut c = CodeModel::default();
-        c.regularity = -0.1;
+        let c = CodeModel { regularity: -0.1, ..CodeModel::default() };
         assert!(WorkloadProfile::builder("w").code(c).build().is_err());
     }
 

@@ -567,8 +567,10 @@ mod tests {
 
     #[test]
     fn taken_rate_shapes_outcomes() {
-        let mut code = crate::profile::CodeModel::default();
-        code.taken_rate = 0.9;
+        let code = crate::profile::CodeModel {
+            taken_rate: 0.9,
+            ..crate::profile::CodeModel::default()
+        };
         let p = WorkloadProfile::builder("taken").code(code).build().unwrap();
         let (mut taken, mut total) = (0u64, 0u64);
         for op in SyntheticTrace::new(&p, 15).take(200_000) {

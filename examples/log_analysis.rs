@@ -12,8 +12,9 @@ fn main() {
     let cfg = JobConfig::default();
 
     // Grep: extract the "error-class" tokens.
-    let (mut matches, gstats) = grep::run(docs.clone(), "w001..", &cfg);
-    matches.sort_by(|a, b| b.1.cmp(&a.1));
+    let (mut matches, gstats) =
+        grep::run(docs.clone(), "w001..", &cfg).expect("fault-free job");
+    matches.sort_by_key(|m| std::cmp::Reverse(m.1));
     println!(
         "grep 'w001..': {} distinct matches, {} total ({}ms map, {}ms reduce)",
         matches.len(),
@@ -23,8 +24,8 @@ fn main() {
     );
 
     // WordCount: global term frequencies.
-    let (mut counts, wstats) = wordcount::run(docs, &cfg);
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    let (mut counts, wstats) = wordcount::run(docs, &cfg).expect("fault-free job");
+    counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     println!(
         "wordcount: {} distinct words; top 5: {:?}",
         counts.len(),

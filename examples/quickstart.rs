@@ -16,7 +16,9 @@ use dcbench::{BenchmarkId, Characterizer};
 
 fn main() {
     // 1. Run the real algorithm on the real engine.
-    let run = Workload::Sort.run(Scale::tiny(), &JobConfig::default());
+    let run = Workload::Sort
+        .run(Scale::tiny(), &JobConfig::default())
+        .expect("fault-free run");
     println!(
         "Sort on the local MapReduce engine: {} records in, {} out, {} KiB shuffled",
         run.stats.map_input_records,

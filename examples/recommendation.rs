@@ -16,7 +16,8 @@ fn main() {
         set.ratings.len()
     );
 
-    let (model, stats) = ibcf::train(&set, &JobConfig::default());
+    let (model, stats) =
+        ibcf::train(&set, &JobConfig::default()).expect("fault-free job");
     println!(
         "trained item-item model: {} similarity pairs ({} map records, {} KiB shuffled)",
         model.sim.len(),

@@ -11,13 +11,38 @@ use dcbench::cluster_experiments::job_model;
 fn all_eleven_workloads_run_end_to_end() {
     let cfg = JobConfig::default();
     for &w in Workload::all() {
-        let run = w.run(Scale::bytes(32 << 10), &cfg);
+        let run = w.run(Scale::bytes(32 << 10), &cfg).expect("fault-free run");
         assert!(run.outputs > 0, "{w}");
         assert!(run.stats.map_input_bytes > 0, "{w}");
         assert!(
             run.stats.reduce_output_records > 0 || run.stats.map_output_records > 0,
             "{w}"
         );
+        assert_eq!(run.stats.failed_attempts, 0, "{w}: clean run recorded failures");
+    }
+}
+
+#[test]
+fn cluster_survives_one_slave_failing_mid_map() {
+    // ISSUE acceptance: at 8 slaves with one slave failing mid-map, every
+    // job model completes with a strictly higher runtime than the
+    // healthy run, and never errors or returns NaN.
+    use dc_mapreduce::cluster::{simulate_with_failures, FailureModel};
+    for &w in Workload::all() {
+        let model = job_model(w, Scale::bytes(32 << 10));
+        let cluster = ClusterConfig::paper(8);
+        let healthy = simulate(&cluster, &model);
+        let failures = FailureModel::single_loss(healthy.map_secs / 2.0);
+        let degraded = simulate_with_failures(&cluster, &model, &failures);
+        assert!(degraded.makespan_secs.is_finite(), "{w}: makespan not finite");
+        assert!(
+            degraded.makespan_secs > healthy.makespan_secs,
+            "{w}: node loss must cost time ({} vs {})",
+            degraded.makespan_secs,
+            healthy.makespan_secs
+        );
+        assert!(degraded.reexecuted_work_secs > 0.0, "{w}");
+        assert!(degraded.rereplicated_mb > 0.0, "{w}");
     }
 }
 
