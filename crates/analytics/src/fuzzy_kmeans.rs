@@ -129,7 +129,11 @@ pub fn run(
             break;
         }
     }
-    Ok(FuzzyResult { centers, iterations, stats })
+    Ok(FuzzyResult {
+        centers,
+        iterations,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -156,8 +160,8 @@ mod tests {
     #[test]
     fn recovers_separated_clusters() {
         let set = gaussian_mixture(31, Scale::bytes(96 << 10), 3, 4);
-        let result = run(&set.points, 3, 2.0, 15, 1e-3, &JobConfig::default())
-            .expect("fault-free job");
+        let result =
+            run(&set.points, 3, 2.0, 15, 1e-3, &JobConfig::default()).expect("fault-free job");
         for truth in &set.true_centers {
             let best = result
                 .centers

@@ -185,8 +185,7 @@ mod tests {
             "error42 warn error7 info".to_string(),
             "error42 trace".to_string(),
         ];
-        let (mut out, stats) =
-            run(docs, "error4.", &JobConfig::default()).expect("fault-free job");
+        let (mut out, stats) = run(docs, "error4.", &JobConfig::default()).expect("fault-free job");
         out.sort();
         assert_eq!(out, vec![("error42".to_string(), 2)]);
         assert!(stats.map_output_records >= 2);
@@ -194,10 +193,10 @@ mod tests {
 
     #[test]
     fn grep_selectivity_shrinks_shuffle() {
-        let docs: Vec<String> =
-            (0..200).map(|i| format!("needle{} hay hay hay", i % 3)).collect();
-        let (_, stats) =
-            run(docs, "needle0", &JobConfig::default()).expect("fault-free job");
+        let docs: Vec<String> = (0..200)
+            .map(|i| format!("needle{} hay hay hay", i % 3))
+            .collect();
+        let (_, stats) = run(docs, "needle0", &JobConfig::default()).expect("fault-free job");
         // Only ~1/4 of words match; shuffle must be far below input.
         assert!(stats.shuffle_bytes < stats.map_input_bytes / 4);
     }

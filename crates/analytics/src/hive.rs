@@ -119,8 +119,7 @@ pub fn q3_join(
     cfg: &JobConfig,
 ) -> Result<(TopEarner, JobStats), JobError> {
     // Stage 1: repartition join on URL.
-    let mut inputs: Vec<JoinSide> =
-        w.rankings.iter().cloned().map(JoinSide::Ranking).collect();
+    let mut inputs: Vec<JoinSide> = w.rankings.iter().cloned().map(JoinSide::Ranking).collect();
     inputs.extend(
         w.uservisits
             .iter()
@@ -131,13 +130,9 @@ pub fn q3_join(
     let (joined, mut stats) = run_job(
         inputs,
         cfg,
-        |side: JoinSide, emit: &mut dyn FnMut(String, JoinTuple)| {
-            match side {
-                JoinSide::Ranking(r) => emit(r.page_url, (Some(r.page_rank), None)),
-                JoinSide::Visit(v) => {
-                    emit(v.dest_url, (None, Some((v.source_ip, v.ad_revenue))))
-                }
-            }
+        |side: JoinSide, emit: &mut dyn FnMut(String, JoinTuple)| match side {
+            JoinSide::Ranking(r) => emit(r.page_url, (Some(r.page_rank), None)),
+            JoinSide::Visit(v) => emit(v.dest_url, (None, Some((v.source_ip, v.ad_revenue)))),
         },
         None,
         |_url: &String, sides: &[JoinTuple]| {
@@ -156,19 +151,18 @@ pub fn q3_join(
     let (grouped, s2) = run_job(
         joined,
         cfg,
-        |(ip, rank, rev): (String, u32, f64),
-         emit: &mut dyn FnMut(String, (f64, f64, u64))| {
+        |(ip, rank, rev): (String, u32, f64), emit: &mut dyn FnMut(String, (f64, f64, u64))| {
             emit(ip, (rev, f64::from(rank), 1));
         },
         Some(&|_k: &String, vs: &[(f64, f64, u64)]| {
-            vec![vs.iter().fold((0.0, 0.0, 0), |a, v| {
-                (a.0 + v.0, a.1 + v.1, a.2 + v.2)
-            })]
+            vec![vs
+                .iter()
+                .fold((0.0, 0.0, 0), |a, v| (a.0 + v.0, a.1 + v.1, a.2 + v.2))]
         }),
         |k: &String, vs: &[(f64, f64, u64)]| {
-            let (rev, rank, n) = vs.iter().fold((0.0, 0.0, 0u64), |a, v| {
-                (a.0 + v.0, a.1 + v.1, a.2 + v.2)
-            });
+            let (rev, rank, n) = vs
+                .iter()
+                .fold((0.0, 0.0, 0u64), |a, v| (a.0 + v.0, a.1 + v.1, a.2 + v.2));
             vec![(k.clone(), rev, rank / n.max(1) as f64)]
         },
     )?;
@@ -176,9 +170,9 @@ pub fn q3_join(
 
     // ORDER BY totalRevenue DESC LIMIT 1 (driver-side, as Hive does for
     // a final single-reducer ordering).
-    let top = grouped.into_iter().max_by(|a, b| {
-        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let top = grouped
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     Ok((top, stats))
 }
 
@@ -186,10 +180,7 @@ pub fn q3_join(
 ///
 /// # Errors
 /// Fails when a task exhausts its attempts (see [`JobError`]).
-pub fn run_suite(
-    w: &Warehouse,
-    cfg: &JobConfig,
-) -> Result<(usize, JobStats), JobError> {
+pub fn run_suite(w: &Warehouse, cfg: &JobConfig) -> Result<(usize, JobStats), JobError> {
     let q1 = q1_filter_scan(w, 1000);
     let (q2, mut stats) = q2_aggregation(w, cfg)?;
     let (q3, s3) = q3_join(w, (14_000, 15_000), cfg)?;
@@ -225,8 +216,7 @@ mod tests {
     #[test]
     fn q2_preserves_total_revenue() {
         let w = small_warehouse();
-        let (groups, stats) =
-            q2_aggregation(&w, &JobConfig::default()).expect("fault-free job");
+        let (groups, stats) = q2_aggregation(&w, &JobConfig::default()).expect("fault-free job");
         let grouped_total: f64 = groups.iter().map(|(_, r)| r).sum();
         let raw_total: f64 = w.uservisits.iter().map(|v| v.ad_revenue).sum();
         assert!((grouped_total - raw_total).abs() / raw_total < 1e-9);
@@ -251,7 +241,10 @@ mod tests {
             .filter(|v| v.source_ip == ip)
             .map(|v| v.ad_revenue)
             .sum();
-        assert!((manual - revenue).abs() < 1e-9, "manual={manual} got={revenue}");
+        assert!(
+            (manual - revenue).abs() < 1e-9,
+            "manual={manual} got={revenue}"
+        );
     }
 
     #[test]

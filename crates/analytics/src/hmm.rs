@@ -60,10 +60,7 @@ pub fn tags_of(words: &[&str]) -> Vec<(char, usize)> {
 ///
 /// # Errors
 /// Fails when a task exhausts its attempts (see [`JobError`]).
-pub fn train(
-    sentences: Vec<String>,
-    cfg: &JobConfig,
-) -> Result<(HmmModel, JobStats), JobError> {
+pub fn train(sentences: Vec<String>, cfg: &JobConfig) -> Result<(HmmModel, JobStats), JobError> {
     let (counts, stats) = run_job(
         sentences,
         cfg,
@@ -133,7 +130,15 @@ pub fn train(
         );
         emit_floor[s] = (1.0 / (total as f64 + vocab)).ln();
     }
-    Ok((HmmModel { start, trans, emit, emit_floor }, stats))
+    Ok((
+        HmmModel {
+            start,
+            trans,
+            emit,
+            emit_floor,
+        },
+        stats,
+    ))
 }
 
 impl HmmModel {
@@ -238,16 +243,14 @@ mod tests {
 
     #[test]
     fn viterbi_emits_one_tag_per_char() {
-        let (model, _) =
-            train(training_corpus(), &JobConfig::default()).expect("fault-free job");
+        let (model, _) = train(training_corpus(), &JobConfig::default()).expect("fault-free job");
         assert_eq!(model.viterbi("xyzxy").len(), 5);
         assert!(model.viterbi("").is_empty());
     }
 
     #[test]
     fn segmentation_is_lossless() {
-        let (model, _) =
-            train(training_corpus(), &JobConfig::default()).expect("fault-free job");
+        let (model, _) = train(training_corpus(), &JobConfig::default()).expect("fault-free job");
         let text = "xyzpqrzz";
         let rejoined: String = model.segment(text).concat();
         assert_eq!(rejoined, text, "segmentation must preserve the text");

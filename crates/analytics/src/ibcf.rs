@@ -52,10 +52,7 @@ impl SimilarityModel {
 ///
 /// # Errors
 /// Fails when a task exhausts its attempts (see [`JobError`]).
-pub fn train(
-    set: &RatingSet,
-    cfg: &JobConfig,
-) -> Result<(SimilarityModel, JobStats), JobError> {
+pub fn train(set: &RatingSet, cfg: &JobConfig) -> Result<(SimilarityModel, JobStats), JobError> {
     // Stage 1: group by user → co-rated pairs.
     let (pairs, mut stats) = run_job(
         set.ratings.clone(),
@@ -75,8 +72,11 @@ pub fn train(
                     if a == b {
                         continue;
                     }
-                    let (lo, rlo, hi, rhi) =
-                        if a < b { (a, ra, b, rb) } else { (b, rb, a, ra) };
+                    let (lo, rlo, hi, rhi) = if a < b {
+                        (a, ra, b, rb)
+                    } else {
+                        (b, rb, a, ra)
+                    };
                     out.push(((lo, hi), (rlo * rhi, rlo * rlo, rhi * rhi)));
                 }
             }
@@ -107,7 +107,9 @@ pub fn train(
     )?;
     stats.accumulate(&s2);
 
-    let model = SimilarityModel { sim: sims.into_iter().collect() };
+    let model = SimilarityModel {
+        sim: sims.into_iter().collect(),
+    };
     Ok((model, stats))
 }
 
@@ -129,9 +131,21 @@ mod tests {
         // Items 0,1 always co-liked; item 2 disliked by those users.
         let mut rs = Vec::new();
         for user in 0..6u32 {
-            rs.push(Rating { user, item: 0, value: 5.0 });
-            rs.push(Rating { user, item: 1, value: 5.0 });
-            rs.push(Rating { user, item: 2, value: 1.0 });
+            rs.push(Rating {
+                user,
+                item: 0,
+                value: 5.0,
+            });
+            rs.push(Rating {
+                user,
+                item: 1,
+                value: 5.0,
+            });
+            rs.push(Rating {
+                user,
+                item: 2,
+                value: 1.0,
+            });
         }
         RatingSet {
             ratings: rs,
@@ -175,7 +189,9 @@ mod tests {
                 .filter(|(_, v)| *v >= 4.0)
                 .map(|(i, _)| *i)
                 .collect();
-            let Some(&anchor) = liked.first() else { continue };
+            let Some(&anchor) = liked.first() else {
+                continue;
+            };
             let genre = set.item_genre[anchor as usize];
             for item in 0..set.num_items {
                 if profile.iter().any(|(i, _)| *i == item) {

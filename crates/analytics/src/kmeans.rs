@@ -53,13 +53,10 @@ pub fn iterate(
             let c = nearest(&p, &centers_owned) as u32;
             emit(c, (p, 1));
         },
-        Some(&|_k: &u32, vs: &[(Vec<f64>, u64)]| {
-            vec![partial_sum(vs)]
-        }),
+        Some(&|_k: &u32, vs: &[(Vec<f64>, u64)]| vec![partial_sum(vs)]),
         |k: &u32, vs: &[(Vec<f64>, u64)]| {
             let (sum, n) = partial_sum(vs);
-            let center: Vec<f64> =
-                sum.iter().map(|s| s / n.max(1) as f64).collect();
+            let center: Vec<f64> = sum.iter().map(|s| s / n.max(1) as f64).collect();
             vec![(*k, center)]
         },
     )?;
@@ -118,7 +115,11 @@ pub fn run(
             break;
         }
     }
-    Ok(KmeansResult { centers, iterations, stats })
+    Ok(KmeansResult {
+        centers,
+        iterations,
+        stats,
+    })
 }
 
 /// Within-cluster sum of squares (clustering quality).
@@ -145,8 +146,7 @@ mod tests {
     #[test]
     fn recovers_gaussian_centers() {
         let set = gaussian_mixture(21, Scale::bytes(128 << 10), 3, 4);
-        let result =
-            run(&set.points, 3, 20, 1e-3, &JobConfig::default()).expect("fault-free job");
+        let result = run(&set.points, 3, 20, 1e-3, &JobConfig::default()).expect("fault-free job");
         // Each true center should have a recovered center nearby.
         for truth in &set.true_centers {
             let best = result
@@ -162,13 +162,14 @@ mod tests {
     #[test]
     fn wcss_decreases_over_iterations() {
         let set = gaussian_mixture(22, Scale::bytes(64 << 10), 4, 3);
-        let init: Vec<Vec<f64>> =
-            (0..4).map(|i| set.points[i * set.points.len() / 4].clone()).collect();
+        let init: Vec<Vec<f64>> = (0..4)
+            .map(|i| set.points[i * set.points.len() / 4].clone())
+            .collect();
         let before = wcss(&set.points, &init);
         let (after_centers, _) =
             iterate(&set.points, &init, &JobConfig::default()).expect("fault-free job");
-        let (after2, _) = iterate(&set.points, &after_centers, &JobConfig::default())
-            .expect("fault-free job");
+        let (after2, _) =
+            iterate(&set.points, &after_centers, &JobConfig::default()).expect("fault-free job");
         let after = wcss(&set.points, &after2);
         assert!(after <= before, "Lloyd iterations never increase WCSS");
     }
@@ -176,8 +177,7 @@ mod tests {
     #[test]
     fn converges_and_stops_early() {
         let set = gaussian_mixture(23, Scale::bytes(32 << 10), 2, 3);
-        let result =
-            run(&set.points, 2, 50, 1e-6, &JobConfig::default()).expect("fault-free job");
+        let result = run(&set.points, 2, 50, 1e-6, &JobConfig::default()).expect("fault-free job");
         assert!(result.iterations < 50, "should converge before the cap");
     }
 

@@ -1,8 +1,8 @@
 //! Naive Bayes: multinomial text classifier (Mahout workload, Table I
 //! row 4 — the one data-analysis workload CloudSuite also includes).
 
-use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use dc_datagen::text::LabeledDoc;
+use dc_mapreduce::engine::{run_job, JobConfig, JobError, JobStats};
 use std::collections::HashMap;
 
 /// A trained multinomial Naive Bayes model.
@@ -62,8 +62,7 @@ pub fn train(
     )?;
 
     let mut doc_counts = vec![0u64; classes as usize];
-    let mut word_counts: Vec<HashMap<String, u64>> =
-        vec![HashMap::new(); classes as usize];
+    let mut word_counts: Vec<HashMap<String, u64>> = vec![HashMap::new(); classes as usize];
     let mut vocab: HashMap<String, ()> = HashMap::new();
     for (key, count) in pairs {
         if let Some(rest) = key.strip_prefix('D') {
@@ -83,9 +82,7 @@ pub fn train(
     let mut log_likelihood = Vec::with_capacity(classes as usize);
     let mut log_unseen = Vec::with_capacity(classes as usize);
     for c in 0..classes as usize {
-        log_prior.push(
-            ((doc_counts[c] + 1) as f64 / (total_docs + classes as u64) as f64).ln(),
-        );
+        log_prior.push(((doc_counts[c] + 1) as f64 / (total_docs + classes as u64) as f64).ln());
         let total_words: u64 = word_counts[c].values().sum();
         let denom = total_words as f64 + v;
         log_likelihood.push(
@@ -96,7 +93,14 @@ pub fn train(
         );
         log_unseen.push((1.0 / denom).ln());
     }
-    Ok((Model { log_prior, log_likelihood, log_unseen }, stats))
+    Ok((
+        Model {
+            log_prior,
+            log_likelihood,
+            log_unseen,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -105,7 +109,10 @@ mod tests {
     use dc_datagen::{text::labeled_documents, Scale};
 
     fn mk(label: u32, text: &str) -> LabeledDoc {
-        LabeledDoc { label, text: text.to_string() }
+        LabeledDoc {
+            label,
+            text: text.to_string(),
+        }
     }
 
     #[test]
@@ -139,20 +146,15 @@ mod tests {
 
     #[test]
     fn priors_reflect_class_balance() {
-        let docs = vec![
-            mk(0, "a"),
-            mk(0, "b"),
-            mk(0, "c"),
-            mk(1, "d"),
-        ];
+        let docs = vec![mk(0, "a"), mk(0, "b"), mk(0, "c"), mk(1, "d")];
         let (model, _) = train(docs, 2, &JobConfig::default()).expect("fault-free job");
         assert!(model.log_prior[0] > model.log_prior[1]);
     }
 
     #[test]
     fn unseen_words_do_not_panic() {
-        let (model, _) = train(vec![mk(0, "x"), mk(1, "y")], 2, &JobConfig::default())
-            .expect("fault-free job");
+        let (model, _) =
+            train(vec![mk(0, "x"), mk(1, "y")], 2, &JobConfig::default()).expect("fault-free job");
         let _ = model.classify("totally unseen words only");
     }
 }

@@ -45,8 +45,7 @@ pub fn iterate(
     let (contribs, stats) = run_job(
         inputs,
         cfg,
-        |(_, rank, links): (u32, f64, Vec<u32>),
-         emit: &mut dyn FnMut(u32, f64)| {
+        |(_, rank, links): (u32, f64, Vec<u32>), emit: &mut dyn FnMut(u32, f64)| {
             if !links.is_empty() {
                 let share = rank / links.len() as f64;
                 for &v in &links {
@@ -85,14 +84,17 @@ pub fn run(
         let (next, s) = iterate(graph, &ranks, damping, cfg)?;
         stats.accumulate(&s);
         iterations += 1;
-        let delta: f64 =
-            ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         ranks = next;
         if delta < tol {
             break;
         }
     }
-    Ok(PageRankResult { ranks, iterations, stats })
+    Ok(PageRankResult {
+        ranks,
+        iterations,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -103,9 +105,10 @@ mod tests {
     /// A 3-node cycle must converge to uniform ranks.
     #[test]
     fn cycle_is_uniform() {
-        let graph = WebGraph { out_links: vec![vec![1], vec![2], vec![0]] };
-        let result =
-            run(&graph, 0.85, 50, 1e-10, &JobConfig::default()).expect("fault-free job");
+        let graph = WebGraph {
+            out_links: vec![vec![1], vec![2], vec![0]],
+        };
+        let result = run(&graph, 0.85, 50, 1e-10, &JobConfig::default()).expect("fault-free job");
         for r in &result.ranks {
             assert!((r - 1.0 / 3.0).abs() < 1e-6, "rank {r}");
         }
@@ -114,8 +117,7 @@ mod tests {
     #[test]
     fn ranks_sum_to_one() {
         let graph = web_graph(51, Scale::bytes(32 << 10), 5);
-        let result =
-            run(&graph, 0.85, 20, 1e-8, &JobConfig::default()).expect("fault-free job");
+        let result = run(&graph, 0.85, 20, 1e-8, &JobConfig::default()).expect("fault-free job");
         let total: f64 = result.ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-6, "total rank {total}");
     }
@@ -123,8 +125,7 @@ mod tests {
     #[test]
     fn hubs_outrank_leaves() {
         let graph = web_graph(52, Scale::bytes(64 << 10), 6);
-        let result =
-            run(&graph, 0.85, 25, 1e-9, &JobConfig::default()).expect("fault-free job");
+        let result = run(&graph, 0.85, 25, 1e-9, &JobConfig::default()).expect("fault-free job");
         let deg = graph.in_degrees();
         let (hub, _) = deg
             .iter()
@@ -147,9 +148,10 @@ mod tests {
     #[test]
     fn dangling_mass_is_conserved() {
         // Node 1 dangles; ranks must still sum to 1.
-        let graph = WebGraph { out_links: vec![vec![1], vec![], vec![0]] };
-        let result =
-            run(&graph, 0.85, 30, 1e-10, &JobConfig::default()).expect("fault-free job");
+        let graph = WebGraph {
+            out_links: vec![vec![1], vec![], vec![0]],
+        };
+        let result = run(&graph, 0.85, 30, 1e-10, &JobConfig::default()).expect("fault-free job");
         let total: f64 = result.ranks.iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
     }
@@ -157,8 +159,7 @@ mod tests {
     #[test]
     fn converges_before_cap() {
         let graph = web_graph(53, Scale::bytes(16 << 10), 4);
-        let result =
-            run(&graph, 0.85, 100, 1e-6, &JobConfig::default()).expect("fault-free job");
+        let result = run(&graph, 0.85, 100, 1e-6, &JobConfig::default()).expect("fault-free job");
         assert!(result.iterations < 100);
         assert!(result.iterations > 2);
     }

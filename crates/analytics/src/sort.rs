@@ -20,10 +20,7 @@ pub fn sort_records(mut records: Vec<(String, String)>) -> Vec<(String, String)>
 ///
 /// # Errors
 /// Fails when a task exhausts its attempts (see [`JobError`]).
-pub fn run(
-    lines: Vec<String>,
-    cfg: &JobConfig,
-) -> Result<(Vec<String>, JobStats), JobError> {
+pub fn run(lines: Vec<String>, cfg: &JobConfig) -> Result<(Vec<String>, JobStats), JobError> {
     let (mut out, stats) = run_job(
         lines,
         cfg,
@@ -57,11 +54,10 @@ mod tests {
 
     #[test]
     fn mapreduce_sort_orders_lines() {
-        let lines: Vec<String> =
-            vec!["pear", "apple", "mango", "apple", "banana"]
-                .into_iter()
-                .map(String::from)
-                .collect();
+        let lines: Vec<String> = vec!["pear", "apple", "mango", "apple", "banana"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         let (out, stats) = run(lines, &JobConfig::default()).expect("fault-free job");
         assert_eq!(out, vec!["apple", "apple", "banana", "mango", "pear"]);
         assert_eq!(stats.map_input_records, 5);
@@ -72,9 +68,14 @@ mod tests {
     fn sort_io_volume_matches_input() {
         // The paper's key observation: Sort's output volume equals its
         // input volume (shuffle carries everything).
-        let lines: Vec<String> = (0..500).map(|i| format!("line{:05}", 997 * i % 500)).collect();
+        let lines: Vec<String> = (0..500)
+            .map(|i| format!("line{:05}", 997 * i % 500))
+            .collect();
         let input_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 4).sum();
         let (_, stats) = run(lines, &JobConfig::default()).expect("fault-free job");
-        assert!(stats.shuffle_bytes >= input_bytes, "shuffle carries the whole input");
+        assert!(
+            stats.shuffle_bytes >= input_bytes,
+            "shuffle carries the whole input"
+        );
     }
 }

@@ -106,7 +106,10 @@ pub fn train_round(
             vec![avg]
         },
     )?;
-    let w = partials.into_iter().next().unwrap_or_else(|| vec![0.0; dim]);
+    let w = partials
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| vec![0.0; dim]);
     Ok((LinearModel { w }, stats))
 }
 
@@ -174,8 +177,7 @@ mod tests {
     #[test]
     fn noise_bounds_accuracy() {
         let (data, _) = linearly_separable(7, Scale::bytes(32 << 10), 6, 0.25);
-        let (model, _) =
-            train(&data, 6, 0.01, 1, &JobConfig::default()).expect("fault-free job");
+        let (model, _) = train(&data, 6, 0.01, 1, &JobConfig::default()).expect("fault-free job");
         let acc = model.accuracy(&data);
         assert!(acc < 0.95, "25% label noise caps accuracy: {acc}");
     }

@@ -20,10 +20,7 @@ pub fn count_words(docs: &[String]) -> HashMap<String, u64> {
 /// # Errors
 /// Fails when a task exhausts its attempts (see [`JobError`]); this can
 /// only happen under injected or real repeated task failures.
-pub fn run(
-    docs: Vec<String>,
-    cfg: &JobConfig,
-) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
+pub fn run(docs: Vec<String>, cfg: &JobConfig) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
     run_job(
         docs,
         cfg,
@@ -53,8 +50,9 @@ mod tests {
 
     #[test]
     fn mapreduce_matches_kernel() {
-        let docs: Vec<String> =
-            (0..100).map(|i| format!("w{} w{} shared", i % 7, i % 13)).collect();
+        let docs: Vec<String> = (0..100)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 13))
+            .collect();
         let expected = count_words(&docs);
         let (out, _) = run(docs, &JobConfig::default()).expect("fault-free job");
         assert_eq!(out.len(), expected.len());

@@ -1,8 +1,9 @@
 //! The workload registry: uniform access to all eleven workloads with
 //! the paper's Table I/II metadata.
 
-use crate::{fuzzy_kmeans, grep, hive, hmm, ibcf, kmeans, naive_bayes, pagerank, sort,
-            svm, wordcount};
+use crate::{
+    fuzzy_kmeans, grep, hive, hmm, ibcf, kmeans, naive_bayes, pagerank, sort, svm, wordcount,
+};
 use dc_datagen::{graph, ratings, tables, text, vectors, Scale};
 use dc_mapreduce::engine::{JobConfig, JobError, JobStats};
 use dc_mapreduce::faults::FaultPlan;
@@ -51,8 +52,17 @@ impl Workload {
     pub fn all() -> &'static [Workload] {
         use Workload::*;
         &[
-            Sort, WordCount, Grep, NaiveBayes, Svm, KMeans, FuzzyKMeans, Ibcf,
-            Hmm, PageRank, HiveBench,
+            Sort,
+            WordCount,
+            Grep,
+            NaiveBayes,
+            Svm,
+            KMeans,
+            FuzzyKMeans,
+            Ibcf,
+            Hmm,
+            PageRank,
+            HiveBench,
         ]
     }
 
@@ -255,8 +265,7 @@ impl Workload {
             }
             Workload::Svm => {
                 let bytes = scale.bytes / 4; // vectors are denser than text
-                let (data, _) =
-                    vectors::linearly_separable(seed, Scale::bytes(bytes), 16, 0.05);
+                let (data, _) = vectors::linearly_separable(seed, Scale::bytes(bytes), 16, 0.05);
                 let (model, stats) = svm::train(&data, 16, 0.01, 3, cfg)?;
                 (model.w.len(), stats)
             }
@@ -292,7 +301,11 @@ impl Workload {
                 (n, stats)
             }
         };
-        Ok(WorkloadRun { workload: *self, stats, outputs })
+        Ok(WorkloadRun {
+            workload: *self,
+            stats,
+            outputs,
+        })
     }
 }
 

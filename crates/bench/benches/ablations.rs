@@ -19,7 +19,10 @@ fn config() -> Criterion {
 }
 
 fn quick_opts() -> SimOptions {
-    SimOptions { max_ops: 250_000, warmup_ops: 400_000 }
+    SimOptions {
+        max_ops: 250_000,
+        warmup_ops: 400_000,
+    }
 }
 
 fn run_with(cfg: CpuConfig, id: BenchmarkId) -> dc_perfmon::Metrics {
@@ -68,7 +71,9 @@ fn window_sizing(c: &mut Criterion) {
     println!("\n== ablation: OoO window (K-means) ==");
     for (rob, rs) in [(32, 12), (64, 24), (128, 36), (256, 72)] {
         let m = run_with(
-            CpuConfig::westmere_e5645().with_rob_entries(rob).with_rs_entries(rs),
+            CpuConfig::westmere_e5645()
+                .with_rob_entries(rob)
+                .with_rs_entries(rs),
             BenchmarkId::KMeans,
         );
         let b = m.stall_breakdown;

@@ -31,7 +31,9 @@ fn hpcc_kernels(c: &mut Criterion) {
     group.bench_function("dgemm", |b| b.iter(|| hpcc::dgemm(64, 16, 1)));
     group.bench_function("stream", |b| b.iter(|| hpcc::stream(1 << 14, 2)));
     group.bench_function("ptrans", |b| b.iter(|| hpcc::ptrans(64, 1)));
-    group.bench_function("random_access", |b| b.iter(|| hpcc::random_access(12, 1 << 12)));
+    group.bench_function("random_access", |b| {
+        b.iter(|| hpcc::random_access(12, 1 << 12))
+    });
     group.bench_function("fft", |b| b.iter(|| hpcc::fft(11, 1)));
     group.finish();
 }

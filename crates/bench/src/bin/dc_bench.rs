@@ -1,0 +1,366 @@
+//! `dc-bench` — the perf-trajectory harness.
+//!
+//! Times the repo's hot paths — the full characterization matrix
+//! sequentially, in parallel, and from a warm result cache, plus the
+//! MapReduce engine and cluster-model paths behind Figures 2/5 — and
+//! writes a machine-readable `BENCH_<label>.json` so CI can track the
+//! trajectory and gate on regressions:
+//!
+//! ```text
+//! cargo run --release -p dc-benches --bin dc-bench -- --label ci --quick \
+//!     --baseline BENCH_baseline.json --tolerance 0.25
+//! ```
+//!
+//! With `--baseline`, every `full_matrix_*` entry is compared against
+//! the same-named entry in the baseline file; any wall-clock more than
+//! `tolerance` above baseline fails the run (exit 1). `DCBENCH_JOBS`
+//! caps the parallel phase's worker count, as everywhere else.
+
+use dc_datagen::Scale;
+use dc_mapreduce::engine::JobConfig;
+use dcbench::{cache, cluster_experiments, pool, Characterizer};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One timed entry of the emitted report.
+struct BenchEntry {
+    name: &'static str,
+    wall_ms: f64,
+    uops_per_s: f64,
+    threads: usize,
+}
+
+struct Options {
+    label: String,
+    quick: bool,
+    baseline: Option<String>,
+    tolerance: f64,
+    out_dir: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dc-bench [--label <name>] [--quick|--full] \
+         [--baseline <BENCH_x.json>] [--tolerance <frac>] [--out <dir>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        label: "local".to_string(),
+        quick: true,
+        baseline: None,
+        tolerance: 0.25,
+        out_dir: ".".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => opts.label = args.next().unwrap_or_else(|| usage()),
+            "--quick" => opts.quick = true,
+            "--full" => opts.quick = false,
+            "--baseline" => opts.baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => opts.tolerance = t,
+                    _ => usage(),
+                }
+            }
+            "--out" => opts.out_dir = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// µops actually simulated per full-matrix pass (warm-up retires
+/// through the pipeline too, so it is honest work).
+fn matrix_uops(bench: &Characterizer) -> f64 {
+    let per_entry = bench.options().warmup_ops + bench.options().max_ops;
+    (dcbench::BenchmarkId::all().len() as u64 * per_entry) as f64
+}
+
+fn run_entries(quick: bool) -> Vec<BenchEntry> {
+    let bench = if quick {
+        Characterizer::quick()
+    } else {
+        Characterizer::full()
+    };
+    let uops = matrix_uops(&bench);
+    let jobs = pool::jobs();
+    let mut entries = Vec::new();
+    let mut push = |name, wall_ms: f64, work: f64, threads| {
+        let rate = if wall_ms > 0.0 {
+            work / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        eprintln!("  {name:28} {wall_ms:10.1} ms  ({threads} thread(s))");
+        entries.push(BenchEntry {
+            name,
+            wall_ms,
+            uops_per_s: rate,
+            threads,
+        });
+    };
+
+    eprintln!(
+        "dc-bench: full characterization matrix ({} entries)",
+        dcbench::BenchmarkId::all().len()
+    );
+    cache::clear();
+    let seq = time_ms(|| {
+        bench.run_all_sequential();
+    });
+    push("full_matrix_sequential", seq, uops, 1);
+
+    cache::clear();
+    let par = time_ms(|| {
+        bench.run_all();
+    });
+    push("full_matrix_parallel", par, uops, jobs);
+
+    // Cache stays warm from the parallel pass: this measures pure
+    // lookup + metric derivation, the figN-regeneration steady state.
+    let cached = time_ms(|| {
+        bench.run_all();
+    });
+    push("full_matrix_cached", cached, uops, jobs);
+
+    eprintln!("dc-bench: engine + cluster hot paths");
+    let docs = dc_datagen::text::documents(2013, Scale::bytes(256 << 10), 24);
+    let doc_bytes: usize = docs.iter().map(String::len).sum();
+    let engine = time_ms(|| {
+        dc_analytics::wordcount::run(docs, &JobConfig::default()).expect("fault-free wordcount");
+    });
+    push(
+        "engine_wordcount_256k",
+        engine,
+        doc_bytes as f64,
+        JobConfig::default().map_slots,
+    );
+
+    let cluster = time_ms(|| {
+        cluster_experiments::figure2_speedups(Scale::bytes(48 << 10));
+    });
+    push("cluster_model_figure2", cluster, 0.0, 1);
+
+    entries
+}
+
+fn render_json(label: &str, quick: bool, entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(
+        out,
+        "  \"window\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"jobs\": {},", pool::jobs());
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"uops_per_s\": {:.1}, \"threads\": {}}}{comma}",
+            e.name, e.wall_ms, e.uops_per_s, e.threads
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Pull `"key": "<string>"` out of one JSON line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pull `"key": <number>` out of one JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the (name, wall_ms) pairs from a `BENCH_*.json` emitted by
+/// this harness (one entry object per line).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let name = json_str(line, "name")?;
+            let wall = json_num(line, "wall_ms")?;
+            Some((name.to_string(), wall))
+        })
+        .collect()
+}
+
+/// Absolute grace on top of the ratio gate, so sub-millisecond entries
+/// (the warm-cache pass) cannot trip on scheduler noise.
+const GATE_SLACK_MS: f64 = 50.0;
+
+/// Compare the full-matrix entries against the baseline; returns the
+/// list of human-readable regression descriptions.
+fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    for e in current.iter().filter(|e| e.name.starts_with("full_matrix")) {
+        let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
+            eprintln!(
+                "dc-bench: note: baseline has no entry '{}' — skipped",
+                e.name
+            );
+            continue;
+        };
+        let limit = base_ms * (1.0 + tolerance) + GATE_SLACK_MS;
+        if e.wall_ms > limit {
+            bad.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms (> {:.0}% over)",
+                e.name,
+                e.wall_ms,
+                base_ms,
+                tolerance * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let entries = run_entries(opts.quick);
+    let json = render_json(&opts.label, opts.quick, &entries);
+
+    let path = format!("{}/BENCH_{}.json", opts.out_dir, opts.label);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("dc-bench: cannot write {path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("dc-bench: wrote {path}");
+
+    let seq = entries.iter().find(|e| e.name == "full_matrix_sequential");
+    let par = entries.iter().find(|e| e.name == "full_matrix_parallel");
+    if let (Some(seq), Some(par)) = (seq, par) {
+        if par.wall_ms > 0.0 {
+            eprintln!(
+                "dc-bench: parallel speedup {:.2}x on {} worker(s)",
+                seq.wall_ms / par.wall_ms,
+                par.threads
+            );
+        }
+    }
+
+    if let Some(baseline_path) = &opts.baseline {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dc-bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("dc-bench: baseline {baseline_path} has no parsable entries");
+            return ExitCode::from(2);
+        }
+        let bad = regressions(&entries, &baseline, opts.tolerance);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("dc-bench: REGRESSION {b}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "dc-bench: no full-matrix regression vs {baseline_path} (tolerance {:.0}%)",
+            opts.tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_through_the_baseline_parser() {
+        let entries = vec![
+            BenchEntry {
+                name: "full_matrix_sequential",
+                wall_ms: 1234.5,
+                uops_per_s: 2.5e6,
+                threads: 1,
+            },
+            BenchEntry {
+                name: "full_matrix_parallel",
+                wall_ms: 321.0,
+                uops_per_s: 9.6e6,
+                threads: 4,
+            },
+        ];
+        let json = render_json("test", true, &entries);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "full_matrix_sequential");
+        assert!((parsed[0].1 - 1234.5).abs() < 1e-9);
+        assert!((parsed[1].1 - 321.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_tolerance() {
+        let current = vec![BenchEntry {
+            name: "full_matrix_parallel",
+            wall_ms: 1400.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let baseline = vec![("full_matrix_parallel".to_string(), 1000.0)];
+        assert_eq!(regressions(&current, &baseline, 0.25).len(), 1);
+        assert!(regressions(&current, &baseline, 0.5).is_empty());
+        // Sub-slack entries (the warm-cache pass) never trip on noise.
+        let tiny = vec![BenchEntry {
+            name: "full_matrix_cached",
+            wall_ms: 3.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let tiny_base = vec![("full_matrix_cached".to_string(), 0.2)];
+        assert!(regressions(&tiny, &tiny_base, 0.25).is_empty());
+        // Non-matrix entries never gate.
+        let engine = vec![BenchEntry {
+            name: "engine_wordcount_256k",
+            wall_ms: 900.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let engine_base = vec![("engine_wordcount_256k".to_string(), 1.0)];
+        assert!(regressions(&engine, &engine_base, 0.25).is_empty());
+    }
+
+    #[test]
+    fn field_extractors() {
+        let line = r#"    {"name": "x", "wall_ms": 12.5, "uops_per_s": 1e3, "threads": 2},"#;
+        assert_eq!(json_str(line, "name"), Some("x"));
+        assert_eq!(json_num(line, "wall_ms"), Some(12.5));
+        assert_eq!(json_num(line, "threads"), Some(2.0));
+        assert_eq!(json_num(line, "missing"), None);
+    }
+}

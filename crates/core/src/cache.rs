@@ -1,0 +1,182 @@
+//! Process-wide memoizing cache for characterization results.
+//!
+//! Every exhibit is a pure function of `(benchmark entry, machine
+//! config, measurement window, seed)`: the synthetic trace is seeded,
+//! the core model is deterministic, so the measured [`PerfCounts`]
+//! block for a given key never changes. Regenerating several figures
+//! in one process (`characterize_all -- fig3 fig7 fig9`, the report
+//! tests, the bench harness) used to re-simulate the same ~3.2 M-µop
+//! window once per figure; the cache collapses that to once per key.
+//!
+//! Raw *counter blocks* are cached, not derived [`Metrics`] rows, so
+//! `run`, `run_with_events` and `raw_counts` all share hits.
+//!
+//! [`Metrics`]: dc_perfmon::Metrics
+
+use crate::registry::BenchmarkId;
+use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Complete identity of one characterization measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The benchmark entry measured.
+    pub id: BenchmarkId,
+    /// [`CpuConfig::stable_hash`] of the simulated machine.
+    pub cfg_hash: u64,
+    /// Measured-window µops.
+    pub max_ops: u64,
+    /// Warm-up µops.
+    pub warmup_ops: u64,
+    /// Per-entry trace seed (already mixed with the entry id).
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// Build the key for one entry under one harness configuration.
+    pub fn new(id: BenchmarkId, cfg: &CpuConfig, opts: &SimOptions, seed: u64) -> Self {
+        CacheKey {
+            id,
+            cfg_hash: cfg.stable_hash(),
+            max_ops: opts.max_ops,
+            warmup_ops: opts.warmup_ops,
+            seed,
+        }
+    }
+}
+
+/// Simulations actually executed (cache misses + uncached runs).
+static SIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Lookups satisfied without simulating.
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static Mutex<HashMap<CacheKey, PerfCounts>> {
+    static TABLE: OnceLock<Mutex<HashMap<CacheKey, PerfCounts>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<CacheKey, PerfCounts>> {
+    // Cache payloads are plain counter blocks; a panicking simulation
+    // never holds the lock, but recover from poisoning regardless.
+    table().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Record that one real simulation ran (also called by uncached paths,
+/// so the "zero simulation work" test can observe both).
+pub(crate) fn note_simulation() {
+    SIM_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Return the counter block for `key`, simulating via `compute` only on
+/// a miss.
+///
+/// The lock is *not* held during `compute` so parallel workers can miss
+/// on different keys concurrently; two threads racing on the same key
+/// both simulate and insert the identical deterministic block — wasted
+/// work in a pathological schedule, never wrong data.
+pub(crate) fn counts_for(key: CacheKey, compute: impl FnOnce() -> PerfCounts) -> PerfCounts {
+    if let Some(hit) = lock().get(&key).copied() {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    note_simulation();
+    let counts = compute();
+    lock().insert(key, counts);
+    counts
+}
+
+/// Total simulations executed by this process (misses + uncached runs).
+pub fn sim_invocations() -> u64 {
+    SIM_INVOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total lookups satisfied from the cache.
+pub fn cache_hits() -> u64 {
+    CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// Number of distinct measurements currently cached.
+pub fn len() -> usize {
+    lock().len()
+}
+
+/// Whether the cache is empty.
+pub fn is_empty() -> bool {
+    lock().is_empty()
+}
+
+/// Drop every cached measurement (the invocation/hit counters keep
+/// counting — they are lifetime telemetry, not cache state). The bench
+/// harness clears between timed phases so "parallel" never reads
+/// "sequential"'s results.
+pub fn clear() {
+    lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey::new(
+            BenchmarkId::Sort,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions::quick(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn key_separates_config_window_and_seed() {
+        let base = key(1);
+        assert_eq!(base, key(1));
+        assert_ne!(base, key(2));
+        let fatter_l3 = CacheKey::new(
+            BenchmarkId::Sort,
+            &CpuConfig::westmere_e5645().with_l3_bytes(24 << 20),
+            &SimOptions::quick(),
+            1,
+        );
+        assert_ne!(base, fatter_l3);
+        let longer = CacheKey::new(
+            BenchmarkId::Sort,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions {
+                max_ops: 1,
+                warmup_ops: 0,
+            },
+            1,
+        );
+        assert_ne!(base, longer);
+        let other_entry = CacheKey {
+            id: BenchmarkId::Grep,
+            ..base
+        };
+        assert_ne!(base, other_entry);
+    }
+
+    #[test]
+    fn miss_computes_then_hit_reuses() {
+        // A seed no other test uses, so this binary's concurrency
+        // cannot interleave on the same key.
+        let k = key(0xDEAD_BEEF_0BAD_F00D);
+        let mut computed = 0u32;
+        let a = counts_for(k, || {
+            computed += 1;
+            PerfCounts {
+                cycles: 7,
+                instructions: 3,
+                ..PerfCounts::default()
+            }
+        });
+        assert_eq!(computed, 1);
+        let b = counts_for(k, || {
+            computed += 1;
+            PerfCounts::default()
+        });
+        assert_eq!(computed, 1, "second lookup must not recompute");
+        assert_eq!(a, b);
+    }
+}

@@ -5,10 +5,26 @@
 //! core after a warm-up ramp (the paper performs "a ramp-up period for
 //! each application, and then start\[s\] collecting"), read the ~20 events
 //! through the PMU layer, and derive the per-figure metrics.
+//!
+//! # Parallelism and caching
+//!
+//! Each entry's simulation is a pure function of `(entry, machine
+//! config, window, seed)` — the per-entry trace seed is derived from
+//! the master seed and the entry id, nothing is shared between entries
+//! — so the multi-entry drivers ([`Characterizer::run_all`],
+//! [`Characterizer::run_many`], …) fan the jobs out across
+//! [`crate::pool::jobs`] worker threads and collect results in entry
+//! order: output is **bit-identical** to the sequential reference path
+//! at any worker count (set `DCBENCH_JOBS=1` to force sequential).
+//! Measured counter blocks are memoized process-wide in
+//! [`crate::cache`], so regenerating several figures in one invocation
+//! simulates each entry once, not once per figure.
 
+use crate::cache::{self, CacheKey};
+use crate::pool;
 use crate::profiles::profile;
 use crate::registry::BenchmarkId;
-use dc_cpu::{core::SimOptions, Core, CpuConfig};
+use dc_cpu::{core::SimOptions, Core, CpuConfig, PerfCounts};
 use dc_perfmon::{msr, Metrics, PerfEvent};
 use dc_trace::SyntheticTrace;
 
@@ -36,7 +52,10 @@ impl Characterizer {
     pub fn quick() -> Self {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions { max_ops: 300_000, warmup_ops: 500_000 },
+            SimOptions {
+                max_ops: 300_000,
+                warmup_ops: 500_000,
+            },
             2013,
         )
     }
@@ -45,7 +64,10 @@ impl Characterizer {
     pub fn full() -> Self {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions { max_ops: 1_200_000, warmup_ops: 2_000_000 },
+            SimOptions {
+                max_ops: 1_200_000,
+                warmup_ops: 2_000_000,
+            },
             2013,
         )
     }
@@ -55,42 +77,86 @@ impl Characterizer {
         &self.cfg
     }
 
+    /// The measurement window in use.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// The per-entry trace seed (master seed mixed with the entry id).
+    fn entry_seed(&self, id: BenchmarkId) -> u64 {
+        self.seed ^ (id as u64) << 3
+    }
+
+    /// Simulate one entry, unconditionally (no cache lookup, no
+    /// insertion). The sequential reference path the parallel/cached
+    /// pipeline is verified against.
+    fn simulate(&self, id: BenchmarkId) -> PerfCounts {
+        let prof = profile(id);
+        let trace = SyntheticTrace::new(&prof, self.entry_seed(id));
+        Core::new(self.cfg.clone()).run(trace, &self.opts)
+    }
+
+    /// Counter block for one entry through the memoizing cache.
+    fn counts(&self, id: BenchmarkId) -> PerfCounts {
+        let key = CacheKey::new(id, &self.cfg, &self.opts, self.entry_seed(id));
+        cache::counts_for(key, || self.simulate(id))
+    }
+
     /// Characterize one benchmark entry.
     pub fn run(&self, id: BenchmarkId) -> Metrics {
-        let prof = profile(id);
-        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
-        let counts = Core::new(self.cfg.clone()).run(trace, &self.opts);
-        Metrics::from_counts(id.name(), &counts)
+        Metrics::from_counts(id.name(), &self.counts(id))
+    }
+
+    /// Characterize one entry bypassing the result cache: always
+    /// simulates, never reads or populates cached blocks.
+    pub fn run_uncached(&self, id: BenchmarkId) -> Metrics {
+        cache::note_simulation();
+        Metrics::from_counts(id.name(), &self.simulate(id))
     }
 
     /// Characterize one entry and also return the raw PMU event dump
     /// (the `perf stat`-shaped view).
     pub fn run_with_events(&self, id: BenchmarkId) -> (Metrics, Vec<(PerfEvent, u64)>) {
-        let prof = profile(id);
-        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
-        let counts = Core::new(self.cfg.clone()).run(trace, &self.opts);
-        (Metrics::from_counts(id.name(), &counts), msr::collect_all(&counts))
+        let counts = self.counts(id);
+        (
+            Metrics::from_counts(id.name(), &counts),
+            msr::collect_all(&counts),
+        )
     }
 
     /// Raw counter block for one entry (for debugging/calibration).
     pub fn raw_counts(&self, id: BenchmarkId) -> dc_cpu::PerfCounts {
-        let prof = profile(id);
-        let trace = SyntheticTrace::new(&prof, self.seed ^ (id as u64) << 3);
-        Core::new(self.cfg.clone()).run(trace, &self.opts)
+        self.counts(id)
     }
 
-    /// Characterize every entry in figure order.
+    /// Characterize a set of entries in parallel, returning metric rows
+    /// in the same order as `ids`. Bit-identical to mapping [`run`]
+    /// over `ids` sequentially.
+    ///
+    /// [`run`]: Characterizer::run
+    pub fn run_many(&self, ids: &[BenchmarkId]) -> Vec<Metrics> {
+        pool::parallel_map(ids.to_vec(), |_, id| self.run(id))
+    }
+
+    /// Characterize every entry in figure order (in parallel).
     pub fn run_all(&self) -> Vec<Metrics> {
-        BenchmarkId::all().iter().map(|&id| self.run(id)).collect()
+        self.run_many(BenchmarkId::all())
+    }
+
+    /// Characterize every entry in figure order on the caller thread
+    /// only, bypassing both the worker pool and the result cache: the
+    /// reference the parallel pipeline is timed and verified against.
+    pub fn run_all_sequential(&self) -> Vec<Metrics> {
+        BenchmarkId::all()
+            .iter()
+            .map(|&id| self.run_uncached(id))
+            .collect()
     }
 
     /// Characterize the eleven data-analysis entries plus their `avg`
     /// bar (the paper inserts the average after HMM).
     pub fn run_data_analysis_with_avg(&self) -> Vec<Metrics> {
-        let mut rows: Vec<Metrics> = BenchmarkId::data_analysis()
-            .iter()
-            .map(|&id| self.run(id))
-            .collect();
+        let mut rows = self.run_many(BenchmarkId::data_analysis());
         let avg = dc_perfmon::metrics::average("avg", &rows);
         rows.push(avg);
         rows
@@ -107,6 +173,8 @@ mod tests {
         let a = c.run(BenchmarkId::Sort);
         let b = c.run(BenchmarkId::Sort);
         assert_eq!(a, b);
+        // And the uncached reference path agrees with the cached one.
+        assert_eq!(a, c.run_uncached(BenchmarkId::Sort));
     }
 
     #[test]
@@ -114,10 +182,14 @@ mod tests {
         let c = Characterizer::quick();
         let (m, events) = c.run_with_events(BenchmarkId::Grep);
         let get = |e: PerfEvent| {
-            events.iter().find(|(x, _)| *x == e).expect("event present").1
+            events
+                .iter()
+                .find(|(x, _)| *x == e)
+                .expect("event present")
+                .1
         };
-        let ipc = get(PerfEvent::InstructionsRetired) as f64
-            / get(PerfEvent::UnhaltedCycles) as f64;
+        let ipc =
+            get(PerfEvent::InstructionsRetired) as f64 / get(PerfEvent::UnhaltedCycles) as f64;
         assert!((ipc - m.ipc).abs() < 1e-9);
     }
 
@@ -127,5 +199,16 @@ mod tests {
         let rows = c.run_data_analysis_with_avg();
         assert_eq!(rows.len(), 12);
         assert_eq!(rows.last().expect("nonempty").name, "avg");
+    }
+
+    #[test]
+    fn run_many_matches_per_entry_runs() {
+        let c = Characterizer::quick();
+        let ids = [BenchmarkId::Sort, BenchmarkId::Grep, BenchmarkId::SpecInt];
+        let batch = c.run_many(&ids);
+        assert_eq!(batch.len(), 3);
+        for (row, &id) in batch.iter().zip(&ids) {
+            assert_eq!(*row, c.run(id));
+        }
     }
 }

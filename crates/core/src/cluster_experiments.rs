@@ -33,28 +33,21 @@ pub fn job_model(workload: Workload, scale: Scale) -> JobModel {
     let input_gb = workload.paper_input_gb() as f64;
     // Total CPU seconds at paper scale from Table I's measured
     // instruction volume.
-    let total_cpu_secs =
-        workload.paper_giga_instructions() as f64 * 1e9 / (ASSUMED_IPC * CLOCK_HZ);
+    let total_cpu_secs = workload.paper_giga_instructions() as f64 * 1e9 / (ASSUMED_IPC * CLOCK_HZ);
     // Split CPU between map and reduce phases as measured locally; the
     // +1 smoothing keeps sub-millisecond smoke runs well-defined.
-    let map_share = (stats.map_ms + 1) as f64
-        / (stats.map_ms + stats.reduce_ms + 2) as f64;
+    let map_share = (stats.map_ms + 1) as f64 / (stats.map_ms + stats.reduce_ms + 2) as f64;
     let iterations = workload.typical_iterations();
 
     let input_bytes = stats.map_input_bytes.max(1) as f64;
     JobModel {
         name: workload.name().to_string(),
         input_gb,
-        map_cpu_secs_per_gb: total_cpu_secs * map_share
-            / input_gb
-            / f64::from(iterations),
+        map_cpu_secs_per_gb: total_cpu_secs * map_share / input_gb / f64::from(iterations),
         shuffle_ratio: stats.shuffle_bytes as f64 / input_bytes,
         reduce_cpu_secs_per_gb: {
-            let shuffle_gb =
-                input_gb * (stats.shuffle_bytes as f64 / input_bytes);
-            total_cpu_secs * (1.0 - map_share)
-                / shuffle_gb.max(1e-3)
-                / f64::from(iterations)
+            let shuffle_gb = input_gb * (stats.shuffle_bytes as f64 / input_bytes);
+            total_cpu_secs * (1.0 - map_share) / shuffle_gb.max(1e-3) / f64::from(iterations)
         },
         output_ratio: stats.reduce_output_bytes as f64 / input_bytes,
         iterations,
@@ -107,8 +100,7 @@ pub fn speedups_under_node_loss(scale: Scale) -> Vec<NodeLossRow> {
             let healthy = simulate(&ClusterConfig::paper(8), &model);
             // Kill one slave halfway through the healthy map phase.
             let failures = FailureModel::single_loss(healthy.map_secs / 2.0);
-            let degraded =
-                simulate_with_failures(&ClusterConfig::paper(8), &model, &failures);
+            let degraded = simulate_with_failures(&ClusterConfig::paper(8), &model, &failures);
             NodeLossRow {
                 workload: w,
                 healthy_speedup: t1 / healthy.makespan_secs,

@@ -11,7 +11,13 @@
 //!   each entry (the cause-level descriptions the simulator executes);
 //! * [`characterize`] — the measurement pipeline: profile → synthetic
 //!   trace → out-of-order core simulation → PMU collection → derived
-//!   [`dc_perfmon::Metrics`];
+//!   [`dc_perfmon::Metrics`] — fanned out across cores with
+//!   bit-identical-to-sequential results;
+//! * [`pool`] — the parallel execution policy (`DCBENCH_JOBS`
+//!   override, `available_parallelism` default) over the shared
+//!   `dc-mapreduce` worker pool;
+//! * [`cache`] — the process-wide memoizing result cache keyed by
+//!   `(entry, machine-config hash, window, seed)`;
 //! * [`topsites`] — the Alexa-style top-site census behind Figure 1;
 //! * [`cluster_experiments`] — Figure 2 (speed-up) and Figure 5 (disk
 //!   writes/s) via real engine runs scaled through the cluster model;
@@ -30,8 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod characterize;
 pub mod cluster_experiments;
+pub mod pool;
 pub mod profiles;
 pub mod registry;
 pub mod report;

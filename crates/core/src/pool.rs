@@ -1,0 +1,89 @@
+//! Parallel execution policy for the characterization pipeline.
+//!
+//! The characterizer's unit of work is one `(BenchmarkId, window)`
+//! simulation — ~3.2 M µops through the cycle-level core at full
+//! windows — and every entry is independent: its trace seed is derived
+//! from the master seed and the entry id alone. This module decides
+//! *how wide* to fan those jobs out and delegates the mechanics to
+//! [`dc_mapreduce::pool::parallel_map`], the same scoped SPMC worker
+//! pool the MapReduce engine schedules task attempts on.
+//!
+//! Width policy, in order:
+//!
+//! 1. `DCBENCH_JOBS=<n>` environment override (`1` forces the
+//!    sequential reference path; useful for timing comparisons and for
+//!    bisecting any suspected parallelism bug);
+//! 2. [`std::thread::available_parallelism`];
+//! 3. `1` if the runtime cannot report a width.
+//!
+//! Because each job is a pure function of its own seed, results are
+//! collected in input order and are **bit-identical** at any width —
+//! enforced by `tests/parallel_determinism.rs`.
+
+use std::env;
+
+/// Environment variable overriding the worker count.
+pub const JOBS_ENV: &str = "DCBENCH_JOBS";
+
+/// The worker width the characterizer will use: `DCBENCH_JOBS` if set
+/// to a positive integer, else the machine's available parallelism.
+pub fn jobs() -> usize {
+    env::var(JOBS_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_jobs)
+        .unwrap_or_else(default_jobs)
+}
+
+/// Parse a `DCBENCH_JOBS` value; `None` (fall back to the machine
+/// width) unless it is a positive integer.
+fn parse_jobs(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fan `items` out across [`jobs`] workers, returning results in input
+/// order (bit-identical to the sequential run of the same closure).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    dc_mapreduce::pool::parallel_map(items, jobs(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 16 "), Some(16));
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs("0"), None, "zero workers is meaningless");
+        assert_eq!(parse_jobs("-2"), None);
+        assert_eq!(parse_jobs("many"), None);
+        assert_eq!(parse_jobs(""), None);
+    }
+
+    #[test]
+    fn parallel_map_keeps_order() {
+        let out = parallel_map((0..20u32).collect(), |i, x| {
+            assert_eq!(i as u32, x);
+            x * 2
+        });
+        assert_eq!(out, (0..20u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -40,7 +40,14 @@ fn code(kb: u64, theta: f64, taken: f64, noise: f64, reg: f64) -> CodeModel {
 }
 
 fn mix(load: f64, store: f64, branch: f64, fp: f64) -> InstMix {
-    InstMix { load, store, branch, fp, mul: 0.01, div: 0.002 }
+    InstMix {
+        load,
+        store,
+        branch,
+        fp,
+        mul: 0.01,
+        div: 0.002,
+    }
 }
 
 /// The calibrated profile for one benchmark entry.
@@ -119,7 +126,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         KMeans => b
             .code(code(416, 0.72, 0.35, 0.010, 0.985))
             .data(vec![
-                DataRegion::new(24 * KB, 0.55, Tiled { stride: 8, window: 16384 }),
+                DataRegion::new(
+                    24 * KB,
+                    0.55,
+                    Tiled {
+                        stride: 8,
+                        window: 16384,
+                    },
+                ),
                 DataRegion::new(64 * KB, 0.28, Random),
                 DataRegion::new(MB, 0.006, Clustered { page_dwell: 20 }),
                 DataRegion::new(64 * MB, 0.12, Sequential { stride: 9 }),
@@ -133,7 +147,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         FuzzyKMeans => b
             .code(code(448, 0.71, 0.35, 0.010, 0.985))
             .data(vec![
-                DataRegion::new(32 * KB, 0.55, Tiled { stride: 8, window: 24576 }),
+                DataRegion::new(
+                    32 * KB,
+                    0.55,
+                    Tiled {
+                        stride: 8,
+                        window: 24576,
+                    },
+                ),
                 DataRegion::new(72 * KB, 0.27, Random),
                 DataRegion::new(MB, 0.008, Clustered { page_dwell: 20 }),
                 DataRegion::new(64 * MB, 0.13, Sequential { stride: 9 }),
@@ -274,7 +295,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         SpecFp => b
             .code(code(28, 1.0, 0.25, 0.008, 0.995))
             .data(vec![
-                DataRegion::new(24 * KB, 0.55, Tiled { stride: 8, window: 16384 }),
+                DataRegion::new(
+                    24 * KB,
+                    0.55,
+                    Tiled {
+                        stride: 8,
+                        window: 16384,
+                    },
+                ),
                 DataRegion::new(768 * KB, 0.30, Sequential { stride: 8 }),
                 DataRegion::new(24 * MB, 0.10, Sequential { stride: 8 }),
             ])
@@ -324,7 +352,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         HpccDgemm => b
             .code(code(8, 1.1, 0.20, 0.002, 0.999))
             .data(vec![
-                DataRegion::new(24 * KB, 0.92, Tiled { stride: 8, window: 16384 }),
+                DataRegion::new(
+                    24 * KB,
+                    0.92,
+                    Tiled {
+                        stride: 8,
+                        window: 16384,
+                    },
+                ),
                 DataRegion::new(1536 * KB, 0.06, Sequential { stride: 8 }),
             ])
             .mix(mix(0.30, 0.08, 0.08, 0.35))
@@ -335,7 +370,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         HpccFft => b
             .code(code(8, 1.0, 0.22, 0.003, 0.999))
             .data(vec![
-                DataRegion::new(32 * KB, 0.55, Tiled { stride: 16, window: 32768 }),
+                DataRegion::new(
+                    32 * KB,
+                    0.55,
+                    Tiled {
+                        stride: 16,
+                        window: 32768,
+                    },
+                ),
                 DataRegion::new(3 * MB, 0.40, Sequential { stride: 16 }),
             ])
             .mix(mix(0.30, 0.12, 0.10, 0.30))
@@ -346,7 +388,14 @@ pub fn profile(id: BenchmarkId) -> WorkloadProfile {
         HpccHpl => b
             .code(code(12, 1.1, 0.18, 0.002, 0.999))
             .data(vec![
-                DataRegion::new(24 * KB, 0.90, Tiled { stride: 8, window: 16384 }),
+                DataRegion::new(
+                    24 * KB,
+                    0.90,
+                    Tiled {
+                        stride: 8,
+                        window: 16384,
+                    },
+                ),
                 DataRegion::new(2 * MB, 0.08, Sequential { stride: 8 }),
             ])
             .mix(mix(0.31, 0.09, 0.08, 0.34))

@@ -56,11 +56,32 @@ impl BenchmarkId {
     pub fn all() -> &'static [BenchmarkId] {
         use BenchmarkId::*;
         &[
-            NaiveBayes, Svm, Grep, WordCount, KMeans, FuzzyKMeans, PageRank,
-            Sort, HiveBench, Ibcf, Hmm, SoftwareTesting, MediaStreaming,
-            DataServing, WebSearch, WebServing, SpecFp, SpecInt, SpecWeb,
-            HpccComm, HpccDgemm, HpccFft, HpccHpl, HpccPtrans,
-            HpccRandomAccess, HpccStream,
+            NaiveBayes,
+            Svm,
+            Grep,
+            WordCount,
+            KMeans,
+            FuzzyKMeans,
+            PageRank,
+            Sort,
+            HiveBench,
+            Ibcf,
+            Hmm,
+            SoftwareTesting,
+            MediaStreaming,
+            DataServing,
+            WebSearch,
+            WebServing,
+            SpecFp,
+            SpecInt,
+            SpecWeb,
+            HpccComm,
+            HpccDgemm,
+            HpccFft,
+            HpccHpl,
+            HpccPtrans,
+            HpccRandomAccess,
+            HpccStream,
         ]
     }
 
@@ -68,8 +89,17 @@ impl BenchmarkId {
     pub fn data_analysis() -> &'static [BenchmarkId] {
         use BenchmarkId::*;
         &[
-            NaiveBayes, Svm, Grep, WordCount, KMeans, FuzzyKMeans, PageRank,
-            Sort, HiveBench, Ibcf, Hmm,
+            NaiveBayes,
+            Svm,
+            Grep,
+            WordCount,
+            KMeans,
+            FuzzyKMeans,
+            PageRank,
+            Sort,
+            HiveBench,
+            Ibcf,
+            Hmm,
         ]
     }
 
@@ -84,8 +114,13 @@ impl BenchmarkId {
     pub fn hpcc() -> &'static [BenchmarkId] {
         use BenchmarkId::*;
         &[
-            HpccComm, HpccDgemm, HpccFft, HpccHpl, HpccPtrans,
-            HpccRandomAccess, HpccStream,
+            HpccComm,
+            HpccDgemm,
+            HpccFft,
+            HpccHpl,
+            HpccPtrans,
+            HpccRandomAccess,
+            HpccStream,
         ]
     }
 
@@ -126,14 +161,15 @@ impl BenchmarkId {
     pub fn suite(&self) -> Suite {
         use BenchmarkId::*;
         match self {
-            NaiveBayes | Svm | Grep | WordCount | KMeans | FuzzyKMeans
-            | PageRank | Sort | HiveBench | Ibcf | Hmm => Suite::DataAnalysis,
-            SoftwareTesting | MediaStreaming | DataServing | WebSearch
-            | WebServing => Suite::CloudSuite,
+            NaiveBayes | Svm | Grep | WordCount | KMeans | FuzzyKMeans | PageRank | Sort
+            | HiveBench | Ibcf | Hmm => Suite::DataAnalysis,
+            SoftwareTesting | MediaStreaming | DataServing | WebSearch | WebServing => {
+                Suite::CloudSuite
+            }
             SpecFp | SpecInt => Suite::SpecCpu,
             SpecWeb => Suite::SpecWeb,
-            HpccComm | HpccDgemm | HpccFft | HpccHpl | HpccPtrans
-            | HpccRandomAccess | HpccStream => Suite::Hpcc,
+            HpccComm | HpccDgemm | HpccFft | HpccHpl | HpccPtrans | HpccRandomAccess
+            | HpccStream => Suite::Hpcc,
         }
     }
 

@@ -59,6 +59,24 @@ impl FigureData {
     }
 }
 
+/// The non-data-analysis entries, in figure order.
+fn other_entries() -> Vec<BenchmarkId> {
+    BenchmarkId::all()
+        .iter()
+        .copied()
+        .filter(|id| id.suite() != crate::registry::Suite::DataAnalysis)
+        .collect()
+}
+
+/// The full x-axis of the per-metric figures: 11 DA workloads, their
+/// `avg` bar, then the remaining 15 entries — all simulated through the
+/// parallel pipeline.
+fn all_rows(bench: &Characterizer) -> Vec<Metrics> {
+    let mut rows = bench.run_data_analysis_with_avg();
+    rows.extend(bench.run_many(&other_entries()));
+    rows
+}
+
 fn metric_figure(
     id: &str,
     title: &str,
@@ -66,23 +84,14 @@ fn metric_figure(
     bench: &Characterizer,
     f: impl Fn(&Metrics) -> f64,
 ) -> FigureData {
-    // The paper's x-axis: 11 DA workloads, their avg, then the rest.
-    let mut rows = Vec::new();
-    for m in bench.run_data_analysis_with_avg() {
-        rows.push((m.name.clone(), vec![f(&m)]));
-    }
-    for &other in BenchmarkId::all() {
-        if other.suite() == crate::registry::Suite::DataAnalysis {
-            continue;
-        }
-        let m = bench.run(other);
-        rows.push((m.name.clone(), vec![f(&m)]));
-    }
     FigureData {
         id: id.to_string(),
         title: title.to_string(),
         columns: vec![column.to_string()],
-        rows,
+        rows: all_rows(bench)
+            .into_iter()
+            .map(|m| (m.name.clone(), vec![f(&m)]))
+            .collect(),
     }
 }
 
@@ -103,8 +112,7 @@ pub fn figure1() -> FigureData {
 pub fn figure2(scale: Scale) -> FigureData {
     FigureData {
         id: "Figure 2".into(),
-        title: "Varied speed up performance of eleven data analysis workloads"
-            .into(),
+        title: "Varied speed up performance of eleven data analysis workloads".into(),
         columns: vec!["1 slave".into(), "4 slaves".into(), "8 slaves".into()],
         rows: cluster_experiments::figure2_speedups(scale)
             .into_iter()
@@ -115,8 +123,13 @@ pub fn figure2(scale: Scale) -> FigureData {
 
 /// Figure 3: instructions per cycle.
 pub fn figure3(bench: &Characterizer) -> FigureData {
-    metric_figure("Figure 3", "Instructions per cycle for each workload", "IPC",
-        bench, |m| m.ipc)
+    metric_figure(
+        "Figure 3",
+        "Instructions per cycle for each workload",
+        "IPC",
+        bench,
+        |m| m.ipc,
+    )
 }
 
 /// Figure 4: user/kernel instruction breakdown (kernel fraction).
@@ -177,19 +190,13 @@ pub fn fault_tolerance_exhibit(scale: Scale) -> FigureData {
 
 /// Figure 6: pipeline stall breakdown.
 pub fn figure6(bench: &Characterizer) -> FigureData {
-    let mut rows = Vec::new();
-    let mut push = |m: &Metrics| {
-        let [fetch, rat, load, rs, store, rob] = m.stall_breakdown;
-        rows.push((m.name.clone(), vec![fetch, rat, load, rs, store, rob]));
-    };
-    for m in bench.run_data_analysis_with_avg() {
-        push(&m);
-    }
-    for &other in BenchmarkId::all() {
-        if other.suite() != crate::registry::Suite::DataAnalysis {
-            push(&bench.run(other));
-        }
-    }
+    let rows = all_rows(bench)
+        .into_iter()
+        .map(|m| {
+            let [fetch, rat, load, rs, store, rob] = m.stall_breakdown;
+            (m.name, vec![fetch, rat, load, rs, store, rob])
+        })
+        .collect();
     FigureData {
         id: "Figure 6".into(),
         title: "Pipeline Stall Break Down of Each Workload".into(),
@@ -309,9 +316,18 @@ pub fn table3(bench: &Characterizer) -> String {
     };
     row("CPU Type", "Intel Xeon E5645 (simulated)".into());
     row("# Cores", "6 cores @ 2.4 GHz".into());
-    row("ITLB", format!("{}-way, {} entries", c.itlb.assoc, c.itlb.entries));
-    row("DTLB", format!("{}-way, {} entries", c.dtlb.assoc, c.dtlb.entries));
-    row("L2 TLB", format!("{}-way, {} entries", c.stlb.assoc, c.stlb.entries));
+    row(
+        "ITLB",
+        format!("{}-way, {} entries", c.itlb.assoc, c.itlb.entries),
+    );
+    row(
+        "DTLB",
+        format!("{}-way, {} entries", c.dtlb.assoc, c.dtlb.entries),
+    );
+    row(
+        "L2 TLB",
+        format!("{}-way, {} entries", c.stlb.assoc, c.stlb.entries),
+    );
     row(
         "L1 DCache",
         format!(

@@ -9,7 +9,6 @@
 //! (rank by combined daily visitors × page views, classify, share) is
 //! the paper's.
 
-
 /// Site categories used in Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
@@ -74,7 +73,7 @@ pub fn census() -> Vec<Site> {
         s("amazon.com", ElectronicCommerce, 40.0, 42.0),
         s("linkedin.com", SocialNetwork, 35.0, 28.0),
         s("google.co.in", SearchEngine, 33.0, 30.0),
-        s("sina.com.cn", Others, 30.0, 32.0),  // portal/news
+        s("sina.com.cn", Others, 30.0, 32.0), // portal/news
         s("ebay.com", ElectronicCommerce, 28.0, 30.0),
         s("yandex.ru", SearchEngine, 26.0, 24.0),
         s("bing.com", SearchEngine, 25.0, 20.0),
@@ -95,18 +94,26 @@ pub fn rank_score(site: &Site) -> f64 {
 pub fn category_shares(n: usize) -> Vec<(Category, f64)> {
     let mut sites = census();
     sites.sort_by(|a, b| {
-        rank_score(b).partial_cmp(&rank_score(a)).expect("finite scores")
+        rank_score(b)
+            .partial_cmp(&rank_score(a))
+            .expect("finite scores")
     });
     sites.truncate(n);
     let total = sites.len().max(1) as f64;
     use Category::*;
-    [SearchEngine, SocialNetwork, ElectronicCommerce, MediaStreaming, Others]
-        .into_iter()
-        .map(|cat| {
-            let count = sites.iter().filter(|s| s.category == cat).count();
-            (cat, count as f64 / total)
-        })
-        .collect()
+    [
+        SearchEngine,
+        SocialNetwork,
+        ElectronicCommerce,
+        MediaStreaming,
+        Others,
+    ]
+    .into_iter()
+    .map(|cat| {
+        let count = sites.iter().filter(|s| s.category == cat).count();
+        (cat, count as f64 / total)
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -123,9 +130,7 @@ mod tests {
         // Paper: search 40 %, social 25 %, e-commerce 15 %, media 5 %,
         // others 15 %.
         let shares = category_shares(20);
-        let get = |c: Category| {
-            shares.iter().find(|(x, _)| *x == c).expect("category").1
-        };
+        let get = |c: Category| shares.iter().find(|(x, _)| *x == c).expect("category").1;
         assert!((get(Category::SearchEngine) - 0.40).abs() < 1e-9);
         assert!((get(Category::SocialNetwork) - 0.25).abs() < 1e-9);
         assert!((get(Category::Others) - 0.15).abs() < 1e-9);
@@ -144,9 +149,7 @@ mod tests {
             .filter(|(c, _)| {
                 matches!(
                     c,
-                    Category::SearchEngine
-                        | Category::SocialNetwork
-                        | Category::ElectronicCommerce
+                    Category::SearchEngine | Category::SocialNetwork | Category::ElectronicCommerce
                 )
             })
             .map(|(_, s)| s)

@@ -1,75 +1,163 @@
 //! Quick calibration probe: print emergent metrics for a few profile shapes.
-use dc_cpu::{config::CpuConfig, core::{simulate, SimOptions}};
+use dc_cpu::{
+    config::CpuConfig,
+    core::{simulate, SimOptions},
+};
 use dc_trace::profile::{AccessPattern, CodeModel, DataRegion, InstMix, WorkloadProfile};
 use dc_trace::synth::SyntheticTrace;
 
 fn show(name: &str, p: &WorkloadProfile) {
     let cfg = CpuConfig::westmere_e5645();
     let t = SyntheticTrace::new(p, 1);
-    let c = simulate(t, &cfg, &SimOptions { max_ops: 1_000_000, warmup_ops: 200_000 });
+    let c = simulate(
+        t,
+        &cfg,
+        &SimOptions {
+            max_ops: 1_000_000,
+            warmup_ops: 200_000,
+        },
+    );
     let b = c.stall_breakdown();
     println!("{name:16} ipc={:.2} l1iMPKI={:5.1} itlbW={:.3} l2MPKI={:5.1} l3r={:.2} dtlbW={:.3} br={:.3} kern={:.2} stalls[f={:.2} rat={:.2} ld={:.2} rs={:.2} st={:.2} rob={:.2}]",
         c.ipc(), c.l1i_mpki(), c.itlb_walk_pki(), c.l2_mpki(), c.l3_hit_ratio_of_l2_misses(),
         c.dtlb_walk_pki(), c.branch_misprediction_ratio(), c.kernel_fraction(),
         b[0], b[1], b[2], b[3], b[4], b[5]);
-    println!("{:16} cycles={} stallcyc={} instr={} l1d_mr={:.3} ld={} st={}",
-        "", c.cycles, c.total_stall_cycles(), c.instructions,
-        c.l1d_misses as f64 / c.l1d_accesses.max(1) as f64, c.loads, c.prefetches);
+    println!(
+        "{:16} cycles={} stallcyc={} instr={} l1d_mr={:.3} ld={} st={}",
+        "",
+        c.cycles,
+        c.total_stall_cycles(),
+        c.instructions,
+        c.l1d_misses as f64 / c.l1d_accesses.max(1) as f64,
+        c.loads,
+        c.prefetches
+    );
 }
 
 fn main() {
     // Data-analysis-like: moderate code footprint, mixed data locality.
     let da = WorkloadProfile::builder("da")
-        .code(CodeModel { footprint_bytes: 320 << 10, zipf_theta: 0.80, taken_rate: 0.38, branch_noise: 0.015, regularity: 0.975 })
+        .code(CodeModel {
+            footprint_bytes: 320 << 10,
+            zipf_theta: 0.80,
+            taken_rate: 0.38,
+            branch_noise: 0.015,
+            regularity: 0.975,
+        })
         .data(vec![
             DataRegion::new(24 << 10, 0.57, AccessPattern::Random),
             DataRegion::new(112 << 10, 0.29, AccessPattern::Random),
-            DataRegion::new(1536 << 10, 0.025, AccessPattern::Clustered { page_dwell: 40 }),
+            DataRegion::new(
+                1536 << 10,
+                0.025,
+                AccessPattern::Clustered { page_dwell: 40 },
+            ),
             DataRegion::new(64 << 20, 0.115, AccessPattern::Sequential { stride: 16 }),
         ])
-        .mix(InstMix { load: 0.30, store: 0.13, branch: 0.16, fp: 0.03, mul: 0.01, div: 0.002 })
+        .mix(InstMix {
+            load: 0.30,
+            store: 0.13,
+            branch: 0.16,
+            fp: 0.03,
+            mul: 0.01,
+            div: 0.002,
+        })
         .kernel_fraction(0.04)
         .dep(0.55, 7.0)
-        .build().unwrap();
+        .build()
+        .unwrap();
     show("data-analysis", &da);
 
     // Service-like: big code, poor data locality, RAT hazards.
     let svc = WorkloadProfile::builder("svc")
-        .code(CodeModel { footprint_bytes: 1280 << 10, zipf_theta: 0.55, taken_rate: 0.42, branch_noise: 0.045, regularity: 0.93 })
+        .code(CodeModel {
+            footprint_bytes: 1280 << 10,
+            zipf_theta: 0.55,
+            taken_rate: 0.42,
+            branch_noise: 0.045,
+            regularity: 0.93,
+        })
         .data(vec![
             DataRegion::new(32 << 10, 0.44, AccessPattern::Random),
             DataRegion::new(512 << 10, 0.30, AccessPattern::Random),
             DataRegion::new(6 << 20, 0.115, AccessPattern::Clustered { page_dwell: 40 }),
-            DataRegion::new(192 << 20, 0.010, AccessPattern::Clustered { page_dwell: 12 }),
+            DataRegion::new(
+                192 << 20,
+                0.010,
+                AccessPattern::Clustered { page_dwell: 12 },
+            ),
         ])
-        .mix(InstMix { load: 0.30, store: 0.14, branch: 0.18, fp: 0.01, mul: 0.005, div: 0.002 })
+        .mix(InstMix {
+            load: 0.30,
+            store: 0.14,
+            branch: 0.18,
+            fp: 0.01,
+            mul: 0.005,
+            div: 0.002,
+        })
         .kernel_fraction(0.45)
         .dep(0.55, 5.0)
         .rat_hazard_rate(0.05)
-        .build().unwrap();
+        .build()
+        .unwrap();
     show("service", &svc);
 
     // DGEMM-like: tiny code, tiled reuse, FP heavy, high ILP.
     let dgemm = WorkloadProfile::builder("dgemm")
-        .code(CodeModel { footprint_bytes: 8 << 10, zipf_theta: 1.1, taken_rate: 0.20, branch_noise: 0.002, regularity: 0.999 })
+        .code(CodeModel {
+            footprint_bytes: 8 << 10,
+            zipf_theta: 1.1,
+            taken_rate: 0.20,
+            branch_noise: 0.002,
+            regularity: 0.999,
+        })
         .data(vec![
-            DataRegion::new(24 << 10, 0.85, AccessPattern::Tiled { stride: 8, window: 16384 }),
+            DataRegion::new(
+                24 << 10,
+                0.85,
+                AccessPattern::Tiled {
+                    stride: 8,
+                    window: 16384,
+                },
+            ),
             DataRegion::new(8 << 20, 0.15, AccessPattern::Sequential { stride: 64 }),
         ])
-        .mix(InstMix { load: 0.30, store: 0.08, branch: 0.08, fp: 0.40, mul: 0.02, div: 0.001 })
+        .mix(InstMix {
+            load: 0.30,
+            store: 0.08,
+            branch: 0.08,
+            fp: 0.40,
+            mul: 0.02,
+            div: 0.001,
+        })
         .dep(0.35, 12.0)
-        .build().unwrap();
+        .build()
+        .unwrap();
     show("dgemm", &dgemm);
 
     // STREAM-like: streaming loads+stores over huge arrays.
     let stream = WorkloadProfile::builder("stream")
-        .code(CodeModel { footprint_bytes: 4 << 10, zipf_theta: 1.0, taken_rate: 0.10, branch_noise: 0.001, regularity: 0.999 })
+        .code(CodeModel {
+            footprint_bytes: 4 << 10,
+            zipf_theta: 1.0,
+            taken_rate: 0.10,
+            branch_noise: 0.001,
+            regularity: 0.999,
+        })
         .data(vec![
             DataRegion::new(30 << 20, 0.5, AccessPattern::Sequential { stride: 8 }),
             DataRegion::new(30 << 20, 0.5, AccessPattern::Sequential { stride: 8 }),
         ])
-        .mix(InstMix { load: 0.35, store: 0.18, branch: 0.10, fp: 0.25, mul: 0.0, div: 0.0 })
+        .mix(InstMix {
+            load: 0.35,
+            store: 0.18,
+            branch: 0.10,
+            fp: 0.25,
+            mul: 0.0,
+            div: 0.0,
+        })
         .dep(0.35, 10.0)
-        .build().unwrap();
+        .build()
+        .unwrap();
     show("stream", &stream);
 }

@@ -45,14 +45,22 @@ impl BranchPredictor {
     pub fn new(cfg: &CpuConfig) -> Self {
         let hist_bits = cfg.predictor_history_bits.min(20);
         let table_bits = (hist_bits + 4).clamp(16, 22);
-        let table = if hist_bits == 0 { 1 } else { 1usize << table_bits };
+        let table = if hist_bits == 0 {
+            1
+        } else {
+            1usize << table_bits
+        };
         let btb = cfg.btb_entries.next_power_of_two().max(2) as usize;
         BranchPredictor {
             bimodal: vec![1; table],
             gshare: vec![1; table],
             chooser: vec![1; table], // start trusting bimodal
             history: 0,
-            history_mask: if hist_bits == 0 { 0 } else { (1u64 << hist_bits) - 1 },
+            history_mask: if hist_bits == 0 {
+                0
+            } else {
+                (1u64 << hist_bits) - 1
+            },
             table_mask: (table as u64) - 1,
             btb_tags: vec![u64::MAX; btb],
             btb_targets: vec![0; btb],
@@ -171,7 +179,11 @@ mod tests {
         for _ in 0..1000 {
             p.predict_and_train(0x400, true, 0x800);
         }
-        assert!(p.misprediction_ratio() < 0.02, "ratio={}", p.misprediction_ratio());
+        assert!(
+            p.misprediction_ratio() < 0.02,
+            "ratio={}",
+            p.misprediction_ratio()
+        );
     }
 
     #[test]
@@ -197,7 +209,11 @@ mod tests {
             toggle = !toggle;
             p.predict_and_train(0x400, toggle, 0x800);
         }
-        assert!(p.misprediction_ratio() < 0.05, "ratio={}", p.misprediction_ratio());
+        assert!(
+            p.misprediction_ratio() < 0.05,
+            "ratio={}",
+            p.misprediction_ratio()
+        );
     }
 
     #[test]
@@ -208,7 +224,11 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             p.predict_and_train(0x400, (x >> 33) & 1 == 1, 0x800);
         }
-        assert!(p.misprediction_ratio() > 0.35, "ratio={}", p.misprediction_ratio());
+        assert!(
+            p.misprediction_ratio() > 0.35,
+            "ratio={}",
+            p.misprediction_ratio()
+        );
     }
 
     #[test]
@@ -227,9 +247,7 @@ mod tests {
 
     #[test]
     fn static_not_taken_predictor() {
-        let mut p = BranchPredictor::new(
-            &CpuConfig::westmere_e5645().with_predictor_bits(0),
-        );
+        let mut p = BranchPredictor::new(&CpuConfig::westmere_e5645().with_predictor_bits(0));
         for _ in 0..100 {
             p.predict_and_train(0x10, false, 0);
         }
@@ -237,7 +255,10 @@ mod tests {
         for _ in 0..100 {
             p.predict_and_train(0x20, true, 0x40);
         }
-        assert_eq!(p.mispredicts, 100, "static NT mispredicts every taken branch");
+        assert_eq!(
+            p.mispredicts, 100,
+            "static NT mispredicts every taken branch"
+        );
     }
 
     #[test]

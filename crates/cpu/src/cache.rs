@@ -174,7 +174,11 @@ impl StreamTable {
                 self.page[i] = page;
                 self.next_line[i] = line + 1;
                 self.confidence[i] = self.confidence[i].saturating_add(1);
-                return if self.confidence[i] >= 2 { self.depth } else { 0 };
+                return if self.confidence[i] >= 2 {
+                    self.depth
+                } else {
+                    0
+                };
             }
             if line < self.next_line[i] {
                 // Re-miss of an already-streamed line (evicted from L1 by
@@ -362,7 +366,12 @@ mod tests {
     use crate::config::CpuConfig;
 
     fn tiny() -> CacheConfig {
-        CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 1 }
+        CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        }
     }
 
     #[test]
@@ -454,7 +463,7 @@ mod tests {
         let mut off = Hierarchy::new(&CpuConfig::westmere_e5645().with_prefetch(false));
         for i in 0..200_000u64 {
             let a = i * 64; // pure ascending stream, 12.8 MB > L3
-            // One line every ~40 cycles: within channel bandwidth.
+                            // One line every ~40 cycles: within channel bandwidth.
             on.access_data(a, i * 40);
             off.access_data(a, i * 40);
         }
@@ -472,7 +481,9 @@ mod tests {
         let mut h = Hierarchy::new(&CpuConfig::westmere_e5645());
         let mut x = 12345u64;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.access_data((x >> 16) % (256 << 20), 0);
         }
         // Random traffic should not trigger meaningful prefetching.

@@ -7,7 +7,7 @@
 //! capacity, predictor simplification, ROB/RS sizing).
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -22,13 +22,12 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Number of sets.
     pub fn sets(&self) -> usize {
-        (self.size_bytes / u64::from(self.line_bytes) / u64::from(self.assoc)).max(1)
-            as usize
+        (self.size_bytes / u64::from(self.line_bytes) / u64::from(self.assoc)).max(1) as usize
     }
 }
 
 /// Geometry of one TLB level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: u32,
@@ -37,7 +36,7 @@ pub struct TlbConfig {
 }
 
 /// Out-of-order engine geometry and penalties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// Fetch width (µops per cycle delivered by the front end).
     pub fetch_width: u32,
@@ -62,7 +61,7 @@ pub struct CoreConfig {
 }
 
 /// Execution latencies by functional class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecLatencies {
     /// Simple integer ALU.
     pub int_alu: u32,
@@ -75,7 +74,7 @@ pub struct ExecLatencies {
 }
 
 /// Memory-system latencies beyond the cache-hit latencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemLatencies {
     /// Main-memory access latency in cycles.
     pub memory: u32,
@@ -90,7 +89,7 @@ pub struct MemLatencies {
 }
 
 /// Stream-prefetcher configuration (L2 prefetcher, as on Westmere).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PrefetchConfig {
     /// Enable the prefetcher.
     pub enabled: bool,
@@ -101,7 +100,7 @@ pub struct PrefetchConfig {
 }
 
 /// Complete machine description.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CpuConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,
@@ -141,13 +140,42 @@ impl CpuConfig {
     /// 4-way shared L2 TLB, 4-wide out-of-order core.
     pub fn westmere_e5645() -> Self {
         CpuConfig {
-            l1i: CacheConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, latency: 4 },
-            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 8, line_bytes: 64, latency: 4 },
-            l2: CacheConfig { size_bytes: 256 << 10, assoc: 8, line_bytes: 64, latency: 10 },
-            l3: CacheConfig { size_bytes: 12 << 20, assoc: 16, line_bytes: 64, latency: 38 },
-            itlb: TlbConfig { entries: 64, assoc: 4 },
-            dtlb: TlbConfig { entries: 64, assoc: 4 },
-            stlb: TlbConfig { entries: 512, assoc: 4 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 10,
+            },
+            l3: CacheConfig {
+                size_bytes: 12 << 20,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 38,
+            },
+            itlb: TlbConfig {
+                entries: 64,
+                assoc: 4,
+            },
+            dtlb: TlbConfig {
+                entries: 64,
+                assoc: 4,
+            },
+            stlb: TlbConfig {
+                entries: 512,
+                assoc: 4,
+            },
             page_bytes: 4096,
             core: CoreConfig {
                 fetch_width: 4,
@@ -161,9 +189,23 @@ impl CpuConfig {
                 mispredict_penalty: 17,
                 rat_hazard_penalty: 3,
             },
-            exec: ExecLatencies { int_alu: 1, int_mul: 3, div: 22, fp_alu: 3 },
-            mem: MemLatencies { memory: 200, page_walk: 30, stlb_hit: 7, line_gap: 30 },
-            prefetch: PrefetchConfig { enabled: true, streams: 16, depth: 4 },
+            exec: ExecLatencies {
+                int_alu: 1,
+                int_mul: 3,
+                div: 22,
+                fp_alu: 3,
+            },
+            mem: MemLatencies {
+                memory: 200,
+                page_walk: 30,
+                stlb_hit: 7,
+                line_gap: 30,
+            },
+            prefetch: PrefetchConfig {
+                enabled: true,
+                streams: 16,
+                depth: 4,
+            },
             predictor_history_bits: 12,
             btb_entries: 4096,
         }
@@ -200,6 +242,20 @@ impl CpuConfig {
         self.prefetch.enabled = enabled;
         self
     }
+
+    /// Stable 64-bit digest of the complete machine description.
+    ///
+    /// Two configs hash equal iff every geometry/latency parameter is
+    /// equal, and the value is stable across runs of the same build
+    /// ([`DefaultHasher::new`] uses fixed keys) — the property the
+    /// characterization result cache keys on.
+    pub fn stable_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl Default for CpuConfig {
@@ -233,6 +289,27 @@ mod tests {
         assert_eq!(c.l1d.sets(), 64);
         assert_eq!(c.l2.sets(), 512);
         assert_eq!(c.l3.sets(), 12288);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_configs() {
+        let base = CpuConfig::westmere_e5645();
+        assert_eq!(
+            base.stable_hash(),
+            CpuConfig::westmere_e5645().stable_hash()
+        );
+        assert_ne!(
+            base.stable_hash(),
+            base.clone().with_l3_bytes(6 << 20).stable_hash()
+        );
+        assert_ne!(
+            base.stable_hash(),
+            base.clone().with_prefetch(false).stable_hash()
+        );
+        assert_ne!(
+            base.stable_hash(),
+            base.clone().with_predictor_bits(0).stable_hash()
+        );
     }
 
     #[test]

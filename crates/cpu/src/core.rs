@@ -51,14 +51,20 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_ops: 2_000_000, warmup_ops: 300_000 }
+        SimOptions {
+            max_ops: 2_000_000,
+            warmup_ops: 300_000,
+        }
     }
 }
 
 impl SimOptions {
     /// Quick options for unit tests / smoke runs.
     pub fn quick() -> Self {
-        SimOptions { max_ops: 200_000, warmup_ops: 30_000 }
+        SimOptions {
+            max_ops: 200_000,
+            warmup_ops: 30_000,
+        }
     }
 }
 
@@ -77,6 +83,18 @@ pub struct Core {
     mmu: Mmu,
     bp: BranchPredictor,
 }
+
+// The parallel characterization pipeline ships whole simulations to
+// worker threads; every piece of sim state must stay `Send`. Checked
+// at compile time so a future `Rc`/raw-pointer refactor cannot
+// silently serialize the pipeline.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Core>();
+    assert_send::<CpuConfig>();
+    assert_send::<SimOptions>();
+    assert_send::<PerfCounts>();
+};
 
 impl Core {
     /// Build a core for the given machine configuration.
@@ -203,8 +221,7 @@ impl Core {
                         decode_q.push_back(op);
                         fetched += 1;
                         if !correct {
-                            fetch_blocked_until =
-                                cycle + u64::from(c.mispredict_penalty);
+                            fetch_blocked_until = cycle + u64::from(c.mispredict_penalty);
                             break;
                         }
                         continue;
@@ -292,8 +309,7 @@ impl Core {
                 let mut ready = cycle + 1;
                 let dep = u64::from(op.dep_dist);
                 if dep > 0 && op_idx >= dep {
-                    let producer =
-                        completions[((op_idx - dep) % COMPLETION_RING as u64) as usize];
+                    let producer = completions[((op_idx - dep) % COMPLETION_RING as u64) as usize];
                     ready = ready.max(producer);
                 }
                 let complete = match op.kind {
@@ -330,7 +346,10 @@ impl Core {
                     }
                 };
                 rs.push(Reverse(ready));
-                rob.push_back(RobEntry { complete, mode: op.mode });
+                rob.push_back(RobEntry {
+                    complete,
+                    mode: op.mode,
+                });
                 completions[(op_idx % COMPLETION_RING as u64) as usize] = complete;
                 op_idx += 1;
                 renamed += 1;
@@ -381,11 +400,7 @@ impl Core {
 }
 
 /// Convenience: simulate a trace on a fresh core with the given config.
-pub fn simulate<T: TraceSource>(
-    trace: T,
-    cfg: &CpuConfig,
-    opts: &SimOptions,
-) -> PerfCounts {
+pub fn simulate<T: TraceSource>(trace: T, cfg: &CpuConfig, opts: &SimOptions) -> PerfCounts {
     Core::new(cfg.clone()).run(trace, opts)
 }
 
@@ -405,10 +420,16 @@ mod tests {
         let counts = simulate(
             alu_stream(500_000),
             &cfg,
-            &SimOptions { max_ops: 400_000, warmup_ops: 50_000 },
+            &SimOptions {
+                max_ops: 400_000,
+                warmup_ops: 50_000,
+            },
         );
         let ipc = counts.ipc();
-        assert!(ipc > 3.0, "independent ALU ops should near the 4-wide limit: {ipc}");
+        assert!(
+            ipc > 3.0,
+            "independent ALU ops should near the 4-wide limit: {ipc}"
+        );
         assert!(counts.instructions >= 400_000);
     }
 
@@ -420,8 +441,14 @@ mod tests {
             op.dep_dist = 1; // every op depends on its predecessor
             op
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 200_000, warmup_ops: 20_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 200_000,
+                warmup_ops: 20_000,
+            },
+        );
         let ipc = counts.ipc();
         assert!(ipc < 1.15, "a serial chain cannot exceed 1 op/cycle: {ipc}");
         assert!(ipc > 0.7, "chain should still sustain ~1 op/cycle: {ipc}");
@@ -439,11 +466,18 @@ mod tests {
             op.dep_dist = 2;
             op
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
+        );
         assert!(counts.ipc() < 0.5, "ipc={}", counts.ipc());
         assert!(
-            counts.rob_full_stall_cycles + counts.rs_full_stall_cycles
+            counts.rob_full_stall_cycles
+                + counts.rs_full_stall_cycles
                 + counts.load_buf_stall_cycles
                 > counts.fetch_stall_cycles,
             "memory-bound work stalls in the OoO part"
@@ -460,11 +494,20 @@ mod tests {
             let pc = (0x40_0000 + ((x >> 20) % (4 << 20))) & !63;
             MicroOp::int_alu(pc)
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
+        );
         assert!(counts.l1i_mpki() > 100.0, "l1i mpki={}", counts.l1i_mpki());
         let breakdown = counts.stall_breakdown();
-        assert!(breakdown[0] > 0.5, "fetch stalls should dominate: {breakdown:?}");
+        assert!(
+            breakdown[0] > 0.5,
+            "fetch stalls should dominate: {breakdown:?}"
+        );
         assert!(counts.ipc() < 1.0);
     }
 
@@ -476,8 +519,14 @@ mod tests {
             op.rat_hazard = i % 8 == 0;
             op
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
+        );
         assert!(counts.rat_stall_cycles > 0);
         let b = counts.stall_breakdown();
         assert!(b[1] > 0.5, "RAT should dominate stalls here: {b:?}");
@@ -490,8 +539,14 @@ mod tests {
             // Every op is a store to a new line over 64 MiB.
             MicroOp::store(0x40_0000, 0x2000_0000 + i * 64)
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 100_000, warmup_ops: 10_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
+        );
         assert!(
             counts.store_buf_stall_cycles > counts.fetch_stall_cycles,
             "store drain should be the bottleneck"
@@ -510,14 +565,20 @@ mod tests {
         let counts_bad = simulate(
             random_branches,
             &cfg,
-            &SimOptions { max_ops: 100_000, warmup_ops: 10_000 },
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
         );
         let steady_branches =
             (0..200_000).map(|i| MicroOp::branch(0x40_0000 + (i % 4) * 4, true, 0x40_1000));
         let counts_good = simulate(
             steady_branches,
             &cfg,
-            &SimOptions { max_ops: 100_000, warmup_ops: 10_000 },
+            &SimOptions {
+                max_ops: 100_000,
+                warmup_ops: 10_000,
+            },
         );
         assert!(counts_bad.branch_misprediction_ratio() > 0.3);
         assert!(counts_good.branch_misprediction_ratio() < 0.02);
@@ -534,8 +595,14 @@ mod tests {
             }
             op
         });
-        let counts =
-            simulate(ops, &cfg, &SimOptions { max_ops: 80_000, warmup_ops: 8_000 });
+        let counts = simulate(
+            ops,
+            &cfg,
+            &SimOptions {
+                max_ops: 80_000,
+                warmup_ops: 8_000,
+            },
+        );
         let f = counts.kernel_fraction();
         assert!((f - 0.25).abs() < 0.02, "kernel fraction {f}");
     }
@@ -546,7 +613,10 @@ mod tests {
         let counts = simulate(
             alu_stream(5_000),
             &cfg,
-            &SimOptions { max_ops: 1_000_000, warmup_ops: 0 },
+            &SimOptions {
+                max_ops: 1_000_000,
+                warmup_ops: 0,
+            },
         );
         assert_eq!(counts.instructions, 5_000);
         assert!(counts.cycles > 0);
@@ -556,12 +626,14 @@ mod tests {
     fn warmup_discards_cold_misses() {
         let cfg = CpuConfig::westmere_e5645();
         // Loop over 16 KiB of data: everything fits L1D after one pass.
-        let ops = (0..400_000u64)
-            .map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + (i % 2048) * 8));
+        let ops = (0..400_000u64).map(|i| MicroOp::load(0x40_0000, 0x1000_0000 + (i % 2048) * 8));
         let counts = simulate(
             ops,
             &cfg,
-            &SimOptions { max_ops: 200_000, warmup_ops: 100_000 },
+            &SimOptions {
+                max_ops: 200_000,
+                warmup_ops: 100_000,
+            },
         );
         assert!(
             counts.l1d_misses < 100,
@@ -601,12 +673,18 @@ mod tests {
         let big = simulate(
             mk(),
             &CpuConfig::westmere_e5645(),
-            &SimOptions { max_ops: 150_000, warmup_ops: 15_000 },
+            &SimOptions {
+                max_ops: 150_000,
+                warmup_ops: 15_000,
+            },
         );
         let small = simulate(
             mk(),
             &CpuConfig::westmere_e5645().with_rob_entries(32),
-            &SimOptions { max_ops: 150_000, warmup_ops: 15_000 },
+            &SimOptions {
+                max_ops: 150_000,
+                warmup_ops: 15_000,
+            },
         );
         assert!(small.ipc() <= big.ipc());
         assert!(small.rob_full_stall_cycles >= big.rob_full_stall_cycles);

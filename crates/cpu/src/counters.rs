@@ -121,8 +121,7 @@ impl PerfCounts {
         if self.l2_misses == 0 {
             0.0
         } else {
-            (self.l2_misses.saturating_sub(self.l3_misses)) as f64
-                / self.l2_misses as f64
+            (self.l2_misses.saturating_sub(self.l3_misses)) as f64 / self.l2_misses as f64
         }
     }
 

@@ -36,8 +36,9 @@ impl TlbLevel {
         self.clock += 1;
         let set = (page % self.sets as u64) as usize;
         let base = set * self.assoc;
-        if let Some(w) =
-            self.tags[base..base + self.assoc].iter().position(|&t| t == page)
+        if let Some(w) = self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == page)
         {
             self.stamps[base + w] = self.clock;
             return true;
@@ -226,7 +227,11 @@ mod tests {
         }
         let walks_before = m.istats.walks;
         m.translate_inst(0x40_0000);
-        assert_eq!(m.istats.walks, walks_before + 1, "shared-TLB eviction causes a walk");
+        assert_eq!(
+            m.istats.walks,
+            walks_before + 1,
+            "shared-TLB eviction causes a walk"
+        );
     }
 
     #[test]

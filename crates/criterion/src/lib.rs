@@ -35,7 +35,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 black_box(body());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 }
@@ -48,7 +49,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10, group_prefix: None }
+        Criterion {
+            sample_size: 10,
+            group_prefix: None,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ impl Criterion {
 
     /// Open a named group; benchmarks in it are prefixed `group/name`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+        }
     }
 }
 
@@ -126,8 +133,7 @@ fn report(name: &str, b: &Bencher) {
         return;
     }
     let min = b.samples.iter().min().expect("non-empty");
-    let mean: Duration =
-        b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let mean: Duration = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
     println!(
         "{name:<40} min {:>12?}  mean {:>12?}  ({} samples x {} iters)",
         min,

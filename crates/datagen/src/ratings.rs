@@ -48,10 +48,8 @@ pub fn ratings(seed: u64, scale: Scale, genres: u8) -> RatingSet {
     let num_users = ((n as f64).sqrt() as u32).max(4);
     let num_items = (num_users / 2).max(4);
 
-    let item_genre: Vec<u8> =
-        (0..num_items).map(|_| rng.gen_range(0..genres)).collect();
-    let user_taste: Vec<u8> =
-        (0..num_users).map(|_| rng.gen_range(0..genres)).collect();
+    let item_genre: Vec<u8> = (0..num_items).map(|_| rng.gen_range(0..genres)).collect();
+    let user_taste: Vec<u8> = (0..num_users).map(|_| rng.gen_range(0..genres)).collect();
 
     let mut ratings = Vec::with_capacity(n);
     for _ in 0..n {
@@ -65,7 +63,12 @@ pub fn ratings(seed: u64, scale: Scale, genres: u8) -> RatingSet {
         let value = (base + rng.gen_range(-0.8..0.8f32)).clamp(1.0, 5.0);
         ratings.push(Rating { user, item, value });
     }
-    RatingSet { ratings, num_users, num_items, item_genre }
+    RatingSet {
+        ratings,
+        num_users,
+        num_items,
+        item_genre,
+    }
 }
 
 #[cfg(test)]

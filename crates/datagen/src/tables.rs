@@ -97,7 +97,10 @@ pub fn warehouse(seed: u64, scale: Scale) -> Warehouse {
         })
         .collect();
 
-    Warehouse { rankings, uservisits }
+    Warehouse {
+        rankings,
+        uservisits,
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +113,7 @@ mod tests {
         let w = warehouse(1, Scale::bytes(64 << 10));
         assert!(w.uservisits.len() >= 500);
         assert!(w.rankings.len() >= w.uservisits.len() / 20);
-        let urls: HashSet<&str> =
-            w.rankings.iter().map(|r| r.page_url.as_str()).collect();
+        let urls: HashSet<&str> = w.rankings.iter().map(|r| r.page_url.as_str()).collect();
         // Every visit's destination exists in rankings (foreign key).
         for v in &w.uservisits {
             assert!(urls.contains(v.dest_url.as_str()), "{}", v.dest_url);
@@ -122,8 +124,11 @@ mod tests {
     fn visits_skew_to_popular_pages() {
         let w = warehouse(2, Scale::bytes(128 << 10));
         let top_url = "url00000000";
-        let top_visits =
-            w.uservisits.iter().filter(|v| v.dest_url == top_url).count();
+        let top_visits = w
+            .uservisits
+            .iter()
+            .filter(|v| v.dest_url == top_url)
+            .count();
         let expected_uniform = w.uservisits.len() / w.rankings.len();
         assert!(
             top_visits > expected_uniform,

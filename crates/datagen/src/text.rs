@@ -99,8 +99,7 @@ pub fn labeled_documents(
     let mut rng = StdRng::seed_from_u64(seed);
     // Shared background vocabulary plus a per-class topical one.
     let background = Vocabulary::new(8_000, 1.0);
-    let topical: Vec<Vocabulary> =
-        (0..classes).map(|_| Vocabulary::new(500, 0.8)).collect();
+    let topical: Vec<Vocabulary> = (0..classes).map(|_| Vocabulary::new(500, 0.8)).collect();
     let mut docs = Vec::new();
     let mut bytes: u64 = 0;
     while bytes < scale.bytes {

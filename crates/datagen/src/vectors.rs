@@ -1,9 +1,9 @@
 //! Feature vectors for clustering: Gaussian mixtures with known centers.
 
 use crate::Scale;
+use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand::distributions::Distribution;
 
 /// A generated clustering dataset.
 #[derive(Debug, Clone)]
@@ -51,7 +51,11 @@ pub fn gaussian_mixture(seed: u64, scale: Scale, k: usize, dim: usize) -> Vector
         points.push(point);
         assignments.push(c);
     }
-    VectorSet { points, true_centers, assignments }
+    VectorSet {
+        points,
+        true_centers,
+        assignments,
+    }
 }
 
 /// Generate labeled feature vectors for binary classification (SVM):
@@ -96,9 +100,8 @@ mod tests {
         let set = gaussian_mixture(2, Scale::bytes(64 << 10), 3, 4);
         // A point should be closer to its own center than to others,
         // overwhelmingly.
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let mut correct = 0;
         for (p, &a) in set.points.iter().zip(&set.assignments) {
             let own = dist(p, &set.true_centers[a]);

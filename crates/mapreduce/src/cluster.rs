@@ -176,21 +176,22 @@ pub fn simulate(cluster: &ClusterConfig, job: &JobModel) -> ClusterRun {
     let map_cpu_secs = job.input_gb * job.map_cpu_secs_per_gb;
     // Disk traffic during map: read input + spill map output.
     let map_disk_mb = input_mb + shuffle_mb;
-    let map_secs = (map_cpu_secs / cores)
-        .max(map_disk_mb / disk)
-        + map_waves * cluster.wave_overhead_secs;
+    let map_secs =
+        (map_cpu_secs / cores).max(map_disk_mb / disk) + map_waves * cluster.wave_overhead_secs;
 
     // ---- Shuffle ----
     // Cross-node fraction of the shuffle, over the shared fabric,
     // overlapped with the map phase (Hadoop starts fetching early).
     let cross_mb = shuffle_mb * (s - 1.0).max(0.0) / s;
-    let shuffle_total_secs =
-        if fabric.is_finite() { cross_mb / fabric } else { 0.0 };
+    let shuffle_total_secs = if fabric.is_finite() {
+        cross_mb / fabric
+    } else {
+        0.0
+    };
     let shuffle_secs = (shuffle_total_secs - 0.7 * map_secs).max(0.0);
 
     // ---- Reduce phase ----
-    let reduce_cpu_secs =
-        (shuffle_mb / 1024.0) * job.reduce_cpu_secs_per_gb;
+    let reduce_cpu_secs = (shuffle_mb / 1024.0) * job.reduce_cpu_secs_per_gb;
     let repl = f64::from(cluster.replication.max(1));
     // Disk: read the shuffled runs, write replicated output.
     let reduce_disk_mb = shuffle_mb + output_mb * repl;
@@ -207,11 +208,9 @@ pub fn simulate(cluster: &ClusterConfig, job: &JobModel) -> ClusterRun {
 
     let per_iter = map_secs + shuffle_secs + reduce_secs;
     let iters = f64::from(job.iterations.max(1));
-    let makespan =
-        cluster.job_setup_secs * iters + per_iter * iters;
+    let makespan = cluster.job_setup_secs * iters + per_iter * iters;
 
-    let disk_write_bytes =
-        (shuffle_mb + output_mb * repl) * 1e6 * iters;
+    let disk_write_bytes = (shuffle_mb + output_mb * repl) * 1e6 * iters;
     let writes = disk_write_bytes / (64.0 * 1024.0);
     ClusterRun {
         makespan_secs: makespan,
@@ -260,7 +259,11 @@ impl FailureModel {
     /// One slave lost permanently at `at_secs`.
     pub fn single_loss(at_secs: f64) -> Self {
         FailureModel {
-            events: vec![NodeFailure { at_secs, nodes: 1, recover_after_secs: None }],
+            events: vec![NodeFailure {
+                at_secs,
+                nodes: 1,
+                recover_after_secs: None,
+            }],
         }
     }
 
@@ -337,12 +340,12 @@ pub fn simulate_with_failures(
 
     // Applies the delta at `deltas[next]`; returns the new `alive`.
     let apply = |t: &mut f64,
-                     alive: f64,
-                     lost: f64,
-                     map_done: &mut f64,
-                     debt: &mut f64,
-                     extra_work: &mut f64,
-                     rerepl_mb: &mut f64|
+                 alive: f64,
+                 lost: f64,
+                 map_done: &mut f64,
+                 debt: &mut f64,
+                 extra_work: &mut f64,
+                 rerepl_mb: &mut f64|
      -> f64 {
         if lost > 0.0 {
             // Keep at least one slave so the job always completes.
@@ -451,8 +454,7 @@ pub fn simulate_with_failures(
     } else {
         0.0
     };
-    let disk_write_bytes =
-        base.disk_write_bytes + (rerepl_mb + rework_spill_mb) * 1e6;
+    let disk_write_bytes = base.disk_write_bytes + (rerepl_mb + rework_spill_mb) * 1e6;
     let writes = disk_write_bytes / (64.0 * 1024.0);
     let fi = f64::from(iters);
     ClusterRun {
@@ -469,14 +471,9 @@ pub fn simulate_with_failures(
 
 /// Speed-up of `job` on `slaves` under a failure schedule, relative to
 /// a *healthy* single slave — the degraded Figure 2 series.
-pub fn speedup_with_failures(
-    job: &JobModel,
-    slaves: u32,
-    failures: &FailureModel,
-) -> f64 {
+pub fn speedup_with_failures(job: &JobModel, slaves: u32, failures: &FailureModel) -> f64 {
     let t1 = simulate(&ClusterConfig::paper(1), job).makespan_secs;
-    let tn = simulate_with_failures(&ClusterConfig::paper(slaves), job, failures)
-        .makespan_secs;
+    let tn = simulate_with_failures(&ClusterConfig::paper(slaves), job, failures).makespan_secs;
     t1 / tn
 }
 
@@ -555,8 +552,7 @@ mod tests {
     #[test]
     fn iterations_multiply_time_and_io() {
         let once = simulate(&ClusterConfig::paper(4), &cpu_job());
-        let thrice =
-            simulate(&ClusterConfig::paper(4), &cpu_job().with_iterations(3));
+        let thrice = simulate(&ClusterConfig::paper(4), &cpu_job().with_iterations(3));
         assert!(thrice.makespan_secs > 2.5 * once.makespan_secs);
         assert!((thrice.disk_write_bytes - 3.0 * once.disk_write_bytes).abs() < 1.0);
     }
@@ -571,8 +567,7 @@ mod tests {
     fn empty_failure_model_is_exactly_the_baseline() {
         for job in [cpu_job(), io_job()] {
             let base = simulate(&ClusterConfig::paper(8), &job);
-            let run =
-                simulate_with_failures(&ClusterConfig::paper(8), &job, &FailureModel::none());
+            let run = simulate_with_failures(&ClusterConfig::paper(8), &job, &FailureModel::none());
             assert_eq!(run, base);
             assert_eq!(run.reexecuted_work_secs, 0.0);
             assert_eq!(run.rereplicated_mb, 0.0);

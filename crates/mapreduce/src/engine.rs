@@ -39,13 +39,12 @@
 
 use crate::bytes::ByteSize;
 use crate::faults::{Fault, FaultPlan, TaskKind};
+use crate::pool::SpmcQueue;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Engine configuration (slot counts mirror Hadoop task slots).
@@ -116,7 +115,11 @@ impl JobConfig {
     }
 
     fn effective_map_tasks(&self, inputs: usize) -> usize {
-        let t = if self.map_tasks == 0 { self.map_slots.max(1) * 4 } else { self.map_tasks };
+        let t = if self.map_tasks == 0 {
+            self.map_slots.max(1) * 4
+        } else {
+            self.map_tasks
+        };
         t.clamp(1, inputs.max(1))
     }
 
@@ -160,7 +163,12 @@ pub enum JobError {
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JobError::TaskExhausted { kind, task, attempts, last_error } => write!(
+            JobError::TaskExhausted {
+                kind,
+                task,
+                attempts,
+                last_error,
+            } => write!(
                 f,
                 "{kind} task {task} failed {attempts} attempts; last error: {last_error}"
             ),
@@ -230,7 +238,11 @@ impl JobStats {
     /// that is a deterministic function of (inputs, config, fault
     /// plan). Two runs with the same seed compare equal on this.
     pub fn without_timings(&self) -> JobStats {
-        JobStats { map_ms: 0, reduce_ms: 0, ..*self }
+        JobStats {
+            map_ms: 0,
+            reduce_ms: 0,
+            ..*self
+        }
     }
 
     /// This stats block reduced to pure dataflow counters: timings and
@@ -280,56 +292,11 @@ fn partition_of<K: Hash>(key: &K, parts: usize) -> usize {
     (h.finish() % parts as u64) as usize
 }
 
-/// Lock a mutex, shrugging off poisoning: attempt panics are caught
-/// before any engine lock is released, but if one ever leaked, the
-/// queue state is still plain data and safe to reuse.
-fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// One dispatched execution of one task.
 #[derive(Debug, Clone, Copy)]
 struct AttemptSpec {
     task: usize,
     attempt: u32,
-}
-
-/// SPMC work queue feeding attempt specs to the slot workers.
-struct AttemptQueue {
-    state: Mutex<(VecDeque<AttemptSpec>, bool)>,
-    ready: Condvar,
-}
-
-impl AttemptQueue {
-    fn new() -> Self {
-        AttemptQueue { state: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() }
-    }
-
-    fn push(&self, spec: AttemptSpec) {
-        relock(&self.state).0.push_back(spec);
-        self.ready.notify_one();
-    }
-
-    fn close(&self) {
-        relock(&self.state).1 = true;
-        self.ready.notify_all();
-    }
-
-    fn pop(&self) -> Option<AttemptSpec> {
-        let mut st = relock(&self.state);
-        loop {
-            if let Some(spec) = st.0.pop_front() {
-                return Some(spec);
-            }
-            if st.1 {
-                return None;
-            }
-            st = self
-                .ready
-                .wait(st)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-        }
-    }
 }
 
 /// What a worker reports back to the scheduler.
@@ -421,7 +388,7 @@ where
         return Ok((Vec::new(), FaultCounters::default()));
     }
 
-    let queue = AttemptQueue::new();
+    let queue = SpmcQueue::new();
     let (report_tx, report_rx) = mpsc::channel::<AttemptReport<T>>();
 
     let scope_result = std::thread::scope(|scope| {
@@ -434,7 +401,13 @@ where
                     let outcome = execute_attempt(kind, spec, faults, work);
                     // The scheduler may have finished (e.g. a condemned
                     // speculative loser arriving late): drop silently.
-                    if tx.send(AttemptReport { task: spec.task, outcome }).is_err() {
+                    if tx
+                        .send(AttemptReport {
+                            task: spec.task,
+                            outcome,
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -464,7 +437,10 @@ where
             st.dispatched_at = Instant::now();
             st.next_attempt = 1;
             st.running = 1;
-            queue.push(AttemptSpec { task: t, attempt: 0 });
+            queue.push(AttemptSpec {
+                task: t,
+                attempt: 0,
+            });
         }
 
         let verdict = loop {
@@ -487,15 +463,12 @@ where
                             results[report.task] = Some(value);
                             st.committed = true;
                             committed += 1;
-                            committed_ms.push(
-                                st.dispatched_at.elapsed().as_millis() as u64
-                            );
+                            committed_ms.push(st.dispatched_at.elapsed().as_millis() as u64);
                             // Condemn any attempt still in flight: its
                             // output will be discarded on arrival.
                             if st.running > 0 {
                                 counters.killed_attempts += st.running as u64;
-                                counters.reexecuted_bytes +=
-                                    bytes * st.running as u64;
+                                counters.reexecuted_bytes += bytes * st.running as u64;
                             }
                         }
                         Err(message) => {
@@ -511,13 +484,15 @@ where
                                     last_error: std::mem::take(&mut st.last_error),
                                 });
                             }
-                            let ready_at =
-                                Instant::now() + cfg.backoff_for(st.failures);
+                            let ready_at = Instant::now() + cfg.backoff_for(st.failures);
                             let attempt = st.next_attempt;
                             st.next_attempt += 1;
                             retries.push((
                                 ready_at,
-                                AttemptSpec { task: report.task, attempt },
+                                AttemptSpec {
+                                    task: report.task,
+                                    attempt,
+                                },
                             ));
                         }
                     }
@@ -548,8 +523,7 @@ where
             // Hadoop-style speculation: duplicate a straggler when it
             // has run well past the mean committed-attempt duration.
             if cfg.speculative && !committed_ms.is_empty() {
-                let mean_ms = committed_ms.iter().sum::<u64>()
-                    / committed_ms.len() as u64;
+                let mean_ms = committed_ms.iter().sum::<u64>() / committed_ms.len() as u64;
                 for (t, st) in tasks.iter_mut().enumerate() {
                     if st.committed || st.speculated || st.running != 1 {
                         continue;
@@ -682,8 +656,7 @@ where
         faults,
         &map_bytes,
         move |t| {
-            let mut parts: Vec<Vec<(K, V)>> =
-                (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+            let mut parts: Vec<Vec<(K, V)>> = (0..num_reduce_tasks).map(|_| Vec::new()).collect();
             let mut records_in = 0u64;
             let mut bytes_in = 0u64;
             let mut records_out = 0u64;
@@ -709,8 +682,7 @@ where
                         run = combine_sorted(run, comb);
                     }
                     combine_records += run.len() as u64;
-                    spill_bytes +=
-                        run.iter().map(|kv| kv.byte_size() as u64).sum::<u64>();
+                    spill_bytes += run.iter().map(|kv| kv.byte_size() as u64).sum::<u64>();
                 }
                 runs.push(run);
             }
@@ -734,8 +706,7 @@ where
         map_ms,
         ..JobStats::default()
     };
-    let mut staged: Vec<Vec<Vec<(K, V)>>> =
-        (0..num_reduce_tasks).map(|_| Vec::new()).collect();
+    let mut staged: Vec<Vec<Vec<(K, V)>>> = (0..num_reduce_tasks).map(|_| Vec::new()).collect();
     for task_out in map_outs {
         stats.map_input_records += task_out.records_in;
         stats.map_input_bytes += task_out.bytes_in;
@@ -755,12 +726,7 @@ where
     let reduce_start = Instant::now();
     let reduce_bytes: Vec<u64> = staged
         .iter()
-        .map(|runs| {
-            runs.iter()
-                .flatten()
-                .map(|kv| kv.byte_size() as u64)
-                .sum()
-        })
+        .map(|runs| runs.iter().flatten().map(|kv| kv.byte_size() as u64).sum())
         .collect();
     let staged_ref = &staged;
     let reducer_ref = &reducer;
@@ -774,8 +740,7 @@ where
         move |r| {
             // Merge: concatenate sorted runs and re-sort (k-way merge is
             // equivalent here; the engine is not the bottleneck we study).
-            let mut all: Vec<(K, V)> =
-                staged_ref[r].iter().flatten().cloned().collect();
+            let mut all: Vec<(K, V)> = staged_ref[r].iter().flatten().cloned().collect();
             all.sort_by(|a, b| a.0.cmp(&b.0));
             let mut out = Vec::new();
             let mut records = 0u64;
@@ -786,8 +751,7 @@ where
                 while j < all.len() && all[j].0 == all[i].0 {
                     j += 1;
                 }
-                let values: Vec<V> =
-                    all[i..j].iter().map(|kv| kv.1.clone()).collect();
+                let values: Vec<V> = all[i..j].iter().map(|kv| kv.1.clone()).collect();
                 for o in reducer_ref(&all[i].0, &values) {
                     records += 1;
                     out.push(o);
@@ -800,7 +764,11 @@ where
                     + all[i].0.byte_size() as u64;
                 i = j;
             }
-            ReduceTaskOut { out, records, bytes }
+            ReduceTaskOut {
+                out,
+                records,
+                bytes,
+            }
         },
     )?;
     stats.reduce_ms = reduce_start.elapsed().as_millis() as u64;
@@ -813,14 +781,11 @@ where
         outputs.extend(task_out.out);
     }
 
-    stats.failed_attempts =
-        map_faults.failed_attempts + reduce_faults.failed_attempts;
+    stats.failed_attempts = map_faults.failed_attempts + reduce_faults.failed_attempts;
     stats.speculative_attempts =
         map_faults.speculative_attempts + reduce_faults.speculative_attempts;
-    stats.killed_attempts =
-        map_faults.killed_attempts + reduce_faults.killed_attempts;
-    stats.reexecuted_bytes =
-        map_faults.reexecuted_bytes + reduce_faults.reexecuted_bytes;
+    stats.killed_attempts = map_faults.killed_attempts + reduce_faults.killed_attempts;
+    stats.reexecuted_bytes = map_faults.reexecuted_bytes + reduce_faults.reexecuted_bytes;
 
     Ok((outputs, stats))
 }
@@ -906,8 +871,9 @@ mod tests {
 
     #[test]
     fn combiner_shrinks_shuffle() {
-        let lines: Vec<String> =
-            (0..200).map(|i| format!("w{} w{} common", i % 5, i % 7)).collect();
+        let lines: Vec<String> = (0..200)
+            .map(|i| format!("w{} w{} common", i % 5, i % 7))
+            .collect();
         let (_, with) = wordcount(lines.clone(), &JobConfig::default(), true);
         let (_, without) = wordcount(lines, &JobConfig::default(), false);
         assert!(with.shuffle_bytes < without.shuffle_bytes / 2);
@@ -916,8 +882,7 @@ mod tests {
 
     #[test]
     fn results_stable_across_slot_counts() {
-        let lines: Vec<String> =
-            (0..500).map(|i| format!("k{} v", i % 37)).collect();
+        let lines: Vec<String> = (0..500).map(|i| format!("k{} v", i % 37)).collect();
         let mut cfg1 = JobConfig::default();
         cfg1.map_slots = 1;
         cfg1.reduce_slots = 1;
@@ -1029,14 +994,19 @@ mod tests {
     #[test]
     fn disk_write_bytes_counts_spills_and_output() {
         let (_, s) = wordcount(vec!["x y z".into()], &JobConfig::default(), false);
-        assert_eq!(s.disk_write_bytes(), s.spilled_bytes + s.reduce_output_bytes);
+        assert_eq!(
+            s.disk_write_bytes(),
+            s.spilled_bytes + s.reduce_output_bytes
+        );
         assert!(s.disk_write_bytes() > 0);
     }
 
     // ---- Fault tolerance ----
 
     fn acceptance_lines() -> Vec<String> {
-        (0..64).map(|i| format!("alpha beta w{} w{}", i % 7, i % 11)).collect()
+        (0..64)
+            .map(|i| format!("alpha beta w{} w{}", i % 7, i % 11))
+            .collect()
     }
 
     /// The issue's acceptance scenario: first-attempt panics in two map
@@ -1053,8 +1023,7 @@ mod tests {
             .with_fault(TaskKind::Map, 1, 0, Fault::Panic)
             .with_fault(TaskKind::Reduce, 0, 0, Fault::Panic);
 
-        let (mut clean_out, clean_stats) =
-            wordcount(acceptance_lines(), &cfg, true);
+        let (mut clean_out, clean_stats) = wordcount(acceptance_lines(), &cfg, true);
         let (mut out_a, stats_a) =
             wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
                 .expect("job recovers from injected panics");
@@ -1092,7 +1061,12 @@ mod tests {
         let err = wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
             .expect_err("task must exhaust its attempts");
         match err {
-            JobError::TaskExhausted { kind, task, attempts, .. } => {
+            JobError::TaskExhausted {
+                kind,
+                task,
+                attempts,
+                ..
+            } => {
                 assert_eq!(kind, TaskKind::Map);
                 assert_eq!(task, 1);
                 assert_eq!(attempts, cfg.max_attempts);
@@ -1109,9 +1083,8 @@ mod tests {
         let plan = FaultPlan::new(2)
             .with_fault(TaskKind::Map, 2, 0, Fault::IoError)
             .with_fault(TaskKind::Reduce, 1, 0, Fault::IoError);
-        let (mut out, stats) =
-            wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
-                .expect("transient errors must be retried");
+        let (mut out, stats) = wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
+            .expect("transient errors must be retried");
         let (mut clean, _) = wordcount(acceptance_lines(), &cfg, true);
         out.sort();
         clean.sort();
@@ -1129,11 +1102,9 @@ mod tests {
         // Task 0's first attempt stalls for 2s; the other tasks finish
         // in microseconds, so the mean-based straggler detector fires
         // and the duplicate attempt (no injected fault) wins.
-        let plan =
-            FaultPlan::new(3).with_fault(TaskKind::Map, 0, 0, Fault::SlowdownMs(2_000));
-        let (mut out, stats) =
-            wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
-                .expect("speculation must recover the straggler");
+        let plan = FaultPlan::new(3).with_fault(TaskKind::Map, 0, 0, Fault::SlowdownMs(2_000));
+        let (mut out, stats) = wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
+            .expect("speculation must recover the straggler");
         let (mut clean, _) = wordcount(acceptance_lines(), &cfg, true);
         out.sort();
         clean.sort();
@@ -1150,11 +1121,9 @@ mod tests {
         cfg.map_tasks = 4;
         cfg.speculative = false;
         cfg.speculative_lag_ms = 1;
-        let plan =
-            FaultPlan::new(4).with_fault(TaskKind::Map, 0, 0, Fault::SlowdownMs(60));
-        let (_, stats) =
-            wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
-                .expect("slowdown alone must not fail the job");
+        let plan = FaultPlan::new(4).with_fault(TaskKind::Map, 0, 0, Fault::SlowdownMs(60));
+        let (_, stats) = wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
+            .expect("slowdown alone must not fail the job");
         assert_eq!(stats.speculative_attempts, 0);
         assert_eq!(stats.killed_attempts, 0);
     }
@@ -1164,7 +1133,11 @@ mod tests {
         let mut cfg = JobConfig::default();
         cfg.map_tasks = 6;
         cfg.reduce_tasks = 3;
-        let spec = ChaosSpec { fault_prob: 0.5, max_faulted_attempt: 2, slowdown_ms: 1 };
+        let spec = ChaosSpec {
+            fault_prob: 0.5,
+            max_faulted_attempt: 2,
+            slowdown_ms: 1,
+        };
         let plan = FaultPlan::chaos(0xC4A0, spec);
         let (mut out_a, stats_a) =
             wordcount_with_faults(acceptance_lines(), &cfg, true, Some(&plan))
@@ -1189,8 +1162,7 @@ mod tests {
         let mut cfg = JobConfig::default();
         cfg.map_slots = 0;
         cfg.reduce_slots = 0;
-        let (mut out, stats) =
-            wordcount(vec!["a b a".into(), "c".into()], &cfg, true);
+        let (mut out, stats) = wordcount(vec!["a b a".into(), "c".into()], &cfg, true);
         out.sort();
         assert_eq!(
             out,

@@ -58,7 +58,11 @@ pub struct ChaosSpec {
 
 impl Default for ChaosSpec {
     fn default() -> Self {
-        ChaosSpec { fault_prob: 0.2, max_faulted_attempt: 2, slowdown_ms: 1 }
+        ChaosSpec {
+            fault_prob: 0.2,
+            max_faulted_attempt: 2,
+            slowdown_ms: 1,
+        }
     }
 }
 
@@ -73,13 +77,21 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (no faults) carrying a seed for chaos extension.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, pinned: HashMap::new(), chaos: None }
+        FaultPlan {
+            seed,
+            pinned: HashMap::new(),
+            chaos: None,
+        }
     }
 
     /// A chaos plan: every attempt decision is a pure function of
     /// `(seed, kind, task, attempt)`.
     pub fn chaos(seed: u64, spec: ChaosSpec) -> Self {
-        FaultPlan { seed, pinned: HashMap::new(), chaos: Some(spec) }
+        FaultPlan {
+            seed,
+            pinned: HashMap::new(),
+            chaos: Some(spec),
+        }
     }
 
     /// Pin a fault on one specific attempt of one task.
@@ -173,8 +185,11 @@ mod tests {
 
     #[test]
     fn chaos_respects_attempt_ceiling_and_probability() {
-        let spec =
-            ChaosSpec { fault_prob: 0.5, max_faulted_attempt: 1, slowdown_ms: 1 };
+        let spec = ChaosSpec {
+            fault_prob: 0.5,
+            max_faulted_attempt: 1,
+            slowdown_ms: 1,
+        };
         let plan = FaultPlan::chaos(7, spec);
         let mut faulted = 0;
         for task in 0..1000 {
@@ -184,13 +199,19 @@ mod tests {
                 faulted += 1;
             }
         }
-        assert!((350..650).contains(&faulted), "~half faulted, got {faulted}");
+        assert!(
+            (350..650).contains(&faulted),
+            "~half faulted, got {faulted}"
+        );
     }
 
     #[test]
     fn zero_probability_chaos_never_faults() {
-        let spec =
-            ChaosSpec { fault_prob: 0.0, max_faulted_attempt: 4, slowdown_ms: 1 };
+        let spec = ChaosSpec {
+            fault_prob: 0.0,
+            max_faulted_attempt: 4,
+            slowdown_ms: 1,
+        };
         let plan = FaultPlan::chaos(9, spec);
         for task in 0..200 {
             for attempt in 0..4 {

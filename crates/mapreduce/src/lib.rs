@@ -20,6 +20,9 @@
 //!   stragglers, transient I/O errors) exercising the engine's
 //!   Hadoop-style task-attempt recovery: retries with backoff,
 //!   speculative execution, and exactly-once output commit.
+//! * [`pool`] — the std-only scoped worker-pool primitives underneath
+//!   the engine (closeable SPMC queue + deterministic `parallel_map`),
+//!   shared with the `dcbench` characterization pipeline.
 //!
 //! ```
 //! use dc_mapreduce::engine::{run_job, JobConfig};
@@ -50,8 +53,10 @@ pub mod bytes;
 pub mod cluster;
 pub mod engine;
 pub mod faults;
+pub mod pool;
 
 pub use bytes::ByteSize;
 pub use cluster::{ClusterConfig, ClusterRun, FailureModel, JobModel, NodeFailure};
 pub use engine::{run_job, run_job_with_faults, JobConfig, JobError, JobStats};
 pub use faults::{ChaosSpec, Fault, FaultPlan, TaskKind};
+pub use pool::{parallel_map, SpmcQueue};

@@ -1,0 +1,208 @@
+//! Std-only scoped worker-pool primitives.
+//!
+//! Extracted from the engine's phase scheduler (which proved the idiom:
+//! a closeable SPMC queue drained by [`std::thread::scope`] workers) so
+//! the same machinery can drive any embarrassingly-parallel stage —
+//! most importantly the characterization pipeline in `dcbench`, which
+//! fans independent `(benchmark, window)` simulation jobs across cores.
+//!
+//! Two layers:
+//!
+//! * [`SpmcQueue`] — the raw single-producer/multi-consumer closeable
+//!   queue (the engine's attempt dispatcher uses it directly, because
+//!   its scheduler keeps pushing retries and speculative attempts while
+//!   workers drain);
+//! * [`parallel_map`] — a deterministic fork/join map for the simple
+//!   fixed-job-list case: results come back **in input order**,
+//!   regardless of which worker ran which job or in what order they
+//!   finished, so parallel output is bit-identical to a sequential run
+//!   of the same closure.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a mutex, shrugging off poisoning: pool payloads are plain data
+/// (queue contents + a closed flag), safe to reuse after a worker
+/// panic; the panic itself still propagates when the scope joins.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Closeable single-producer/multi-consumer work queue.
+///
+/// `pop` blocks until an item arrives or the queue is closed; once
+/// closed and drained, every consumer sees `None` and exits. Producers
+/// may keep pushing after workers start (the engine's scheduler pushes
+/// retries mid-phase).
+pub struct SpmcQueue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
+    ready: Condvar,
+}
+
+impl<T> Default for SpmcQueue<T> {
+    fn default() -> Self {
+        SpmcQueue::new()
+    }
+}
+
+impl<T> SpmcQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        SpmcQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one work item and wake one waiting consumer.
+    pub fn push(&self, item: T) {
+        relock(&self.state).0.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Close the queue: consumers drain what is left, then see `None`.
+    pub fn close(&self) {
+        relock(&self.state).1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Dequeue the next item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = relock(&self.state);
+        loop {
+            if let Some(item) = st.0.pop_front() {
+                return Some(item);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Run `f` over `items` on up to `threads` scoped workers and return
+/// the results **in input order**.
+///
+/// Each job is independent: `f(index, item)` must not rely on sibling
+/// jobs, so scheduling order cannot affect any individual result and
+/// the output vector is bit-identical to the sequential
+/// `items.map(f)`. With `threads <= 1` (or a single job) the closure
+/// runs inline on the caller thread — the reference behaviour the
+/// parallel path is measured against.
+///
+/// A panicking job propagates to the caller when the scope joins.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    let queue = SpmcQueue::new();
+    for job in items.into_iter().enumerate() {
+        queue.push(job);
+    }
+    queue.close();
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let queue = &queue;
+            let f = &f;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                while let Some((i, item)) = queue.pop() {
+                    // The receiver outlives the scope; send only fails
+                    // if the caller thread is already unwinding.
+                    if tx.send((i, f(i, item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every job reports exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_drains_in_fifo_order_single_consumer() {
+        let q = SpmcQueue::new();
+        for i in 0..5 {
+            q.push(i);
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn closed_empty_queue_releases_blocked_consumers() {
+        let q = SpmcQueue::<u32>::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3).map(|_| scope.spawn(|| q.pop())).collect();
+            q.close();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), None);
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 32] {
+            let got = parallel_map(items.clone(), threads, |_, x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_job_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map((0..64).collect::<Vec<usize>>(), 8, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(
+            parallel_map(Vec::<u8>::new(), 4, |_, x| x),
+            Vec::<u8>::new()
+        );
+        assert_eq!(parallel_map(vec![9], 4, |_, x| x + 1), vec![10]);
+    }
+}

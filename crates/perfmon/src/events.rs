@@ -82,7 +82,9 @@ impl PerfEvent {
             BranchesMispredicted => 0xC5,
             FetchStallCycles => 0x87,
             RatStallCycles => 0xD2,
-            RsFullStallCycles | RobFullStallCycles | LoadBufferStallCycles
+            RsFullStallCycles
+            | RobFullStallCycles
+            | LoadBufferStallCycles
             | StoreBufferStallCycles => 0xA2,
             LoadsRetired | StoresRetired => 0x0B,
         }

@@ -86,8 +86,7 @@ pub fn average(name: impl Into<String>, rows: &[Metrics]) -> Metrics {
         l3_hit_ratio: sum(&|r| r.l3_hit_ratio),
         dtlb_walk_pki: sum(&|r| r.dtlb_walk_pki),
         branch_misprediction: sum(&|r| r.branch_misprediction),
-        instructions: (rows.iter().map(|r| r.instructions).sum::<u64>() as f64 / n)
-            as u64,
+        instructions: (rows.iter().map(|r| r.instructions).sum::<u64>() as f64 / n) as u64,
     }
 }
 

@@ -44,7 +44,10 @@ impl Pmu {
     /// # Panics
     /// Panics if `idx >= NUM_COUNTERS` (hardware has exactly four).
     pub fn program(&mut self, idx: usize, event: PerfEvent) {
-        assert!(idx < NUM_COUNTERS, "Westmere exposes {NUM_COUNTERS} counters");
+        assert!(
+            idx < NUM_COUNTERS,
+            "Westmere exposes {NUM_COUNTERS} counters"
+        );
         self.selects[idx] = Some(EventSelect {
             event_code: event.event_code(),
             umask: event.umask(),

@@ -142,8 +142,16 @@ mod tests {
 
     #[test]
     fn merge_adds_counts_and_maxes_time() {
-        let mut a = OsStats { disk_writes: 5, elapsed_secs: 3.0, ..Default::default() };
-        let b = OsStats { disk_writes: 7, elapsed_secs: 2.0, ..Default::default() };
+        let mut a = OsStats {
+            disk_writes: 5,
+            elapsed_secs: 3.0,
+            ..Default::default()
+        };
+        let b = OsStats {
+            disk_writes: 7,
+            elapsed_secs: 2.0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.disk_writes, 12);
         assert!((a.elapsed_secs - 3.0).abs() < 1e-12);

@@ -28,7 +28,9 @@ pub struct TestRng {
 impl TestRng {
     /// Build from a seed.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0xA076_1D64_78BD_642F }
+        TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -87,7 +89,11 @@ impl Strategy for Range<f64> {
 impl Strategy for Range<f32> {
     type Value = f32;
     fn sample(&self, rng: &mut TestRng) -> f32 {
-        Range { start: self.start as f64, end: self.end as f64 }.sample(rng) as f32
+        Range {
+            start: self.start as f64,
+            end: self.end as f64,
+        }
+        .sample(rng) as f32
     }
 }
 
@@ -98,8 +104,8 @@ impl Strategy for &str {
     type Value = String;
 
     fn sample(&self, rng: &mut TestRng) -> String {
-        let (alphabet, min, max) = parse_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let (alphabet, min, max) =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
         let len = min + rng.below((max - min + 1) as u64) as usize;
         (0..len)
             .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])

@@ -25,8 +25,9 @@ pub struct KernelResult {
 /// verification is the scaled residual, as in the real HPL.
 pub fn hpl(n: usize, seed: u64) -> KernelResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut a: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let mut a: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
     let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     // b = A · x_true
     let b: Vec<f64> = (0..n)
@@ -45,7 +46,12 @@ pub fn hpl(n: usize, seed: u64) -> KernelResult {
         perm.swap(k, pivot);
         let akk = a[k][k];
         if akk.abs() < 1e-14 {
-            return KernelResult { name: "HPL", work: 0.0, check: f64::INFINITY, passed: false };
+            return KernelResult {
+                name: "HPL",
+                work: 0.0,
+                check: f64::INFINITY,
+                passed: false,
+            };
         }
         for i in (k + 1)..n {
             let factor = a[i][k] / akk;
@@ -260,10 +266,7 @@ fn fft_in_place(re: &mut [f64], im: &mut [f64], inverse: bool) {
             for k in 0..len / 2 {
                 let a = start + k;
                 let b = a + len / 2;
-                let (tr, ti) = (
-                    re[b] * cr - im[b] * ci,
-                    re[b] * ci + im[b] * cr,
-                );
+                let (tr, ti) = (re[b] * cr - im[b] * ci, re[b] * ci + im[b] * cr);
                 re[b] = re[a] - tr;
                 im[b] = im[a] - ti;
                 re[a] += tr;
@@ -302,12 +305,24 @@ pub fn comm(messages: usize, payload_bytes: usize) -> KernelResult {
     let payload = vec![0xA5u8; payload_bytes];
     let mut round_trips = 0u64;
     for _ in 0..n {
-        tx_a.send(payload.clone()).expect("send");
-        let back = rx_a.recv().expect("recv");
+        // A send/recv error means the peer hung up early — it panicked
+        // and dropped its channel ends. Stop ping-ponging and fall
+        // through to the join below, which surfaces the peer's actual
+        // panic instead of a bare "send"/"recv" expect on this thread
+        // (and instead of silently leaking the handle).
+        if tx_a.send(payload.clone()).is_err() {
+            break;
+        }
+        let Ok(back) = rx_a.recv() else {
+            break;
+        };
         debug_assert_eq!(back.len(), payload_bytes);
         round_trips += 1;
     }
-    let received = handle.join().expect("peer thread");
+    let received = match handle.join() {
+        Ok(received) => received,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
     KernelResult {
         name: "COMM",
         work: (round_trips as usize * payload_bytes * 2) as f64,

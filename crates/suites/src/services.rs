@@ -83,7 +83,10 @@ pub mod data_serving {
                 successes += 1;
             }
         }
-        ServiceResult { operations: ops, successes }
+        ServiceResult {
+            operations: ops,
+            successes,
+        }
     }
 }
 
@@ -107,9 +110,15 @@ pub mod media_streaming {
             .map(|_| {
                 // 70:30 medium-low / short-high mix, as configured.
                 if rng.gen_bool(0.7) {
-                    Session { remaining_chunks: 120, bitrate_kbps: 500 }
+                    Session {
+                        remaining_chunks: 120,
+                        bitrate_kbps: 500,
+                    }
                 } else {
-                    Session { remaining_chunks: 30, bitrate_kbps: 2000 }
+                    Session {
+                        remaining_chunks: 30,
+                        bitrate_kbps: 2000,
+                    }
                 }
             })
             .collect();
@@ -123,7 +132,10 @@ pub mod media_streaming {
                 s.remaining_chunks > 0
             });
         }
-        ServiceResult { operations: chunks, successes: bytes / 1024 }
+        ServiceResult {
+            operations: chunks,
+            successes: bytes / 1024,
+        }
     }
 }
 
@@ -153,7 +165,10 @@ pub mod web_search {
                 }
                 doc_len.push(len);
                 for (w, f) in tf {
-                    postings.entry(w.to_string()).or_default().push((id as u32, f));
+                    postings
+                        .entry(w.to_string())
+                        .or_default()
+                        .push((id as u32, f));
                 }
             }
             Index { postings, doc_len }
@@ -165,13 +180,14 @@ pub mod web_search {
             let n_docs = self.doc_len.len() as f64;
             let mut scores: HashMap<u32, (usize, f64)> = HashMap::new();
             for t in terms {
-                let Some(list) = self.postings.get(*t) else { continue };
+                let Some(list) = self.postings.get(*t) else {
+                    continue;
+                };
                 let idf = (n_docs / list.len() as f64).ln().max(0.0);
                 for &(doc, tf) in list {
                     let entry = scores.entry(doc).or_insert((0, 0.0));
                     entry.0 += 1;
-                    entry.1 += f64::from(tf) * idf
-                        / f64::from(self.doc_len[doc as usize].max(1));
+                    entry.1 += f64::from(tf) * idf / f64::from(self.doc_len[doc as usize].max(1));
                 }
             }
             // Conjunctive: docs containing all present terms rank first.
@@ -199,7 +215,10 @@ pub mod web_search {
                 successes += 1;
             }
         }
-        ServiceResult { operations: queries, successes }
+        ServiceResult {
+            operations: queries,
+            successes,
+        }
     }
 }
 
@@ -231,7 +250,12 @@ pub mod web_serving {
             let views = self.sessions.entry(user).or_insert(0);
             *views += 1;
             let mut html = String::from("<html><body><ul>");
-            for (name, venue) in self.events.iter().cycle().skip(page % self.events.len().max(1)).take(10)
+            for (name, venue) in self
+                .events
+                .iter()
+                .cycle()
+                .skip(page % self.events.len().max(1))
+                .take(10)
             {
                 html.push_str("<li>");
                 html.push_str(name);
@@ -254,7 +278,10 @@ pub mod web_serving {
                 successes += 1;
             }
         }
-        ServiceResult { operations: requests, successes }
+        ServiceResult {
+            operations: requests,
+            successes,
+        }
     }
 }
 
@@ -318,7 +345,10 @@ pub mod software_testing {
                 }
             }
         }
-        super::ServiceResult { operations: paths, successes: feasible }
+        super::ServiceResult {
+            operations: paths,
+            successes: feasible,
+        }
     }
 }
 
@@ -336,7 +366,9 @@ pub mod specweb_bank {
     impl Bank {
         /// Create `n` accounts with 1000.00 each.
         pub fn new(n: usize) -> Self {
-            Bank { accounts: vec![100_000; n] }
+            Bank {
+                accounts: vec![100_000; n],
+            }
         }
 
         /// Total money in the bank (conserved by transfers).
@@ -370,14 +402,16 @@ pub mod specweb_bank {
             } else {
                 // Statement: scan a window of accounts.
                 let start = rng.gen_range(0..n);
-                let sum: i64 =
-                    bank.accounts.iter().cycle().skip(start).take(32).sum();
+                let sum: i64 = bank.accounts.iter().cycle().skip(start).take(32).sum();
                 if sum != i64::MIN {
                     successes += 1;
                 }
             }
         }
-        ServiceResult { operations: requests, successes }
+        ServiceResult {
+            operations: requests,
+            successes,
+        }
     }
 }
 

@@ -47,7 +47,7 @@ pub mod reuse;
 pub mod rng;
 pub mod synth;
 
-pub use op::{Mode, OpKind, MicroOp};
+pub use op::{MicroOp, Mode, OpKind};
 pub use profile::WorkloadProfile;
 pub use synth::SyntheticTrace;
 

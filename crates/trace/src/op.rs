@@ -175,17 +175,42 @@ mod tests {
         assert!(!OpKind::Load { addr: 0, size: 8 }.is_store());
         assert!(OpKind::Store { addr: 4, size: 4 }.is_store());
         assert!(OpKind::Store { addr: 4, size: 4 }.is_mem());
-        assert!(OpKind::Branch { taken: true, target: 0 }.is_branch());
+        assert!(OpKind::Branch {
+            taken: true,
+            target: 0
+        }
+        .is_branch());
         assert!(!OpKind::IntAlu.is_mem());
         assert!(!OpKind::FpAlu.is_branch());
     }
 
     #[test]
     fn mem_addr_extraction() {
-        assert_eq!(OpKind::Load { addr: 0x1234, size: 8 }.mem_addr(), Some(0x1234));
-        assert_eq!(OpKind::Store { addr: 0x88, size: 1 }.mem_addr(), Some(0x88));
+        assert_eq!(
+            OpKind::Load {
+                addr: 0x1234,
+                size: 8
+            }
+            .mem_addr(),
+            Some(0x1234)
+        );
+        assert_eq!(
+            OpKind::Store {
+                addr: 0x88,
+                size: 1
+            }
+            .mem_addr(),
+            Some(0x88)
+        );
         assert_eq!(OpKind::IntAlu.mem_addr(), None);
-        assert_eq!(OpKind::Branch { taken: false, target: 9 }.mem_addr(), None);
+        assert_eq!(
+            OpKind::Branch {
+                taken: false,
+                target: 9
+            }
+            .mem_addr(),
+            None
+        );
     }
 
     #[test]

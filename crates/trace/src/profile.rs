@@ -111,7 +111,11 @@ pub struct DataRegion {
 impl DataRegion {
     /// Convenience constructor.
     pub fn new(bytes: u64, weight: f64, pattern: AccessPattern) -> Self {
-        DataRegion { bytes, weight, pattern }
+        DataRegion {
+            bytes,
+            weight,
+            pattern,
+        }
     }
 }
 
@@ -190,11 +194,7 @@ impl KernelModel {
             },
             data: vec![
                 DataRegion::new(32 * 1024, 0.55, AccessPattern::Random),
-                DataRegion::new(
-                    64 * 1024,
-                    0.25,
-                    AccessPattern::Clustered { page_dwell: 32 },
-                ),
+                DataRegion::new(64 * 1024, 0.25, AccessPattern::Clustered { page_dwell: 32 }),
                 DataRegion::new(
                     32 * 1024 * 1024,
                     0.20,
@@ -226,7 +226,12 @@ pub struct DepModel {
 
 impl Default for DepModel {
     fn default() -> Self {
-        DepModel { dep_fraction: 0.55, mean_dist: 6.0, on_load: 0.25, serial_chain: 0.0 }
+        DepModel {
+            dep_fraction: 0.55,
+            mean_dist: 6.0,
+            on_load: 0.25,
+            serial_chain: 0.0,
+        }
     }
 }
 
@@ -306,11 +311,7 @@ impl ProfileBuilder {
             profile: WorkloadProfile {
                 name: name.into(),
                 code: CodeModel::default(),
-                data: vec![DataRegion::new(
-                    16 * 1024,
-                    1.0,
-                    AccessPattern::Random,
-                )],
+                data: vec![DataRegion::new(16 * 1024, 1.0, AccessPattern::Random)],
                 mix: InstMix::default(),
                 kernel: None,
                 dep: DepModel::default(),
@@ -339,7 +340,9 @@ impl ProfileBuilder {
 
     /// Add one data region.
     pub fn region(mut self, bytes: u64, weight: f64, pattern: AccessPattern) -> Self {
-        self.profile.data.push(DataRegion::new(bytes, weight, pattern));
+        self.profile
+            .data
+            .push(DataRegion::new(bytes, weight, pattern));
         self
     }
 
@@ -395,7 +398,9 @@ impl ProfileBuilder {
     pub fn build(self) -> Result<WorkloadProfile, BuildProfileError> {
         let p = &self.profile;
         let err = |msg: &str| {
-            Err(BuildProfileError { msg: format!("{}: {msg}", p.name) })
+            Err(BuildProfileError {
+                msg: format!("{}: {msg}", p.name),
+            })
         };
         if p.code.footprint_bytes < 1024 {
             return err("code footprint must be at least 1 KiB");
@@ -481,13 +486,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_mix() {
-        let bad = InstMix { load: 0.7, store: 0.5, ..InstMix::default() };
+        let bad = InstMix {
+            load: 0.7,
+            store: 0.5,
+            ..InstMix::default()
+        };
         assert!(WorkloadProfile::builder("w").mix(bad).build().is_err());
     }
 
     #[test]
     fn rejects_zero_branch_fraction() {
-        let bad = InstMix { branch: 0.0, ..InstMix::default() };
+        let bad = InstMix {
+            branch: 0.0,
+            ..InstMix::default()
+        };
         assert!(WorkloadProfile::builder("w").mix(bad).build().is_err());
     }
 
@@ -504,20 +516,32 @@ mod tests {
 
     #[test]
     fn rejects_tiny_code() {
-        let c = CodeModel { footprint_bytes: 10, ..CodeModel::default() };
+        let c = CodeModel {
+            footprint_bytes: 10,
+            ..CodeModel::default()
+        };
         assert!(WorkloadProfile::builder("w").code(c).build().is_err());
     }
 
     #[test]
     fn rejects_out_of_range_rates() {
-        assert!(WorkloadProfile::builder("w").rat_hazard_rate(1.5).build().is_err());
-        let c = CodeModel { regularity: -0.1, ..CodeModel::default() };
+        assert!(WorkloadProfile::builder("w")
+            .rat_hazard_rate(1.5)
+            .build()
+            .is_err());
+        let c = CodeModel {
+            regularity: -0.1,
+            ..CodeModel::default()
+        };
         assert!(WorkloadProfile::builder("w").code(c).build().is_err());
     }
 
     #[test]
     fn ops_per_block_from_branch_fraction() {
-        let mix = InstMix { branch: 0.125, ..InstMix::default() };
+        let mix = InstMix {
+            branch: 0.125,
+            ..InstMix::default()
+        };
         assert_eq!(mix.ops_per_block(), 8);
     }
 

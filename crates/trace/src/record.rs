@@ -175,11 +175,20 @@ impl Probe {
             let kind = match *e {
                 Event::Load(addr) => OpKind::Load { addr, size: 8 },
                 Event::Store(addr) => OpKind::Store { addr, size: 8 },
-                Event::Branch(taken) => OpKind::Branch { taken, target: pc + 64 },
+                Event::Branch(taken) => OpKind::Branch {
+                    taken,
+                    target: pc + 64,
+                },
                 Event::Alu => OpKind::IntAlu,
                 Event::Fp => OpKind::FpAlu,
             };
-            ops.push(MicroOp { pc, kind, mode: Mode::User, dep_dist: 2, rat_hazard: false });
+            ops.push(MicroOp {
+                pc,
+                kind,
+                mode: Mode::User,
+                dep_dist: 2,
+                rat_hazard: false,
+            });
             pc += 4;
         }
         RecordedTrace { ops, next: 0 }

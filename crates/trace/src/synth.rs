@@ -21,9 +21,7 @@
 //! Everything is seeded, so traces are exactly reproducible.
 
 use crate::op::{MicroOp, Mode, OpKind};
-use crate::profile::{
-    AccessPattern, CodeModel, DataRegion, WorkloadProfile, BYTES_PER_OP,
-};
+use crate::profile::{AccessPattern, CodeModel, DataRegion, WorkloadProfile, BYTES_PER_OP};
 use crate::rng::{Geometric, SplitMix64, Zipf};
 
 /// Base virtual address of user code.
@@ -236,18 +234,16 @@ impl SyntheticTrace {
     pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed ^ 0xDCBE_0001);
         let ops_per_block = profile.mix.ops_per_block();
-        let user_code =
-            CodeImage::new(USER_CODE_BASE, &profile.code, ops_per_block, &mut rng);
+        let user_code = CodeImage::new(USER_CODE_BASE, &profile.code, ops_per_block, &mut rng);
         let user_data = AddressStream::new(USER_DATA_BASE, &profile.data);
         let mut kernel = None;
         if let Some(k) = profile.kernel.as_ref() {
             let kernel_burst = u64::from(k.burst_ops);
             // Choose the user-burst length so that kernel ops make up
             // `fraction` of the stream: k / (k + u) = f.
-            let user_burst = ((kernel_burst as f64) * (1.0 - k.fraction)
-                / k.fraction.max(1e-6))
-            .round()
-            .max(1.0) as u64;
+            let user_burst = ((kernel_burst as f64) * (1.0 - k.fraction) / k.fraction.max(1e-6))
+                .round()
+                .max(1.0) as u64;
             kernel = Some(KernelState {
                 code: CodeImage::new(KERNEL_CODE_BASE, &k.code, ops_per_block, &mut rng),
                 data: AddressStream::new(KERNEL_DATA_BASE, &k.data),
@@ -359,9 +355,15 @@ impl Iterator for SyntheticTrace {
             // mix validation keeps totals sane and branch ops drawn here
             // are emitted as plain ALU work.
             if u < self.mix_cdf[0] {
-                OpKind::Load { addr: data.next_addr(&mut self.rng), size: 8 }
+                OpKind::Load {
+                    addr: data.next_addr(&mut self.rng),
+                    size: 8,
+                }
             } else if u < self.mix_cdf[1] {
-                OpKind::Store { addr: data.next_addr(&mut self.rng), size: 8 }
+                OpKind::Store {
+                    addr: data.next_addr(&mut self.rng),
+                    size: 8,
+                }
             } else if u < self.mix_cdf[2] {
                 OpKind::IntAlu // branch slot folded into ALU within blocks
             } else if u < self.mix_cdf[3] {
@@ -380,7 +382,13 @@ impl Iterator for SyntheticTrace {
         } else {
             self.ops_since_load.saturating_add(1)
         };
-        Some(MicroOp { pc, kind, mode, dep_dist, rat_hazard })
+        Some(MicroOp {
+            pc,
+            kind,
+            mode,
+            dep_dist,
+            rat_hazard,
+        })
     }
 }
 
@@ -528,7 +536,10 @@ mod tests {
             .data(vec![DataRegion::new(
                 8 << 20,
                 1.0,
-                AccessPattern::Tiled { stride: 64, window: 4096 },
+                AccessPattern::Tiled {
+                    stride: 64,
+                    window: 4096,
+                },
             )])
             .build()
             .unwrap();
@@ -571,7 +582,10 @@ mod tests {
             taken_rate: 0.9,
             ..crate::profile::CodeModel::default()
         };
-        let p = WorkloadProfile::builder("taken").code(code).build().unwrap();
+        let p = WorkloadProfile::builder("taken")
+            .code(code)
+            .build()
+            .unwrap();
         let (mut taken, mut total) = (0u64, 0u64);
         for op in SyntheticTrace::new(&p, 15).take(200_000) {
             if let OpKind::Branch { taken: t, .. } = op.kind {
@@ -585,7 +599,10 @@ mod tests {
 
     #[test]
     fn narrow_mix_emits_divs() {
-        let mix = InstMix { div: 0.2, ..InstMix::default() };
+        let mix = InstMix {
+            div: 0.2,
+            ..InstMix::default()
+        };
         let p = WorkloadProfile::builder("div").mix(mix).build().unwrap();
         let divs = SyntheticTrace::new(&p, 16)
             .take(50_000)

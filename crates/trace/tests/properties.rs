@@ -1,9 +1,9 @@
 //! Property-based invariants of the trace layer.
 
 use dc_trace::profile::{AccessPattern, DataRegion, InstMix, WorkloadProfile};
+use dc_trace::reuse::ReuseHistogram;
 use dc_trace::rng::{Geometric, SplitMix64, Zipf};
 use dc_trace::synth::SyntheticTrace;
-use dc_trace::reuse::ReuseHistogram;
 use proptest::prelude::*;
 
 proptest! {

@@ -11,7 +11,11 @@ use dcbench::report;
 fn main() {
     let fig = report::figure2(Scale::bytes(256 << 10));
     println!("{}", fig.render());
-    let min = fig.rows.iter().map(|(_, s)| s[2]).fold(f64::INFINITY, f64::min);
+    let min = fig
+        .rows
+        .iter()
+        .map(|(_, s)| s[2])
+        .fold(f64::INFINITY, f64::min);
     let max = fig.rows.iter().map(|(_, s)| s[2]).fold(0.0f64, f64::max);
     println!("speed-up spread on 8 slaves: {min:.1}x – {max:.1}x (paper: 3.3x – 8.2x)");
     println!("=> no single workload represents the class (Section II-B).");

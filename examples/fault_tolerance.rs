@@ -38,9 +38,8 @@ fn main() {
 
     // Injected panics are caught by the engine; keep them off stderr.
     std::panic::set_hook(Box::new(|_| {}));
-    let (mut faulted, faulted_stats) =
-        dc_analytics::wordcount::run(docs.clone(), &faulted_cfg)
-            .expect("failures stay under max_attempts");
+    let (mut faulted, faulted_stats) = dc_analytics::wordcount::run(docs.clone(), &faulted_cfg)
+        .expect("failures stay under max_attempts");
     faulted.sort();
 
     assert_eq!(clean, faulted, "recovered output must be identical");
@@ -50,9 +49,7 @@ fn main() {
         "dataflow counters must be identical"
     );
     assert_eq!(faulted_stats.failed_attempts, 3);
-    println!(
-        "WordCount with 3 first-attempt panics (2 map tasks + 1 reduce task):"
-    );
+    println!("WordCount with 3 first-attempt panics (2 map tasks + 1 reduce task):");
     println!(
         "    {} distinct words, identical to the fault-free run",
         faulted.len()
@@ -64,8 +61,8 @@ fn main() {
     );
 
     // ---- 2. Deterministic replay: same seed, same stats ----
-    let (_, replay_stats) = dc_analytics::wordcount::run(docs, &faulted_cfg)
-        .expect("failures stay under max_attempts");
+    let (_, replay_stats) =
+        dc_analytics::wordcount::run(docs, &faulted_cfg).expect("failures stay under max_attempts");
     let _ = std::panic::take_hook();
     assert_eq!(
         faulted_stats.without_timings(),
@@ -75,7 +72,10 @@ fn main() {
     println!("replaying the same fault plan reproduces identical JobStats\n");
 
     // ---- 3. One slave lost mid-map at 8 slaves ----
-    println!("{}", fault_tolerance_exhibit(Scale::bytes(48 << 10)).render());
+    println!(
+        "{}",
+        fault_tolerance_exhibit(Scale::bytes(48 << 10)).render()
+    );
     println!("Hadoop's answer to a lost node: re-run its map waves on the");
     println!("survivors and re-replicate its HDFS blocks — jobs always");
     println!("complete, paying for the loss in speedup, not correctness.");

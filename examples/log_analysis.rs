@@ -12,8 +12,7 @@ fn main() {
     let cfg = JobConfig::default();
 
     // Grep: extract the "error-class" tokens.
-    let (mut matches, gstats) =
-        grep::run(docs.clone(), "w001..", &cfg).expect("fault-free job");
+    let (mut matches, gstats) = grep::run(docs.clone(), "w001..", &cfg).expect("fault-free job");
     matches.sort_by_key(|m| std::cmp::Reverse(m.1));
     println!(
         "grep 'w001..': {} distinct matches, {} total ({}ms map, {}ms reduce)",
@@ -29,7 +28,11 @@ fn main() {
     println!(
         "wordcount: {} distinct words; top 5: {:?}",
         counts.len(),
-        counts.iter().take(5).map(|(w, c)| format!("{w}:{c}")).collect::<Vec<_>>(),
+        counts
+            .iter()
+            .take(5)
+            .map(|(w, c)| format!("{w}:{c}"))
+            .collect::<Vec<_>>(),
     );
     println!(
         "shuffle shrank by the combiner: {} -> {} records",

@@ -18,8 +18,14 @@ fn main() {
         println!("== {} ==", id.name());
         println!(
             "  ipc={:.3} kern={:.2} l1i={:.1} itlbW={:.3} l2={:.1} l3r={:.2} dtlbW={:.3} br={:.4}",
-            m.ipc, m.kernel_fraction, m.l1i_mpki, m.itlb_walk_pki, m.l2_mpki,
-            m.l3_hit_ratio, m.dtlb_walk_pki, m.branch_misprediction
+            m.ipc,
+            m.kernel_fraction,
+            m.l1i_mpki,
+            m.itlb_walk_pki,
+            m.l2_mpki,
+            m.l3_hit_ratio,
+            m.dtlb_walk_pki,
+            m.branch_misprediction
         );
         let raw = bench.raw_counts(id);
         println!(

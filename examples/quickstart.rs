@@ -28,7 +28,11 @@ fn main() {
 
     // 2. Characterize on the simulated Westmere machine.
     let bench = Characterizer::quick();
-    for id in [BenchmarkId::Sort, BenchmarkId::DataServing, BenchmarkId::HpccDgemm] {
+    for id in [
+        BenchmarkId::Sort,
+        BenchmarkId::DataServing,
+        BenchmarkId::HpccDgemm,
+    ] {
         let m = bench.run(id);
         println!(
             "{:14} IPC {:.2} | kernel {:>4.1}% | L1I MPKI {:>5.1} | L2 MPKI {:>5.1} | br-misp {:.2}%",

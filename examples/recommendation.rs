@@ -16,8 +16,7 @@ fn main() {
         set.ratings.len()
     );
 
-    let (model, stats) =
-        ibcf::train(&set, &JobConfig::default()).expect("fault-free job");
+    let (model, stats) = ibcf::train(&set, &JobConfig::default()).expect("fault-free job");
     println!(
         "trained item-item model: {} similarity pairs ({} map records, {} KiB shuffled)",
         model.sim.len(),

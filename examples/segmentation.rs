@@ -20,8 +20,7 @@ fn main() {
             .to_string(),
         );
     }
-    let (model, stats) =
-        hmm::train(corpus, &JobConfig::default()).expect("fault-free job");
+    let (model, stats) = hmm::train(corpus, &JobConfig::default()).expect("fault-free job");
     println!(
         "trained BMES segmenter from {} records ({} tag/emission counts)",
         stats.map_input_records, stats.map_output_records,

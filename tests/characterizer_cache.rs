@@ -1,0 +1,85 @@
+//! The memoizing result cache: a second characterization of the same
+//! `(entry, config, window, seed)` key must do zero simulation work.
+//!
+//! Kept in its own integration binary (one test) so the process-wide
+//! simulation-invocation counter is not perturbed by concurrent tests.
+
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dcbench::{cache, BenchmarkId, Characterizer};
+
+#[test]
+fn second_run_of_same_entry_does_zero_simulation_work() {
+    let c = Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 50_000,
+            warmup_ops: 20_000,
+        },
+        0xCAFE_2013,
+    );
+
+    let before = cache::sim_invocations();
+    let first = c.run(BenchmarkId::Sort);
+    let after_first = cache::sim_invocations();
+    assert_eq!(after_first - before, 1, "cold run simulates exactly once");
+
+    let hits_before = cache::cache_hits();
+    let second = c.run(BenchmarkId::Sort);
+    assert_eq!(
+        cache::sim_invocations(),
+        after_first,
+        "warm run must not simulate"
+    );
+    assert_eq!(cache::cache_hits(), hits_before + 1);
+    assert_eq!(first, second);
+
+    // The raw-counts and events views share the same cached block.
+    let _ = c.raw_counts(BenchmarkId::Sort);
+    let _ = c.run_with_events(BenchmarkId::Sort);
+    assert_eq!(
+        cache::sim_invocations(),
+        after_first,
+        "all read paths share one cached block"
+    );
+
+    // A different window is a different key: it simulates again.
+    let longer = Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 60_000,
+            warmup_ops: 20_000,
+        },
+        0xCAFE_2013,
+    );
+    let _ = longer.run(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), after_first + 1);
+
+    // So is a different machine config, even at the same window.
+    let fatter_l3 = Characterizer::new(
+        CpuConfig::westmere_e5645().with_l3_bytes(24 << 20),
+        SimOptions {
+            max_ops: 50_000,
+            warmup_ops: 20_000,
+        },
+        0xCAFE_2013,
+    );
+    let _ = fatter_l3.run(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), after_first + 2);
+
+    // The uncached escape hatch always simulates (and counts).
+    let _ = c.run_uncached(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), after_first + 3);
+
+    // run_all over a warm matrix costs zero additional simulations.
+    dcbench::cache::clear();
+    let cold = cache::sim_invocations();
+    let _ = c.run_all();
+    let warmed = cache::sim_invocations();
+    assert_eq!(warmed - cold, BenchmarkId::all().len() as u64);
+    let _ = c.run_all();
+    assert_eq!(
+        cache::sim_invocations(),
+        warmed,
+        "warm matrix re-simulates nothing"
+    );
+}

@@ -10,11 +10,17 @@ fn bench() -> Characterizer {
 }
 
 fn da(bench: &Characterizer) -> Vec<dc_perfmon::Metrics> {
-    BenchmarkId::data_analysis().iter().map(|&id| bench.run(id)).collect()
+    BenchmarkId::data_analysis()
+        .iter()
+        .map(|&id| bench.run(id))
+        .collect()
 }
 
 fn services(bench: &Characterizer) -> Vec<dc_perfmon::Metrics> {
-    BenchmarkId::services().iter().map(|&id| bench.run(id)).collect()
+    BenchmarkId::services()
+        .iter()
+        .map(|&id| bench.run(id))
+        .collect()
 }
 
 #[test]
@@ -28,7 +34,11 @@ fn finding1_ipc_ordering() {
     let dgemm = b.run(BenchmarkId::HpccDgemm);
     let stream = b.run(BenchmarkId::HpccStream);
 
-    assert!(svc_avg.ipc < 0.6, "service IPC < 0.6 (got {:.2})", svc_avg.ipc);
+    assert!(
+        svc_avg.ipc < 0.6,
+        "service IPC < 0.6 (got {:.2})",
+        svc_avg.ipc
+    );
     assert!(
         da_avg.ipc > svc_avg.ipc + 0.1,
         "DA IPC ({:.2}) must clearly exceed services ({:.2})",
@@ -41,9 +51,17 @@ fn finding1_ipc_ordering() {
         da_avg.ipc
     );
     assert!(hpl.ipc > 1.0, "HPL is compute-bound (got {:.2})", hpl.ipc);
-    assert!(dgemm.ipc > 1.0, "DGEMM is compute-bound (got {:.2})", dgemm.ipc);
+    assert!(
+        dgemm.ipc > 1.0,
+        "DGEMM is compute-bound (got {:.2})",
+        dgemm.ipc
+    );
     assert!(dgemm.ipc > da_avg.ipc, "HPCC compute kernels beat DA");
-    assert!(stream.ipc < 0.5, "STREAM is memory-bound (got {:.2})", stream.ipc);
+    assert!(
+        stream.ipc < 0.5,
+        "STREAM is memory-bound (got {:.2})",
+        stream.ipc
+    );
 }
 
 #[test]
@@ -51,18 +69,39 @@ fn finding1b_kernel_mode_share() {
     // Services >40% kernel; DA ≈4% with Sort ≈24%; RandomAccess ≈31%.
     let b = bench();
     for m in services(&b) {
-        assert!(m.kernel_fraction > 0.4, "{}: {:.2}", m.name, m.kernel_fraction);
+        assert!(
+            m.kernel_fraction > 0.4,
+            "{}: {:.2}",
+            m.name,
+            m.kernel_fraction
+        );
     }
     let rows = da(&b);
     let sort = rows.iter().find(|m| m.name == "Sort").expect("sort");
-    assert!((0.15..0.35).contains(&sort.kernel_fraction), "{}", sort.kernel_fraction);
+    assert!(
+        (0.15..0.35).contains(&sort.kernel_fraction),
+        "{}",
+        sort.kernel_fraction
+    );
     let others_avg = average(
         "rest",
-        &rows.iter().filter(|m| m.name != "Sort").cloned().collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .filter(|m| m.name != "Sort")
+            .cloned()
+            .collect::<Vec<_>>(),
     );
-    assert!(others_avg.kernel_fraction < 0.10, "{}", others_avg.kernel_fraction);
+    assert!(
+        others_avg.kernel_fraction < 0.10,
+        "{}",
+        others_avg.kernel_fraction
+    );
     let ra = b.run(BenchmarkId::HpccRandomAccess);
-    assert!((0.2..0.4).contains(&ra.kernel_fraction), "{}", ra.kernel_fraction);
+    assert!(
+        (0.2..0.4).contains(&ra.kernel_fraction),
+        "{}",
+        ra.kernel_fraction
+    );
 }
 
 #[test]
@@ -107,18 +146,24 @@ fn finding3_l1i_and_itlb() {
         media.l1i_mpki,
         da_avg.l1i_mpki
     );
-    for id in [BenchmarkId::SpecFp, BenchmarkId::HpccDgemm, BenchmarkId::HpccStream] {
+    for id in [
+        BenchmarkId::SpecFp,
+        BenchmarkId::HpccDgemm,
+        BenchmarkId::HpccStream,
+    ] {
         let m = b.run(id);
         assert!(m.l1i_mpki < 5.0, "{}: L1I MPKI {:.1}", m.name, m.l1i_mpki);
     }
-    let bayes = rows.iter().find(|m| m.name == "Naive Bayes").expect("bayes");
+    let bayes = rows
+        .iter()
+        .find(|m| m.name == "Naive Bayes")
+        .expect("bayes");
     assert!(
         bayes.l1i_mpki < da_avg.l1i_mpki / 2.0,
         "Bayes has the smallest L1I misses: {:.1}",
         bayes.l1i_mpki
     );
-    let da_avg_itlb =
-        rows.iter().map(|m| m.itlb_walk_pki).sum::<f64>() / rows.len() as f64;
+    let da_avg_itlb = rows.iter().map(|m| m.itlb_walk_pki).sum::<f64>() / rows.len() as f64;
     assert!(
         bayes.itlb_walk_pki < da_avg_itlb / 2.0,
         "Bayes is the ITLB exception: {:.3} vs DA avg {:.3}",
@@ -169,10 +214,17 @@ fn finding4b_dtlb_walks() {
     // exception with elevated DTLB walks.
     let b = bench();
     let rows = da(&b);
-    let bayes = rows.iter().find(|m| m.name == "Naive Bayes").expect("bayes");
+    let bayes = rows
+        .iter()
+        .find(|m| m.name == "Naive Bayes")
+        .expect("bayes");
     let rest = average(
         "rest",
-        &rows.iter().filter(|m| m.name != "Naive Bayes").cloned().collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .filter(|m| m.name != "Naive Bayes")
+            .cloned()
+            .collect::<Vec<_>>(),
     );
     assert!(
         bayes.dtlb_walk_pki > 2.0 * rest.dtlb_walk_pki,
@@ -188,7 +240,10 @@ fn finding4b_dtlb_walks() {
         rest.dtlb_walk_pki
     );
     let dgemm = b.run(BenchmarkId::HpccDgemm);
-    assert!(dgemm.dtlb_walk_pki < rest.dtlb_walk_pki, "HPCC compute kernels walk least");
+    assert!(
+        dgemm.dtlb_walk_pki < rest.dtlb_walk_pki,
+        "HPCC compute kernels walk least"
+    );
 }
 
 #[test]
@@ -210,6 +265,11 @@ fn finding5_branch_prediction() {
             continue; // kernel-path branches (network / copy_user)
         }
         let m = b.run(id);
-        assert!(m.branch_misprediction < 0.012, "{}: {:.3}", m.name, m.branch_misprediction);
+        assert!(
+            m.branch_misprediction < 0.012,
+            "{}: {:.3}",
+            m.name,
+            m.branch_misprediction
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! The parallel pipeline's defining guarantee: fanning the
+//! characterization matrix across worker threads changes wall-clock,
+//! never bits. Every metric row (and therefore every figure) must be
+//! identical to the sequential, uncached reference path — for any seed
+//! and any worker count.
+
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dcbench::{BenchmarkId, Characterizer};
+
+/// Tiny windows: 26 entries × 3 seeds must stay test-suite fast.
+fn harness(seed: u64) -> Characterizer {
+    Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 40_000,
+            warmup_ops: 20_000,
+        },
+        seed,
+    )
+}
+
+/// Force a real fan-out even on single-core runners: the pool must
+/// still collect in entry order.
+fn force_parallel() {
+    std::env::set_var(dcbench::pool::JOBS_ENV, "4");
+}
+
+#[test]
+fn parallel_run_all_is_bit_identical_to_sequential_for_three_seeds() {
+    force_parallel();
+    for seed in [2013u64, 0x5EED, 98_76_54_32_10] {
+        let c = harness(seed);
+        let sequential = c.run_all_sequential();
+        dcbench::cache::clear(); // the parallel pass must simulate, not read
+        let parallel = c.run_all();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            // Metrics derives PartialEq over every f64 field: this is
+            // bit-level equality of the derived rows, which in turn
+            // only holds if the raw counter blocks matched exactly.
+            assert_eq!(
+                s, p,
+                "seed {seed:#x}: {} diverged under parallelism",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_counter_blocks_match_under_parallel_fanout() {
+    force_parallel();
+    let c = harness(0xD15EA5E);
+    let ids = BenchmarkId::all();
+    // Reference: simulate two probes uncached on this thread.
+    let seq_sort = c.run_uncached(BenchmarkId::Sort);
+    let seq_stream = c.run_uncached(BenchmarkId::HpccStream);
+    dcbench::cache::clear();
+    // Fan out the whole matrix, then read the same entries back.
+    let all = c.run_all();
+    let find = |name: &str| {
+        all.iter()
+            .find(|m| m.name == name)
+            .expect("entry present")
+            .clone()
+    };
+    assert_eq!(find("Sort"), seq_sort);
+    assert_eq!(find("HPCC-STREAM"), seq_stream);
+    assert_eq!(all.len(), ids.len());
+}
+
+#[test]
+fn data_analysis_avg_is_stable_across_widths() {
+    let c = harness(2013);
+    std::env::set_var(dcbench::pool::JOBS_ENV, "1");
+    dcbench::cache::clear();
+    let narrow = c.run_data_analysis_with_avg();
+    std::env::set_var(dcbench::pool::JOBS_ENV, "4");
+    dcbench::cache::clear();
+    let wide = c.run_data_analysis_with_avg();
+    assert_eq!(narrow, wide);
+}

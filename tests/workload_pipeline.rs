@@ -18,7 +18,10 @@ fn all_eleven_workloads_run_end_to_end() {
             run.stats.reduce_output_records > 0 || run.stats.map_output_records > 0,
             "{w}"
         );
-        assert_eq!(run.stats.failed_attempts, 0, "{w}: clean run recorded failures");
+        assert_eq!(
+            run.stats.failed_attempts, 0,
+            "{w}: clean run recorded failures"
+        );
     }
 }
 
@@ -34,7 +37,10 @@ fn cluster_survives_one_slave_failing_mid_map() {
         let healthy = simulate(&cluster, &model);
         let failures = FailureModel::single_loss(healthy.map_secs / 2.0);
         let degraded = simulate_with_failures(&cluster, &model, &failures);
-        assert!(degraded.makespan_secs.is_finite(), "{w}: makespan not finite");
+        assert!(
+            degraded.makespan_secs.is_finite(),
+            "{w}: makespan not finite"
+        );
         assert!(
             degraded.makespan_secs > healthy.makespan_secs,
             "{w}: node loss must cost time ({} vs {})",
@@ -52,9 +58,15 @@ fn engine_stats_scale_into_cluster_models() {
         let model = job_model(w, Scale::bytes(32 << 10));
         assert!(model.input_gb > 100.0, "{w}: paper-scale input");
         assert!(model.map_cpu_secs_per_gb > 0.0, "{w}");
-        assert!(model.shuffle_ratio >= 0.0 && model.shuffle_ratio < 20.0, "{w}");
+        assert!(
+            model.shuffle_ratio >= 0.0 && model.shuffle_ratio < 20.0,
+            "{w}"
+        );
         let run = simulate(&ClusterConfig::paper(4), &model);
-        assert!(run.makespan_secs.is_finite() && run.makespan_secs > 0.0, "{w}");
+        assert!(
+            run.makespan_secs.is_finite() && run.makespan_secs > 0.0,
+            "{w}"
+        );
     }
 }
 
@@ -75,9 +87,10 @@ fn sort_is_the_io_outlier() {
     let reducers = Workload::all()
         .iter()
         .filter(|&&w| w != Workload::Sort)
-        .filter(|&&w| {
-            job_model(w, Scale::bytes(48 << 10)).output_ratio < sort.output_ratio
-        })
+        .filter(|&&w| job_model(w, Scale::bytes(48 << 10)).output_ratio < sort.output_ratio)
         .count();
-    assert!(reducers >= 7, "most workloads reduce their input: {reducers}/10");
+    assert!(
+        reducers >= 7,
+        "most workloads reduce their input: {reducers}/10"
+    );
 }
