@@ -11,10 +11,11 @@
 //!     --baseline BENCH_baseline.json --tolerance 0.25
 //! ```
 //!
-//! With `--baseline`, every `full_matrix_*` entry is compared against
-//! the same-named entry in the baseline file; any wall-clock more than
-//! `tolerance` above baseline fails the run (exit 1). `DCBENCH_JOBS`
-//! caps the parallel phase's worker count, as everywhere else.
+//! With `--baseline`, every `full_matrix_*` and `chip_*` entry is
+//! compared against the same-named entry in the baseline file; any
+//! wall-clock more than `tolerance` above baseline fails the run
+//! (exit 1). `DCBENCH_JOBS` caps the parallel phase's worker count, as
+//! everywhere else.
 
 use dc_datagen::Scale;
 use dc_mapreduce::engine::JobConfig;
@@ -154,6 +155,23 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     });
     push("cluster_model_figure2", cluster, 0.0, 1);
 
+    eprintln!("dc-bench: chip co-run path (4 Sort tasks, shared L3)");
+    let corun_width = 4;
+    let corun_uops =
+        corun_width as f64 * (bench.options().warmup_ops + bench.options().max_ops) as f64;
+    cache::clear();
+    let chip = time_ms(|| {
+        bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
+    });
+    push("chip_corun_sort_x4", chip, corun_uops, 1);
+
+    // Warm: the co-run matrix is memoized like everything else, so this
+    // measures pure cache lookup.
+    let chip_warm = time_ms(|| {
+        bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
+    });
+    push("chip_corun_cached", chip_warm, corun_uops, 1);
+
     entries
 }
 
@@ -218,11 +236,14 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// (the warm-cache pass) cannot trip on scheduler noise.
 const GATE_SLACK_MS: f64 = 50.0;
 
-/// Compare the full-matrix entries against the baseline; returns the
-/// list of human-readable regression descriptions.
+/// Compare the full-matrix and chip entries against the baseline;
+/// returns the list of human-readable regression descriptions.
 fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
     let mut bad = Vec::new();
-    for e in current.iter().filter(|e| e.name.starts_with("full_matrix")) {
+    for e in current
+        .iter()
+        .filter(|e| e.name.starts_with("full_matrix") || e.name.starts_with("chip_"))
+    {
         let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
             eprintln!(
                 "dc-bench: note: baseline has no entry '{}' — skipped",
@@ -353,6 +374,16 @@ mod tests {
         }];
         let engine_base = vec![("engine_wordcount_256k".to_string(), 1.0)];
         assert!(regressions(&engine, &engine_base, 0.25).is_empty());
+        // Chip co-run entries gate like the matrix ones.
+        let chip = vec![BenchEntry {
+            name: "chip_corun_sort_x4",
+            wall_ms: 2000.0,
+            uops_per_s: 0.0,
+            threads: 1,
+        }];
+        let chip_base = vec![("chip_corun_sort_x4".to_string(), 1000.0)];
+        assert_eq!(regressions(&chip, &chip_base, 0.25).len(), 1);
+        assert!(regressions(&chip, &chip_base, 1.5).is_empty());
     }
 
     #[test]

@@ -32,10 +32,14 @@ pub struct CacheKey {
     pub warmup_ops: u64,
     /// Per-entry trace seed (already mixed with the entry id).
     pub seed: u64,
+    /// Co-run width: how many copies of the entry shared the chip's L3
+    /// (1 = the classic solo measurement). Part of the key because the
+    /// same entry under contention produces different counters.
+    pub corun: u32,
 }
 
 impl CacheKey {
-    /// Build the key for one entry under one harness configuration.
+    /// Build the key for one solo entry under one harness configuration.
     pub fn new(id: BenchmarkId, cfg: &CpuConfig, opts: &SimOptions, seed: u64) -> Self {
         CacheKey {
             id,
@@ -43,7 +47,14 @@ impl CacheKey {
             max_ops: opts.max_ops,
             warmup_ops: opts.warmup_ops,
             seed,
+            corun: 1,
         }
+    }
+
+    /// The same measurement at a different co-run width.
+    pub fn with_corun(mut self, corun: u32) -> Self {
+        self.corun = corun;
+        self
     }
 }
 
@@ -52,12 +63,12 @@ static SIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// Lookups satisfied without simulating.
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 
-fn table() -> &'static Mutex<HashMap<CacheKey, PerfCounts>> {
-    static TABLE: OnceLock<Mutex<HashMap<CacheKey, PerfCounts>>> = OnceLock::new();
+fn table() -> &'static Mutex<HashMap<CacheKey, Vec<PerfCounts>>> {
+    static TABLE: OnceLock<Mutex<HashMap<CacheKey, Vec<PerfCounts>>>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn lock() -> std::sync::MutexGuard<'static, HashMap<CacheKey, PerfCounts>> {
+fn lock() -> std::sync::MutexGuard<'static, HashMap<CacheKey, Vec<PerfCounts>>> {
     // Cache payloads are plain counter blocks; a panicking simulation
     // never holds the lock, but recover from poisoning regardless.
     table().lock().unwrap_or_else(|p| p.into_inner())
@@ -77,13 +88,23 @@ pub(crate) fn note_simulation() {
 /// both simulate and insert the identical deterministic block — wasted
 /// work in a pathological schedule, never wrong data.
 pub(crate) fn counts_for(key: CacheKey, compute: impl FnOnce() -> PerfCounts) -> PerfCounts {
-    if let Some(hit) = lock().get(&key).copied() {
+    counts_vec_for(key, || vec![compute()])[0]
+}
+
+/// Vector-valued variant for chip co-runs: one counter block per core,
+/// indexed by core, under one key. Solo lookups are the one-element
+/// special case, so a width-1 co-run and a plain run share hits.
+pub(crate) fn counts_vec_for(
+    key: CacheKey,
+    compute: impl FnOnce() -> Vec<PerfCounts>,
+) -> Vec<PerfCounts> {
+    if let Some(hit) = lock().get(&key).cloned() {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return hit;
     }
     note_simulation();
     let counts = compute();
-    lock().insert(key, counts);
+    lock().insert(key, counts.clone());
     counts
 }
 
@@ -155,6 +176,31 @@ mod tests {
             ..base
         };
         assert_ne!(base, other_entry);
+        assert_ne!(base, base.with_corun(4), "co-run width is part of the key");
+        assert_eq!(base, base.with_corun(1), "width 1 is the solo key");
+    }
+
+    #[test]
+    fn corun_vectors_round_trip() {
+        let k = key(0xC05E_EDC0_5EED).with_corun(3);
+        let blocks: Vec<PerfCounts> = (1..=3)
+            .map(|i| PerfCounts {
+                cycles: i,
+                ..PerfCounts::default()
+            })
+            .collect();
+        let mut computed = 0u32;
+        let a = counts_vec_for(k, || {
+            computed += 1;
+            blocks.clone()
+        });
+        let b = counts_vec_for(k, || {
+            computed += 1;
+            Vec::new()
+        });
+        assert_eq!(computed, 1, "warm lookup must not recompute");
+        assert_eq!(a, blocks);
+        assert_eq!(b, blocks);
     }
 
     #[test]

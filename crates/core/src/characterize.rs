@@ -24,7 +24,7 @@ use crate::cache::{self, CacheKey};
 use crate::pool;
 use crate::profiles::profile;
 use crate::registry::BenchmarkId;
-use dc_cpu::{core::SimOptions, Core, CpuConfig, PerfCounts};
+use dc_cpu::{core::SimOptions, Chip, Core, CpuConfig, PerfCounts};
 use dc_perfmon::{msr, Metrics, PerfEvent};
 use dc_trace::SyntheticTrace;
 
@@ -53,8 +53,8 @@ impl Characterizer {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
             SimOptions {
-                max_ops: 300_000,
-                warmup_ops: 500_000,
+                max_ops: 500_000,
+                warmup_ops: 300_000,
             },
             2013,
         )
@@ -129,6 +129,42 @@ impl Characterizer {
         self.counts(id)
     }
 
+    /// Trace seed for co-runner `k` of an entry: co-runner 0 reuses the
+    /// solo seed (so a width-1 co-run *is* the solo measurement), the
+    /// rest decorrelate via a splitmix-style odd-constant mix.
+    fn corun_seed(&self, id: BenchmarkId, k: usize) -> u64 {
+        self.entry_seed(id) ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Simulate `n` copies of one entry co-running on a shared-L3 chip,
+    /// unconditionally (no cache). One counter block per core.
+    fn simulate_corun(&self, id: BenchmarkId, n: usize) -> Vec<PerfCounts> {
+        let prof = profile(id);
+        let traces = (0..n)
+            .map(|k| SyntheticTrace::new(&prof, self.corun_seed(id, k)))
+            .collect();
+        Chip::new(self.cfg.clone(), n).run(traces, &self.opts)
+    }
+
+    /// Per-core counter blocks for an `n`-wide co-run of one entry,
+    /// through the memoizing cache (keyed on co-run width).
+    pub fn corun_counts(&self, id: BenchmarkId, n: usize) -> Vec<PerfCounts> {
+        assert!(n > 0, "co-run width must be at least 1");
+        let key =
+            CacheKey::new(id, &self.cfg, &self.opts, self.entry_seed(id)).with_corun(n as u32);
+        cache::counts_vec_for(key, || self.simulate_corun(id, n))
+    }
+
+    /// Characterize `n` co-running copies of one entry on a shared-L3
+    /// chip ([`dc_cpu::Chip`]), modelling `n` Hadoop task slots of the
+    /// same workload. Returns the metric row of **core 0** — the
+    /// observed task, whose trace is identical at every width — so rows
+    /// at widths 1, 4, 8 isolate the cost of contention. `corun(id, 1)`
+    /// equals `run(id)` bit-for-bit.
+    pub fn corun(&self, id: BenchmarkId, n: usize) -> Metrics {
+        Metrics::from_counts(id.name(), &self.corun_counts(id, n)[0])
+    }
+
     /// Characterize a set of entries in parallel, returning metric rows
     /// in the same order as `ids`. Bit-identical to mapping [`run`]
     /// over `ids` sequentially.
@@ -199,6 +235,44 @@ mod tests {
         let rows = c.run_data_analysis_with_avg();
         assert_eq!(rows.len(), 12);
         assert_eq!(rows.last().expect("nonempty").name, "avg");
+    }
+
+    #[test]
+    fn corun_width_one_equals_solo_run() {
+        // A seed no other test uses, so the shared cache cannot satisfy
+        // either path from the other's fill: the chip path simulates
+        // first, then the uncached Core reference path must agree
+        // bit-for-bit.
+        let c = Characterizer::new(
+            CpuConfig::westmere_e5645(),
+            SimOptions {
+                max_ops: 80_000,
+                warmup_ops: 20_000,
+            },
+            0x00C0_9013,
+        );
+        let co = c.corun(BenchmarkId::KMeans, 1);
+        assert_eq!(co, c.run_uncached(BenchmarkId::KMeans));
+        assert_eq!(
+            c.corun_counts(BenchmarkId::KMeans, 1).len(),
+            1,
+            "one block per core"
+        );
+    }
+
+    #[test]
+    fn corun_is_deterministic_and_cached() {
+        let c = Characterizer::quick();
+        let a = c.corun_counts(BenchmarkId::Sort, 3);
+        assert_eq!(a.len(), 3);
+        let before = cache::sim_invocations();
+        let b = c.corun_counts(BenchmarkId::Sort, 3);
+        assert_eq!(
+            cache::sim_invocations(),
+            before,
+            "warm co-run lookup must not re-simulate"
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -188,6 +188,47 @@ pub fn fault_tolerance_exhibit(scale: Scale) -> FigureData {
     }
 }
 
+/// Co-run widths of Exhibit CO: solo, the paper's 4-slot Hadoop
+/// configuration, and its 8-slot maximum.
+pub const CORUN_WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// Exhibit CO: shared-L3 contention when N copies of each data-analysis
+/// workload co-run on one chip ([`dc_cpu::Chip`]), as N map-task slots
+/// did on the paper's nodes. Reports core 0's L3 MPKI and IPC at each
+/// width in [`CORUN_WIDTHS`]; core 0's trace is identical at every
+/// width, so column deltas isolate the cost of contention.
+pub fn corun_exhibit(bench: &Characterizer) -> FigureData {
+    let ids = BenchmarkId::data_analysis();
+    let jobs: Vec<(BenchmarkId, usize)> = ids
+        .iter()
+        .flat_map(|&id| CORUN_WIDTHS.iter().map(move |&n| (id, n)))
+        .collect();
+    let cells = crate::pool::parallel_map(jobs, |_, (id, n)| bench.corun(id, n));
+    let rows = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let ms = &cells[i * CORUN_WIDTHS.len()..(i + 1) * CORUN_WIDTHS.len()];
+            let mut vals: Vec<f64> = ms.iter().map(|m| m.l3_mpki).collect();
+            vals.extend(ms.iter().map(|m| m.ipc));
+            (id.name().to_string(), vals)
+        })
+        .collect();
+    FigureData {
+        id: "Exhibit CO".into(),
+        title: "Shared-L3 pressure and IPC of one task under 1/4/8 co-runners".into(),
+        columns: vec![
+            "MPKI x1".into(),
+            "MPKI x4".into(),
+            "MPKI x8".into(),
+            "IPC x1".into(),
+            "IPC x4".into(),
+            "IPC x8".into(),
+        ],
+        rows,
+    }
+}
+
 /// Figure 6: pipeline stall breakdown.
 pub fn figure6(bench: &Characterizer) -> FigureData {
     let rows = all_rows(bench)
@@ -315,7 +356,7 @@ pub fn table3(bench: &Characterizer) -> String {
         let _ = writeln!(out, "    {k:12} {v}");
     };
     row("CPU Type", "Intel Xeon E5645 (simulated)".into());
-    row("# Cores", "6 cores @ 2.4 GHz".into());
+    row("# Cores", format!("{} cores @ 2.4 GHz", c.cores));
     row(
         "ITLB",
         format!("{}-way, {} entries", c.itlb.assoc, c.itlb.entries),

@@ -5,6 +5,14 @@
 //! an ascending line stream trigger prefetches of the next few lines into
 //! L2 and L3. Prefetch fills are tracked separately so demand-miss
 //! counters match what hardware counters report.
+//!
+//! Ownership mirrors the E5645 die: [`PrivateHierarchy`] holds the
+//! structures each core owns alone (split L1s, unified L2, the stream
+//! prefetcher, and this core's share of the L3 demand statistics), while
+//! [`SharedL3`] holds what the whole chip contends for (the 12 MB L3 and
+//! the DRAM channel). [`Hierarchy`] composes one of each for the
+//! single-core [`Core`](crate::core::Core) path; [`Chip`](crate::chip::Chip)
+//! points N private hierarchies at one shared level.
 
 use crate::config::{CacheConfig, CpuConfig, PrefetchConfig};
 
@@ -215,53 +223,36 @@ pub enum MemLevel {
     Memory,
 }
 
-/// Three-level hierarchy: split L1, unified L2, shared L3, plus the L2
-/// stream prefetcher.
+/// The chip-shared memory system: the last-level cache plus the DRAM
+/// channel every core's misses queue on.
+///
+/// Holds no per-core statistics — demand accesses and misses are
+/// attributed by the [`PrivateHierarchy`] that issued them, the way
+/// per-core PMU events attribute LLC traffic on real hardware. The
+/// embedded [`Cache`]'s own counters accumulate chip-wide totals and are
+/// never read by the simulation.
 #[derive(Debug, Clone)]
-pub struct Hierarchy {
-    /// L1 instruction cache.
-    pub l1i: Cache,
-    /// L1 data cache.
-    pub l1d: Cache,
-    /// Unified L2.
-    pub l2: Cache,
-    /// Shared L3.
+pub struct SharedL3 {
+    /// The shared last-level cache.
     pub l3: Cache,
-    streams: StreamTable,
-    prefetch_enabled: bool,
-    line_bytes: u64,
-    /// Latencies per level.
-    lat_l1: u32,
-    lat_l2: u32,
     lat_l3: u32,
     lat_mem: u32,
-    /// Minimum cycles between line transfers from memory (per-core DRAM
-    /// bandwidth share under full-system load).
+    /// Minimum cycles between line transfers from memory (the channel is
+    /// shared: co-running cores queue on the same slots).
     mem_line_gap: u64,
     /// Cycle at which the memory channel is next free.
     next_mem_slot: u64,
-    /// Prefetch lines issued.
-    pub prefetches: u64,
 }
 
-impl Hierarchy {
-    /// Build the hierarchy from a machine config.
+impl SharedL3 {
+    /// Build the shared level from a machine config.
     pub fn new(cfg: &CpuConfig) -> Self {
-        Hierarchy {
-            l1i: Cache::new(&cfg.l1i),
-            l1d: Cache::new(&cfg.l1d),
-            l2: Cache::new(&cfg.l2),
+        SharedL3 {
             l3: Cache::new(&cfg.l3),
-            streams: StreamTable::new(&cfg.prefetch),
-            prefetch_enabled: cfg.prefetch.enabled,
-            line_bytes: u64::from(cfg.l2.line_bytes),
-            lat_l1: cfg.l1d.latency,
-            lat_l2: cfg.l2.latency,
             lat_l3: cfg.l3.latency,
             lat_mem: cfg.mem.memory,
             mem_line_gap: u64::from(cfg.mem.line_gap),
             next_mem_slot: 0,
-            prefetches: 0,
         }
     }
 
@@ -284,26 +275,105 @@ impl Hierarchy {
         delay
     }
 
+    /// Reset the embedded cache's chip-wide counters, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l3.reset_stats();
+    }
+}
+
+/// The structures one core owns alone: split L1s, unified L2, the L2
+/// stream prefetcher, and this core's attribution counters for traffic
+/// it sends to the shared level.
+#[derive(Debug, Clone)]
+pub struct PrivateHierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    streams: StreamTable,
+    prefetch_enabled: bool,
+    line_bytes: u64,
+    lat_l1: u32,
+    lat_l2: u32,
+    /// Physical-address salt applied to every shared-L3/DRAM address:
+    /// co-running tasks execute identical virtual working sets, but each
+    /// process is backed by its own physical pages, so their lines index
+    /// distinct L3 sets and contend for capacity instead of aliasing.
+    salt: u64,
+    /// Prefetch lines issued by this core.
+    pub prefetches: u64,
+    /// Demand L3 accesses issued by this core (its L2 demand misses).
+    pub l3_accesses: u64,
+    /// Demand L3 misses suffered by this core.
+    pub l3_misses: u64,
+}
+
+impl PrivateHierarchy {
+    /// Build one core's private hierarchy (no address salt: core 0 of a
+    /// chip, or a standalone core, sees raw addresses).
+    pub fn new(cfg: &CpuConfig) -> Self {
+        PrivateHierarchy::with_salt(cfg, 0)
+    }
+
+    /// Build a private hierarchy whose shared-level traffic is offset by
+    /// `salt` (distinct physical backing per co-running core).
+    pub fn with_salt(cfg: &CpuConfig, salt: u64) -> Self {
+        PrivateHierarchy {
+            l1i: Cache::new(&cfg.l1i),
+            l1d: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            streams: StreamTable::new(&cfg.prefetch),
+            prefetch_enabled: cfg.prefetch.enabled,
+            line_bytes: u64::from(cfg.l2.line_bytes),
+            lat_l1: cfg.l1d.latency,
+            lat_l2: cfg.l2.latency,
+            salt,
+            prefetches: 0,
+            l3_accesses: 0,
+            l3_misses: 0,
+        }
+    }
+
+    #[inline]
+    fn salted(&self, addr: u64) -> u64 {
+        // Kernel addresses sit near the top of the address space, so the
+        // offset must wrap rather than saturate.
+        addr.wrapping_add(self.salt)
+    }
+
+    /// Demand L3 access with per-core attribution.
+    fn l3_access(&mut self, shared: &mut SharedL3, addr: u64) -> bool {
+        self.l3_accesses += 1;
+        let hit = shared.l3.access(self.salted(addr));
+        if !hit {
+            self.l3_misses += 1;
+        }
+        hit
+    }
+
     /// Instruction fetch of `addr` at cycle `now`: `(level, latency)`.
     ///
     /// On a miss, the front end's next-line prefetcher also fills
     /// `addr + line` (sequential code fetch is essentially free on real
     /// machines).
-    pub fn fetch_inst(&mut self, addr: u64, now: u64) -> (MemLevel, u32) {
+    pub fn fetch_inst(&mut self, shared: &mut SharedL3, addr: u64, now: u64) -> (MemLevel, u32) {
         if self.l1i.access(addr) {
             return (MemLevel::L1, 0); // hit latency hidden by pipelining
         }
-        let out = self.beyond_l1(addr, now);
+        let out = self.beyond_l1(shared, addr, now);
         if self.prefetch_enabled {
             let next = addr + self.line_bytes;
-            if self.l3.probe(next) || !self.channel_saturated(now) {
+            let next_salted = self.salted(next);
+            if shared.l3.probe(next_salted) || !shared.channel_saturated(now) {
                 self.prefetches += 1;
-                if !self.l3.probe(next) {
-                    self.charge_memory(now);
+                if !shared.l3.probe(next_salted) {
+                    shared.charge_memory(now);
                 }
                 self.l1i.fill(next);
                 self.l2.fill(next);
-                self.l3.fill(next);
+                shared.l3.fill(next_salted);
             }
         }
         out
@@ -311,15 +381,15 @@ impl Hierarchy {
 
     /// Data access of `addr` at cycle `now` (loads and store-drains):
     /// `(level, latency)`.
-    pub fn access_data(&mut self, addr: u64, now: u64) -> (MemLevel, u32) {
+    pub fn access_data(&mut self, shared: &mut SharedL3, addr: u64, now: u64) -> (MemLevel, u32) {
         if self.l1d.access(addr) {
             return (MemLevel::L1, self.lat_l1);
         }
-        let (lvl, lat) = self.beyond_l1(addr, now);
+        let (lvl, lat) = self.beyond_l1(shared, addr, now);
         (lvl, lat + self.lat_l1)
     }
 
-    fn beyond_l1(&mut self, addr: u64, now: u64) -> (MemLevel, u32) {
+    fn beyond_l1(&mut self, shared: &mut SharedL3, addr: u64, now: u64) -> (MemLevel, u32) {
         let line = addr / self.line_bytes;
         let l2_hit = self.l2.access(addr);
         if self.prefetch_enabled {
@@ -329,34 +399,74 @@ impl Hierarchy {
                 // Prefetches are dropped when the memory channel is
                 // saturated: demand requests keep priority, so heavy
                 // streams degrade to demand misses once bandwidth-bound.
-                if !self.l3.probe(pf) {
-                    if self.channel_saturated(now) {
+                if !shared.l3.probe(self.salted(pf)) {
+                    if shared.channel_saturated(now) {
                         continue;
                     }
-                    self.charge_memory(now);
+                    shared.charge_memory(now);
                 }
                 self.prefetches += 1;
                 self.l2.fill(pf);
-                self.l3.fill(pf);
+                shared.l3.fill(self.salted(pf));
             }
         }
         if l2_hit {
             return (MemLevel::L2, self.lat_l2);
         }
-        if self.l3.access(addr) {
-            return (MemLevel::L3, self.lat_l3);
+        if self.l3_access(shared, addr) {
+            return (MemLevel::L3, shared.lat_l3);
         }
-        let queue = self.charge_memory(now);
-        (MemLevel::Memory, self.lat_mem + queue as u32)
+        let queue = shared.charge_memory(now);
+        (MemLevel::Memory, shared.lat_mem + queue as u32)
     }
 
-    /// Reset all statistics (after warm-up), keeping contents.
+    /// Reset this core's statistics (after warm-up), keeping contents.
+    /// The shared level is untouched: other cores' warm-up boundaries
+    /// are their own.
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.l2.reset_stats();
-        self.l3.reset_stats();
         self.prefetches = 0;
+        self.l3_accesses = 0;
+        self.l3_misses = 0;
+    }
+}
+
+/// Three-level hierarchy for a standalone core: one private hierarchy
+/// composed with its own (uncontended) shared level.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// The core-private structures (L1s, L2, prefetcher, attribution).
+    pub private: PrivateHierarchy,
+    /// The L3 + DRAM channel, exclusive to this core here.
+    pub shared: SharedL3,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy from a machine config.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        Hierarchy {
+            private: PrivateHierarchy::new(cfg),
+            shared: SharedL3::new(cfg),
+        }
+    }
+
+    /// Instruction fetch of `addr` at cycle `now`: `(level, latency)`.
+    pub fn fetch_inst(&mut self, addr: u64, now: u64) -> (MemLevel, u32) {
+        self.private.fetch_inst(&mut self.shared, addr, now)
+    }
+
+    /// Data access of `addr` at cycle `now` (loads and store-drains):
+    /// `(level, latency)`.
+    pub fn access_data(&mut self, addr: u64, now: u64) -> (MemLevel, u32) {
+        self.private.access_data(&mut self.shared, addr, now)
+    }
+
+    /// Reset all statistics (after warm-up), keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.private.reset_stats();
+        self.shared.reset_stats();
     }
 }
 
@@ -448,13 +558,13 @@ mod tests {
         for i in 0..1024u64 {
             h.access_data(i * 64, 0);
         }
-        let (l1_misses, l2_misses) = (h.l1d.misses, h.l2.misses);
+        let (l1_misses, l2_misses) = (h.private.l1d.misses, h.private.l2.misses);
         // Second sweep: L1 thrash continues, L2 absorbs everything.
         for i in 0..1024u64 {
             h.access_data(i * 64, 0);
         }
-        assert!(h.l1d.misses > l1_misses, "L1 keeps missing");
-        assert_eq!(h.l2.misses, l2_misses, "L2 fully captures the set");
+        assert!(h.private.l1d.misses > l1_misses, "L1 keeps missing");
+        assert_eq!(h.private.l2.misses, l2_misses, "L2 fully captures the set");
     }
 
     #[test]
@@ -467,12 +577,12 @@ mod tests {
             on.access_data(a, i * 40);
             off.access_data(a, i * 40);
         }
-        assert!(on.prefetches > 0);
+        assert!(on.private.prefetches > 0);
         assert!(
-            (on.l2.misses as f64) < 0.25 * off.l2.misses as f64,
+            (on.private.l2.misses as f64) < 0.25 * off.private.l2.misses as f64,
             "streamer should absorb most sequential demand misses: on={} off={}",
-            on.l2.misses,
-            off.l2.misses
+            on.private.l2.misses,
+            off.private.l2.misses
         );
     }
 
@@ -487,15 +597,19 @@ mod tests {
             h.access_data((x >> 16) % (256 << 20), 0);
         }
         // Random traffic should not trigger meaningful prefetching.
-        assert!(h.prefetches < 5_000, "prefetches={}", h.prefetches);
+        assert!(
+            h.private.prefetches < 5_000,
+            "prefetches={}",
+            h.private.prefetches
+        );
     }
 
     #[test]
     fn fetch_inst_uses_l1i() {
         let mut h = Hierarchy::new(&CpuConfig::westmere_e5645());
         h.fetch_inst(0x40_0000, 0);
-        assert_eq!(h.l1i.accesses, 1);
-        assert_eq!(h.l1d.accesses, 0);
+        assert_eq!(h.private.l1i.accesses, 1);
+        assert_eq!(h.private.l1d.accesses, 0);
         let (lvl, lat) = h.fetch_inst(0x40_0000, 0);
         assert_eq!(lvl, MemLevel::L1);
         assert_eq!(lat, 0);
@@ -506,7 +620,7 @@ mod tests {
         let mut h = Hierarchy::new(&CpuConfig::westmere_e5645());
         h.access_data(0x8000, 0);
         h.reset_stats();
-        assert_eq!(h.l1d.accesses, 0);
+        assert_eq!(h.private.l1d.accesses, 0);
         let (lvl, _) = h.access_data(0x8000, 0);
         assert_eq!(lvl, MemLevel::L1, "contents preserved across reset");
     }

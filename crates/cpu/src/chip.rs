@@ -1,0 +1,246 @@
+//! The multi-core chip model: N cores sharing one contended L3.
+//!
+//! The paper's machines were dual Xeon E5645 chips — six cores behind a
+//! shared 12 MB L3 — running up to eight Hadoop map/reduce task slots
+//! per node, so every measured miss ratio already embeds shared-cache
+//! contention. [`Chip`] models that directly: each core owns its
+//! private L1I/L1D/L2/TLB/predictor state ([`PrivateHierarchy`]) and is
+//! fed its own trace, while all cores compete for one [`SharedL3`] and
+//! its bounded memory channel.
+//!
+//! ## Interleaving and determinism contract
+//!
+//! Cores advance in **lockstep on a single global cycle counter**:
+//! every cycle, each still-running core takes exactly one
+//! [`Pipeline::step`], always in ascending core order. The shared L3
+//! therefore observes a deterministic interleave of requests — the same
+//! configs, traces and seeds produce bit-identical counters on every
+//! run, on any machine, at any thread count. There is no wall-clock or
+//! scheduler dependence anywhere in the model.
+//!
+//! Cores that finish their measurement window early stop stepping
+//! (their counters freeze) while the remaining cores keep running and
+//! keep contending; this mirrors a straggling map task finishing late
+//! while its slot-mates have drained.
+//!
+//! A 1-core chip is **bit-identical** to [`Core::run`]: core 0 carries
+//! a zero address salt and the step order trivially matches the
+//! single-pipeline loop. This is pinned by tests in this module and by
+//! the golden-snapshot suite.
+//!
+//! Distinct cores salt the *physical* addresses they present to the
+//! shared level (`core_index << 44`, applied only beyond L2) so that
+//! co-running tasks model distinct working sets mapped to distinct
+//! physical pages, contending for L3 capacity rather than aliasing
+//! into shared lines.
+//!
+//! [`Core::run`]: crate::core::Core::run
+
+use dc_trace::TraceSource;
+
+use crate::branch::BranchPredictor;
+use crate::cache::{PrivateHierarchy, SharedL3};
+use crate::config::CpuConfig;
+use crate::core::{Pipeline, SimOptions};
+use crate::counters::PerfCounts;
+use crate::tlb::Mmu;
+
+/// Bit position of the per-core physical-address salt. High enough
+/// that no synthetic region (user or kernel) spans a salt boundary,
+/// low enough that salted kernel addresses stay distinct per core.
+const CORE_SALT_SHIFT: u32 = 44;
+
+/// Per-core private machine state: everything except the shared L3.
+#[derive(Debug)]
+struct CoreState {
+    hier: PrivateHierarchy,
+    mmu: Mmu,
+    bp: BranchPredictor,
+}
+
+/// A chip of N identical cores behind one shared, contended L3.
+#[derive(Debug)]
+pub struct Chip {
+    cfg: CpuConfig,
+    cores: Vec<CoreState>,
+    shared: SharedL3,
+}
+
+// The parallel characterization pipeline ships whole chip simulations
+// to worker threads, exactly as it ships single cores.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Chip>();
+};
+
+impl Chip {
+    /// Build a chip with `num_cores` cores for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(cfg: CpuConfig, num_cores: usize) -> Self {
+        assert!(num_cores > 0, "a chip needs at least one core");
+        let cores = (0..num_cores)
+            .map(|i| CoreState {
+                hier: PrivateHierarchy::with_salt(&cfg, (i as u64) << CORE_SALT_SHIFT),
+                mmu: Mmu::new(&cfg),
+                bp: BranchPredictor::new(&cfg),
+            })
+            .collect();
+        Chip {
+            shared: SharedL3::new(&cfg),
+            cores,
+            cfg,
+        }
+    }
+
+    /// Number of cores on the chip.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Run one trace per core to completion, in lockstep, and return
+    /// each core's measured counters (indexed by core).
+    ///
+    /// Every core applies `opts` independently: it warms up for
+    /// `opts.warmup_ops` retired µops (statistics reset at its own
+    /// boundary; shared-L3 *contents* stay warm), then measures until
+    /// `opts.max_ops` further µops retire or its trace drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one trace is supplied per core.
+    pub fn run<T: TraceSource>(&mut self, traces: Vec<T>, opts: &SimOptions) -> Vec<PerfCounts> {
+        assert_eq!(
+            traces.len(),
+            self.cores.len(),
+            "need exactly one trace per core"
+        );
+        let n = self.cores.len();
+        let mut traces = traces;
+        let mut pipes: Vec<Pipeline> = (0..n).map(|_| Pipeline::new(&self.cfg, opts)).collect();
+        let mut done = vec![false; n];
+        let mut remaining = n;
+        let mut cycle: u64 = 0;
+        while remaining > 0 {
+            cycle += 1;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let core = &mut self.cores[i];
+                let finished = pipes[i].step(
+                    cycle,
+                    &self.cfg,
+                    &mut core.hier,
+                    &mut self.shared,
+                    &mut core.mmu,
+                    &mut core.bp,
+                    &mut traces[i],
+                );
+                if finished {
+                    done[i] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        pipes
+            .iter()
+            .zip(&self.cores)
+            .map(|(p, core)| p.finalize(&core.hier, &core.mmu, &core.bp))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{simulate, SimOptions};
+    use dc_trace::profile::AccessPattern;
+    use dc_trace::{SyntheticTrace, WorkloadProfile};
+
+    fn opts() -> SimOptions {
+        SimOptions {
+            max_ops: 60_000,
+            warmup_ops: 10_000,
+        }
+    }
+
+    /// A profile whose working set fits the L3 alone but thrashes it
+    /// when several copies co-run (12 MB shared L3, 6 MiB per task).
+    fn cache_hungry() -> WorkloadProfile {
+        WorkloadProfile::builder("hungry")
+            .region(6 << 20, 1.0, AccessPattern::Random)
+            .build()
+            .expect("valid test profile")
+    }
+
+    /// A default, mostly compute-bound profile.
+    fn plain() -> WorkloadProfile {
+        WorkloadProfile::builder("plain")
+            .build()
+            .expect("valid test profile")
+    }
+
+    #[test]
+    fn one_core_chip_matches_core_run() {
+        let cfg = CpuConfig::westmere_e5645();
+        for (profile, seed) in [(plain(), 7u64), (cache_hungry(), 2013)] {
+            let solo = simulate(SyntheticTrace::new(&profile, seed), &cfg, &opts());
+            let mut chip = Chip::new(cfg.clone(), 1);
+            let chip_counts = chip.run(vec![SyntheticTrace::new(&profile, seed)], &opts());
+            assert_eq!(chip_counts.len(), 1);
+            assert_eq!(chip_counts[0], solo, "1-core chip must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn chip_run_is_deterministic() {
+        let cfg = CpuConfig::westmere_e5645();
+        let profile = cache_hungry();
+        let run = || {
+            let mut chip = Chip::new(cfg.clone(), 4);
+            let traces = (0..4)
+                .map(|k| SyntheticTrace::new(&profile, 11 + k))
+                .collect();
+            chip.run(traces, &opts())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corunners_increase_shared_pressure() {
+        let cfg = CpuConfig::westmere_e5645();
+        let profile = cache_hungry();
+        let solo = simulate(SyntheticTrace::new(&profile, 5), &cfg, &opts());
+        let mut chip = Chip::new(cfg.clone(), 6);
+        let traces = (0..6)
+            .map(|k| SyntheticTrace::new(&profile, 5 + k))
+            .collect();
+        let co = chip.run(traces, &opts());
+        // Core 0 runs the same trace in both worlds; with five
+        // co-runners thrashing the L3 its miss count cannot improve.
+        assert!(
+            co[0].l3_misses >= solo.l3_misses,
+            "co-run L3 misses {} < solo {}",
+            co[0].l3_misses,
+            solo.l3_misses
+        );
+        // And contention must cost cycles, not save them.
+        assert!(co[0].cycles >= solo.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per core")]
+    fn trace_count_mismatch_panics() {
+        let mut chip = Chip::new(CpuConfig::westmere_e5645(), 2);
+        let profile = plain();
+        chip.run(vec![SyntheticTrace::new(&profile, 1)], &opts());
+    }
+}

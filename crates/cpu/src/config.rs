@@ -131,13 +131,16 @@ pub struct CpuConfig {
     pub predictor_history_bits: u32,
     /// Branch-target-buffer entries.
     pub btb_entries: u32,
+    /// Physical cores sharing the L3 on one chip ([`crate::chip::Chip`]
+    /// capacity; a lone [`crate::core::Core`] ignores it).
+    pub cores: u32,
 }
 
 impl CpuConfig {
     /// The paper's measurement machine: Intel Xeon E5645 (Westmere-EP),
     /// per Table III — 32 KB 4-way L1-I, 32 KB 8-way L1-D, 256 KB 8-way
     /// L2, 12 MB 16-way shared L3, 64-entry 4-way I/D TLBs, 512-entry
-    /// 4-way shared L2 TLB, 4-wide out-of-order core.
+    /// 4-way shared L2 TLB, six 4-wide out-of-order cores per chip.
     pub fn westmere_e5645() -> Self {
         CpuConfig {
             l1i: CacheConfig {
@@ -208,6 +211,7 @@ impl CpuConfig {
             },
             predictor_history_bits: 12,
             btb_entries: 4096,
+            cores: 6,
         }
     }
 
@@ -240,6 +244,12 @@ impl CpuConfig {
     /// Same machine with the prefetcher switched on/off.
     pub fn with_prefetch(mut self, enabled: bool) -> Self {
         self.prefetch.enabled = enabled;
+        self
+    }
+
+    /// Same machine with a different core count behind the shared L3.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
         self
     }
 

@@ -30,7 +30,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use dc_trace::{MicroOp, Mode, OpKind, TraceSource};
 
 use crate::branch::BranchPredictor;
-use crate::cache::Hierarchy;
+use crate::cache::{Hierarchy, PrivateHierarchy, SharedL3};
 use crate::config::CpuConfig;
 use crate::counters::PerfCounts;
 use crate::tlb::Mmu;
@@ -38,6 +38,15 @@ use crate::tlb::Mmu;
 /// Completion ring size for dependence resolution (must exceed the
 /// maximum dependence distance emitted by traces).
 const COMPLETION_RING: usize = 128;
+
+// The ring indexes producers by `op_idx - dep_dist`; if a trace could
+// emit a dependence distance at or beyond the ring size, a µop would
+// read a slot already overwritten by a younger op. dc-trace caps what
+// it emits, and this pin makes the cross-crate contract unbreakable.
+const _: () = assert!(
+    COMPLETION_RING as u64 > dc_trace::synth::MAX_DEP_DIST,
+    "completion ring must exceed the maximum trace dependence distance"
+);
 
 /// Simulation bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +81,370 @@ impl SimOptions {
 struct RobEntry {
     complete: u64,
     mode: Mode,
+}
+
+/// The per-core pipeline state machine: everything `Core::run`'s cycle
+/// loop used to keep on its stack, extracted so one global clock can
+/// step several pipelines in lockstep ([`crate::chip::Chip`]).
+///
+/// [`Pipeline::step`] advances exactly one cycle — retire, warm-up
+/// bookkeeping, fetch, rename/dispatch, stall attribution — against the
+/// private hierarchy / MMU / predictor it is handed, and returns `true`
+/// once the measurement target is met or the trace has drained. A lone
+/// pipeline stepped by a trivial `loop` is bit-identical to the original
+/// monolithic loop; N pipelines stepped round-robin within each cycle
+/// share an [`SharedL3`] deterministically.
+#[derive(Debug)]
+pub(crate) struct Pipeline {
+    rob_cap: usize,
+    rs_cap: usize,
+    ldq_cap: usize,
+    stq_cap: usize,
+    dq_cap: usize,
+    line_shift: u32,
+
+    counts: PerfCounts,
+    cycle_base: u64,
+    in_warmup: bool,
+    warmup_ops: u64,
+    target: u64,
+
+    // Front end.
+    decode_q: VecDeque<MicroOp>,
+    pending: Option<MicroOp>,
+    fetch_blocked_until: u64,
+    last_fetch_line: u64,
+    trace_done: bool,
+
+    // Backend windows. Heaps hold the cycle at which an entry frees.
+    rob: VecDeque<RobEntry>,
+    rs: BinaryHeap<Reverse<u64>>,
+    ldq: BinaryHeap<Reverse<u64>>,
+    stq: BinaryHeap<Reverse<u64>>,
+    last_store_drain: u64,
+    rat_blocked_until: u64,
+
+    completions: [u64; COMPLETION_RING],
+    op_idx: u64,
+    retired: u64,
+    final_cycle: u64,
+}
+
+impl Pipeline {
+    pub(crate) fn new(cfg: &CpuConfig, opts: &SimOptions) -> Self {
+        let c = cfg.core;
+        let rob_cap = c.rob_entries.max(1) as usize;
+        let rs_cap = c.rs_entries.max(1) as usize;
+        let ldq_cap = c.load_buffer.max(1) as usize;
+        let stq_cap = c.store_buffer.max(1) as usize;
+        let dq_cap = c.decode_queue.max(4) as usize;
+        Pipeline {
+            rob_cap,
+            rs_cap,
+            ldq_cap,
+            stq_cap,
+            dq_cap,
+            line_shift: cfg.l1i.line_bytes.trailing_zeros(),
+            counts: PerfCounts::default(),
+            cycle_base: 0,
+            in_warmup: opts.warmup_ops > 0,
+            warmup_ops: opts.warmup_ops,
+            target: opts.warmup_ops.saturating_add(opts.max_ops),
+            decode_q: VecDeque::with_capacity(dq_cap),
+            pending: None,
+            fetch_blocked_until: 0,
+            last_fetch_line: u64::MAX,
+            trace_done: false,
+            rob: VecDeque::with_capacity(rob_cap),
+            rs: BinaryHeap::with_capacity(rs_cap),
+            ldq: BinaryHeap::with_capacity(ldq_cap),
+            stq: BinaryHeap::with_capacity(stq_cap),
+            last_store_drain: 0,
+            rat_blocked_until: 0,
+            completions: [0u64; COMPLETION_RING],
+            op_idx: 0,
+            retired: 0,
+            final_cycle: 0,
+        }
+    }
+
+    /// Advance this core by the one cycle `cycle` (the caller's global
+    /// clock, already incremented). Returns `true` when the core is
+    /// finished; after that, [`Pipeline::finalize`] reads the counters.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<T: TraceSource>(
+        &mut self,
+        cycle: u64,
+        cfg: &CpuConfig,
+        hier: &mut PrivateHierarchy,
+        shared: &mut SharedL3,
+        mmu: &mut Mmu,
+        bp: &mut BranchPredictor,
+        trace: &mut T,
+    ) -> bool {
+        let c = cfg.core;
+
+        // ---- Retire (in order, width-limited) ----
+        let mut retired_now = 0;
+        while retired_now < c.retire_width {
+            match self.rob.front() {
+                Some(head) if head.complete <= cycle => {
+                    let e = self.rob.pop_front().expect("front() was Some");
+                    self.retired += 1;
+                    retired_now += 1;
+                    self.counts.instructions += 1;
+                    match e.mode {
+                        Mode::User => self.counts.user_instructions += 1,
+                        Mode::Kernel => self.counts.kernel_instructions += 1,
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Warm-up boundary: reset this core's statistics, keep state.
+        // Shared-level contents (and the other cores' statistics) are
+        // deliberately untouched; this core's L3 traffic is tracked by
+        // its private attribution counters, which do reset here.
+        if self.in_warmup && self.retired >= self.warmup_ops {
+            self.in_warmup = false;
+            self.counts = PerfCounts::default();
+            hier.reset_stats();
+            mmu.reset_stats();
+            bp.reset_stats();
+            self.cycle_base = cycle;
+        }
+        if self.retired >= self.target {
+            self.final_cycle = cycle;
+            return true;
+        }
+
+        // ---- Fetch into the decode queue ----
+        if cycle >= self.fetch_blocked_until {
+            let mut fetched = 0;
+            while fetched < c.fetch_width && self.decode_q.len() < self.dq_cap {
+                // A pending op already paid its fetch penalty.
+                let op = match self.pending.take() {
+                    Some(op) => op,
+                    None => match trace.next_op() {
+                        Some(op) => op,
+                        None => {
+                            self.trace_done = true;
+                            break;
+                        }
+                    },
+                };
+                // New cache line ⇒ I-cache + ITLB access.
+                let line = op.pc >> self.line_shift;
+                if line != self.last_fetch_line {
+                    self.last_fetch_line = line;
+                    let (_, tlb_lat) = mmu.translate_inst(op.pc);
+                    let (_, i_lat) = hier.fetch_inst(shared, op.pc, cycle);
+                    let penalty = u64::from(tlb_lat) + u64::from(i_lat);
+                    if penalty > 0 {
+                        // Line fetch in flight: the op arrives when it
+                        // resolves.
+                        self.fetch_blocked_until = cycle + penalty;
+                        self.pending = Some(op);
+                        break;
+                    }
+                }
+                // Branch prediction (front-end redirect on mispredict).
+                if let OpKind::Branch { taken, target } = op.kind {
+                    let correct = bp.predict_and_train(op.pc, taken, target);
+                    self.decode_q.push_back(op);
+                    fetched += 1;
+                    if !correct {
+                        self.fetch_blocked_until = cycle + u64::from(c.mispredict_penalty);
+                        break;
+                    }
+                    continue;
+                }
+                self.decode_q.push_back(op);
+                fetched += 1;
+            }
+        }
+
+        // ---- Rename / dispatch ----
+        let mut renamed = 0;
+        // Per-cycle issue-port budgets (Westmere: one load port, one
+        // store port, two FP units).
+        let mut load_ports = 1u32;
+        let mut store_ports = 1u32;
+        let mut fp_ports = 2u32;
+        // Cause of the first blockage this cycle (for attribution).
+        #[derive(PartialEq, Eq, Clone, Copy)]
+        enum Block {
+            None,
+            Fetch,
+            Rat,
+            Rob,
+            Rs,
+            Load,
+            Store,
+        }
+        let mut block = Block::None;
+
+        while renamed < c.rename_width {
+            if self.rat_blocked_until > cycle {
+                block = Block::Rat;
+                break;
+            }
+            let Some(&op) = self.decode_q.front() else {
+                block = Block::Fetch;
+                break;
+            };
+            // Free backend entries whose release time has passed.
+            while self.rs.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                self.rs.pop();
+            }
+            while self.ldq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                self.ldq.pop();
+            }
+            while self.stq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
+                self.stq.pop();
+            }
+            if self.rob.len() >= self.rob_cap {
+                block = Block::Rob;
+                break;
+            }
+            if self.rs.len() >= self.rs_cap {
+                block = Block::Rs;
+                break;
+            }
+            if op.kind.is_load() && self.ldq.len() >= self.ldq_cap {
+                block = Block::Load;
+                break;
+            }
+            if op.kind.is_store() && self.stq.len() >= self.stq_cap {
+                block = Block::Store;
+                break;
+            }
+            // Issue-port throughput limits end the rename group
+            // without charging a stall (width effect, not a stall).
+            match op.kind {
+                OpKind::Load { .. } if load_ports == 0 => break,
+                OpKind::Store { .. } if store_ports == 0 => break,
+                OpKind::FpAlu if fp_ports == 0 => break,
+                _ => {}
+            }
+            match op.kind {
+                OpKind::Load { .. } => load_ports -= 1,
+                OpKind::Store { .. } => store_ports -= 1,
+                OpKind::FpAlu => fp_ports -= 1,
+                _ => {}
+            }
+            self.decode_q.pop_front();
+            if op.rat_hazard {
+                self.rat_blocked_until = cycle + u64::from(c.rat_hazard_penalty);
+            }
+
+            // Dispatch: compute readiness and completion.
+            let mut ready = cycle + 1;
+            let dep = u64::from(op.dep_dist);
+            if dep > 0 && self.op_idx >= dep {
+                let producer =
+                    self.completions[((self.op_idx - dep) % COMPLETION_RING as u64) as usize];
+                ready = ready.max(producer);
+            }
+            let complete = match op.kind {
+                OpKind::IntAlu => ready + u64::from(cfg.exec.int_alu),
+                OpKind::IntMul => ready + u64::from(cfg.exec.int_mul),
+                OpKind::Div => ready + u64::from(cfg.exec.div),
+                OpKind::FpAlu => ready + u64::from(cfg.exec.fp_alu),
+                OpKind::Branch { .. } => ready + u64::from(cfg.exec.int_alu),
+                OpKind::Load { addr, .. } => {
+                    self.counts.loads += 1;
+                    let (_, tlb_lat) = mmu.translate_data(addr);
+                    let (_, mem_lat) = hier.access_data(shared, addr, cycle);
+                    let done = ready + u64::from(tlb_lat) + u64::from(mem_lat);
+                    self.ldq.push(Reverse(done));
+                    done
+                }
+                OpKind::Store { addr, .. } => {
+                    self.counts.stores += 1;
+                    let (_, tlb_lat) = mmu.translate_data(addr);
+                    let exec_done = ready + 1 + u64::from(tlb_lat);
+                    // In-order store-buffer drain: L1 hits drain at
+                    // one per cycle; misses overlap ~3-deep (write
+                    // combining / RFO MLP).
+                    let (lvl, drain_lat) = hier.access_data(shared, addr, cycle);
+                    let cost = if lvl == crate::cache::MemLevel::L1 {
+                        1
+                    } else {
+                        u64::from(drain_lat) / 3
+                    };
+                    let drain_done = self.last_store_drain.max(exec_done) + cost;
+                    self.last_store_drain = drain_done;
+                    self.stq.push(Reverse(drain_done));
+                    exec_done
+                }
+            };
+            self.rs.push(Reverse(ready));
+            self.rob.push_back(RobEntry {
+                complete,
+                mode: op.mode,
+            });
+            self.completions[(self.op_idx % COMPLETION_RING as u64) as usize] = complete;
+            self.op_idx += 1;
+            renamed += 1;
+        }
+
+        // ---- Stall attribution (paper-style: a fully blocked rename
+        // cycle is charged to its first cause) ----
+        if renamed == 0 {
+            let draining = self.trace_done && self.pending.is_none() && self.decode_q.is_empty();
+            match block {
+                Block::Fetch if !draining => self.counts.fetch_stall_cycles += 1,
+                Block::Rat => self.counts.rat_stall_cycles += 1,
+                Block::Rob => self.counts.rob_full_stall_cycles += 1,
+                Block::Rs => self.counts.rs_full_stall_cycles += 1,
+                Block::Load => self.counts.load_buf_stall_cycles += 1,
+                Block::Store => self.counts.store_buf_stall_cycles += 1,
+                _ => {}
+            }
+        }
+
+        // Termination: trace drained and backend empty.
+        if self.trace_done
+            && self.pending.is_none()
+            && self.decode_q.is_empty()
+            && self.rob.is_empty()
+        {
+            self.final_cycle = cycle;
+            return true;
+        }
+        false
+    }
+
+    /// Copy structure statistics into the counter block and return it.
+    pub(crate) fn finalize(
+        &self,
+        hier: &PrivateHierarchy,
+        mmu: &Mmu,
+        bp: &BranchPredictor,
+    ) -> PerfCounts {
+        let mut counts = self.counts;
+        counts.cycles = self.final_cycle - self.cycle_base;
+        counts.l1i_accesses = hier.l1i.accesses;
+        counts.l1i_misses = hier.l1i.misses;
+        counts.l1d_accesses = hier.l1d.accesses;
+        counts.l1d_misses = hier.l1d.misses;
+        counts.l2_accesses = hier.l2.accesses;
+        counts.l2_misses = hier.l2.misses;
+        counts.l3_accesses = hier.l3_accesses;
+        counts.l3_misses = hier.l3_misses;
+        counts.prefetches = hier.prefetches;
+        counts.itlb_accesses = mmu.istats.accesses;
+        counts.itlb_misses = mmu.istats.l1_misses;
+        counts.itlb_walks = mmu.istats.walks;
+        counts.dtlb_accesses = mmu.dstats.accesses;
+        counts.dtlb_misses = mmu.dstats.l1_misses;
+        counts.dtlb_walks = mmu.dstats.walks;
+        counts.branches = bp.branches;
+        counts.branch_mispredicts = bp.mispredicts;
+        counts
+    }
 }
 
 /// The simulated core: real cache/TLB/predictor structures plus the
@@ -118,284 +491,24 @@ impl Core {
     /// discarded (structures stay warm), then measures until
     /// `opts.max_ops` further µops have retired or the trace ends.
     pub fn run<T: TraceSource>(&mut self, mut trace: T, opts: &SimOptions) -> PerfCounts {
-        let c = self.cfg.core;
-        let rob_cap = c.rob_entries.max(1) as usize;
-        let rs_cap = c.rs_entries.max(1) as usize;
-        let ldq_cap = c.load_buffer.max(1) as usize;
-        let stq_cap = c.store_buffer.max(1) as usize;
-        let dq_cap = c.decode_queue.max(4) as usize;
-        let line_shift = self.cfg.l1i.line_bytes.trailing_zeros();
-
-        let mut counts = PerfCounts::default();
+        let mut pipe = Pipeline::new(&self.cfg, opts);
         let mut cycle: u64 = 0;
-        let mut cycle_base: u64 = 0;
-        let mut in_warmup = opts.warmup_ops > 0;
-        let target = opts.warmup_ops.saturating_add(opts.max_ops);
-
-        // Front end.
-        let mut decode_q: VecDeque<MicroOp> = VecDeque::with_capacity(dq_cap);
-        let mut pending: Option<MicroOp> = None;
-        let mut fetch_blocked_until: u64 = 0;
-        let mut last_fetch_line: u64 = u64::MAX;
-        let mut trace_done = false;
-
-        // Backend windows. Heaps hold the cycle at which an entry frees.
-        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(rob_cap);
-        let mut rs: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(rs_cap);
-        let mut ldq: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(ldq_cap);
-        let mut stq: BinaryHeap<Reverse<u64>> = BinaryHeap::with_capacity(stq_cap);
-        let mut last_store_drain: u64 = 0;
-        let mut rat_blocked_until: u64 = 0;
-
-        let mut completions = [0u64; COMPLETION_RING];
-        let mut op_idx: u64 = 0;
-        let mut retired: u64 = 0;
-
         loop {
             cycle += 1;
-
-            // ---- Retire (in order, width-limited) ----
-            let mut retired_now = 0;
-            while retired_now < c.retire_width {
-                match rob.front() {
-                    Some(head) if head.complete <= cycle => {
-                        let e = rob.pop_front().expect("front() was Some");
-                        retired += 1;
-                        retired_now += 1;
-                        counts.instructions += 1;
-                        match e.mode {
-                            Mode::User => counts.user_instructions += 1,
-                            Mode::Kernel => counts.kernel_instructions += 1,
-                        }
-                    }
-                    _ => break,
-                }
-            }
-
-            // Warm-up boundary: reset all statistics, keep state.
-            if in_warmup && retired >= opts.warmup_ops {
-                in_warmup = false;
-                counts = PerfCounts::default();
-                self.hier.reset_stats();
-                self.mmu.reset_stats();
-                self.bp.reset_stats();
-                cycle_base = cycle;
-            }
-            if retired >= target {
-                break;
-            }
-
-            // ---- Fetch into the decode queue ----
-            if cycle >= fetch_blocked_until {
-                let mut fetched = 0;
-                while fetched < c.fetch_width && decode_q.len() < dq_cap {
-                    // A pending op already paid its fetch penalty.
-                    let op = match pending.take() {
-                        Some(op) => op,
-                        None => match trace.next_op() {
-                            Some(op) => op,
-                            None => {
-                                trace_done = true;
-                                break;
-                            }
-                        },
-                    };
-                    // New cache line ⇒ I-cache + ITLB access.
-                    let line = op.pc >> line_shift;
-                    if line != last_fetch_line {
-                        last_fetch_line = line;
-                        let (_, tlb_lat) = self.mmu.translate_inst(op.pc);
-                        let (_, i_lat) = self.hier.fetch_inst(op.pc, cycle);
-                        let penalty = u64::from(tlb_lat) + u64::from(i_lat);
-                        if penalty > 0 {
-                            // Line fetch in flight: the op arrives when it
-                            // resolves.
-                            fetch_blocked_until = cycle + penalty;
-                            pending = Some(op);
-                            break;
-                        }
-                    }
-                    // Branch prediction (front-end redirect on mispredict).
-                    if let OpKind::Branch { taken, target } = op.kind {
-                        let correct = self.bp.predict_and_train(op.pc, taken, target);
-                        decode_q.push_back(op);
-                        fetched += 1;
-                        if !correct {
-                            fetch_blocked_until = cycle + u64::from(c.mispredict_penalty);
-                            break;
-                        }
-                        continue;
-                    }
-                    decode_q.push_back(op);
-                    fetched += 1;
-                }
-            }
-
-            // ---- Rename / dispatch ----
-            let mut renamed = 0;
-            // Per-cycle issue-port budgets (Westmere: one load port, one
-            // store port, two FP units).
-            let mut load_ports = 1u32;
-            let mut store_ports = 1u32;
-            let mut fp_ports = 2u32;
-            // Cause of the first blockage this cycle (for attribution).
-            #[derive(PartialEq, Eq, Clone, Copy)]
-            enum Block {
-                None,
-                Fetch,
-                Rat,
-                Rob,
-                Rs,
-                Load,
-                Store,
-            }
-            let mut block = Block::None;
-
-            while renamed < c.rename_width {
-                if rat_blocked_until > cycle {
-                    block = Block::Rat;
-                    break;
-                }
-                let Some(&op) = decode_q.front() else {
-                    block = Block::Fetch;
-                    break;
-                };
-                // Free backend entries whose release time has passed.
-                while rs.peek().is_some_and(|Reverse(t)| *t <= cycle) {
-                    rs.pop();
-                }
-                while ldq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
-                    ldq.pop();
-                }
-                while stq.peek().is_some_and(|Reverse(t)| *t <= cycle) {
-                    stq.pop();
-                }
-                if rob.len() >= rob_cap {
-                    block = Block::Rob;
-                    break;
-                }
-                if rs.len() >= rs_cap {
-                    block = Block::Rs;
-                    break;
-                }
-                if op.kind.is_load() && ldq.len() >= ldq_cap {
-                    block = Block::Load;
-                    break;
-                }
-                if op.kind.is_store() && stq.len() >= stq_cap {
-                    block = Block::Store;
-                    break;
-                }
-                // Issue-port throughput limits end the rename group
-                // without charging a stall (width effect, not a stall).
-                match op.kind {
-                    OpKind::Load { .. } if load_ports == 0 => break,
-                    OpKind::Store { .. } if store_ports == 0 => break,
-                    OpKind::FpAlu if fp_ports == 0 => break,
-                    _ => {}
-                }
-                match op.kind {
-                    OpKind::Load { .. } => load_ports -= 1,
-                    OpKind::Store { .. } => store_ports -= 1,
-                    OpKind::FpAlu => fp_ports -= 1,
-                    _ => {}
-                }
-                decode_q.pop_front();
-                if op.rat_hazard {
-                    rat_blocked_until = cycle + u64::from(c.rat_hazard_penalty);
-                }
-
-                // Dispatch: compute readiness and completion.
-                let mut ready = cycle + 1;
-                let dep = u64::from(op.dep_dist);
-                if dep > 0 && op_idx >= dep {
-                    let producer = completions[((op_idx - dep) % COMPLETION_RING as u64) as usize];
-                    ready = ready.max(producer);
-                }
-                let complete = match op.kind {
-                    OpKind::IntAlu => ready + u64::from(self.cfg.exec.int_alu),
-                    OpKind::IntMul => ready + u64::from(self.cfg.exec.int_mul),
-                    OpKind::Div => ready + u64::from(self.cfg.exec.div),
-                    OpKind::FpAlu => ready + u64::from(self.cfg.exec.fp_alu),
-                    OpKind::Branch { .. } => ready + u64::from(self.cfg.exec.int_alu),
-                    OpKind::Load { addr, .. } => {
-                        counts.loads += 1;
-                        let (_, tlb_lat) = self.mmu.translate_data(addr);
-                        let (_, mem_lat) = self.hier.access_data(addr, cycle);
-                        let done = ready + u64::from(tlb_lat) + u64::from(mem_lat);
-                        ldq.push(Reverse(done));
-                        done
-                    }
-                    OpKind::Store { addr, .. } => {
-                        counts.stores += 1;
-                        let (_, tlb_lat) = self.mmu.translate_data(addr);
-                        let exec_done = ready + 1 + u64::from(tlb_lat);
-                        // In-order store-buffer drain: L1 hits drain at
-                        // one per cycle; misses overlap ~3-deep (write
-                        // combining / RFO MLP).
-                        let (lvl, drain_lat) = self.hier.access_data(addr, cycle);
-                        let cost = if lvl == crate::cache::MemLevel::L1 {
-                            1
-                        } else {
-                            u64::from(drain_lat) / 3
-                        };
-                        let drain_done = last_store_drain.max(exec_done) + cost;
-                        last_store_drain = drain_done;
-                        stq.push(Reverse(drain_done));
-                        exec_done
-                    }
-                };
-                rs.push(Reverse(ready));
-                rob.push_back(RobEntry {
-                    complete,
-                    mode: op.mode,
-                });
-                completions[(op_idx % COMPLETION_RING as u64) as usize] = complete;
-                op_idx += 1;
-                renamed += 1;
-            }
-
-            // ---- Stall attribution (paper-style: a fully blocked rename
-            // cycle is charged to its first cause) ----
-            if renamed == 0 {
-                let draining = trace_done && pending.is_none() && decode_q.is_empty();
-                match block {
-                    Block::Fetch if !draining => counts.fetch_stall_cycles += 1,
-                    Block::Rat => counts.rat_stall_cycles += 1,
-                    Block::Rob => counts.rob_full_stall_cycles += 1,
-                    Block::Rs => counts.rs_full_stall_cycles += 1,
-                    Block::Load => counts.load_buf_stall_cycles += 1,
-                    Block::Store => counts.store_buf_stall_cycles += 1,
-                    _ => {}
-                }
-            }
-
-            // Termination: trace drained and backend empty.
-            if trace_done && pending.is_none() && decode_q.is_empty() && rob.is_empty() {
+            let done = pipe.step(
+                cycle,
+                &self.cfg,
+                &mut self.hier.private,
+                &mut self.hier.shared,
+                &mut self.mmu,
+                &mut self.bp,
+                &mut trace,
+            );
+            if done {
                 break;
             }
         }
-
-        // Copy structure statistics into the counter block.
-        counts.cycles = cycle - cycle_base;
-        counts.l1i_accesses = self.hier.l1i.accesses;
-        counts.l1i_misses = self.hier.l1i.misses;
-        counts.l1d_accesses = self.hier.l1d.accesses;
-        counts.l1d_misses = self.hier.l1d.misses;
-        counts.l2_accesses = self.hier.l2.accesses;
-        counts.l2_misses = self.hier.l2.misses;
-        counts.l3_accesses = self.hier.l3.accesses;
-        counts.l3_misses = self.hier.l3.misses;
-        counts.prefetches = self.hier.prefetches;
-        counts.itlb_accesses = self.mmu.istats.accesses;
-        counts.itlb_misses = self.mmu.istats.l1_misses;
-        counts.itlb_walks = self.mmu.istats.walks;
-        counts.dtlb_accesses = self.mmu.dstats.accesses;
-        counts.dtlb_misses = self.mmu.dstats.l1_misses;
-        counts.dtlb_walks = self.mmu.dstats.walks;
-        counts.branches = self.bp.branches;
-        counts.branch_mispredicts = self.bp.mispredicts;
-        counts
+        pipe.finalize(&self.hier.private, &self.mmu, &self.bp)
     }
 }
 

@@ -74,6 +74,41 @@ pub struct PerfCounts {
 }
 
 impl PerfCounts {
+    /// Add every event from `other` into `self` (chip-level
+    /// aggregation across cores; `cycles` sums like the rest, so
+    /// divide by the core count for wall-clock-style cycle figures).
+    pub fn accumulate(&mut self, other: &PerfCounts) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.user_instructions += other.user_instructions;
+        self.kernel_instructions += other.kernel_instructions;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.rat_stall_cycles += other.rat_stall_cycles;
+        self.rs_full_stall_cycles += other.rs_full_stall_cycles;
+        self.rob_full_stall_cycles += other.rob_full_stall_cycles;
+        self.load_buf_stall_cycles += other.load_buf_stall_cycles;
+        self.store_buf_stall_cycles += other.store_buf_stall_cycles;
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1i_misses += other.l1i_misses;
+        self.itlb_accesses += other.itlb_accesses;
+        self.itlb_misses += other.itlb_misses;
+        self.itlb_walks += other.itlb_walks;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l1d_misses += other.l1d_misses;
+        self.dtlb_accesses += other.dtlb_accesses;
+        self.dtlb_misses += other.dtlb_misses;
+        self.dtlb_walks += other.dtlb_walks;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.l3_accesses += other.l3_accesses;
+        self.l3_misses += other.l3_misses;
+        self.prefetches += other.prefetches;
+        self.branches += other.branches;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.loads += other.loads;
+        self.stores += other.stores;
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -114,6 +149,12 @@ impl PerfCounts {
     /// L2 misses per thousand instructions (Figure 9).
     pub fn l2_mpki(&self) -> f64 {
         self.pki(self.l2_misses)
+    }
+
+    /// L3 misses per thousand instructions (the shared-cache pressure
+    /// metric of Exhibit CO; rises as co-runners contend for the L3).
+    pub fn l3_mpki(&self) -> f64 {
+        self.pki(self.l3_misses)
     }
 
     /// Ratio of L2 misses satisfied by the L3 (Figure 10, Equation 1).

@@ -16,6 +16,8 @@
 //! * [`core`] — the timestamp-based out-of-order pipeline model with
 //!   paper-style stall attribution (fetch / RAT / RS / ROB / load /
 //!   store buffer);
+//! * [`chip`] — N cores in deterministic lockstep behind one shared,
+//!   contended L3, modelling co-running Hadoop task slots;
 //! * [`counters::PerfCounts`] — every event the paper reports, with the
 //!   derived metrics used by each figure.
 //!
@@ -37,11 +39,13 @@
 
 pub mod branch;
 pub mod cache;
+pub mod chip;
 pub mod config;
 pub mod core;
 pub mod counters;
 pub mod tlb;
 
+pub use crate::chip::Chip;
 pub use crate::config::CpuConfig;
 pub use crate::core::{simulate, Core, SimOptions};
 pub use crate::counters::PerfCounts;

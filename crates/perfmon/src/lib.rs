@@ -38,5 +38,5 @@ pub mod osstat;
 
 pub use events::PerfEvent;
 pub use metrics::Metrics;
-pub use msr::Pmu;
+pub use msr::{ChipPmu, Pmu};
 pub use osstat::OsStats;

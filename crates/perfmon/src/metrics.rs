@@ -22,6 +22,8 @@ pub struct Metrics {
     pub itlb_walk_pki: f64,
     /// L2 misses per thousand instructions (Figure 9).
     pub l2_mpki: f64,
+    /// L3 misses per thousand instructions (Exhibit CO).
+    pub l3_mpki: f64,
     /// Ratio of L2 misses satisfied by L3 (Figure 10).
     pub l3_hit_ratio: f64,
     /// DTLB-miss page walks per thousand instructions (Figure 11).
@@ -43,6 +45,7 @@ impl Metrics {
             l1i_mpki: c.l1i_mpki(),
             itlb_walk_pki: c.itlb_walk_pki(),
             l2_mpki: c.l2_mpki(),
+            l3_mpki: c.l3_mpki(),
             l3_hit_ratio: c.l3_hit_ratio_of_l2_misses(),
             dtlb_walk_pki: c.dtlb_walk_pki(),
             branch_misprediction: c.branch_misprediction_ratio(),
@@ -83,6 +86,7 @@ pub fn average(name: impl Into<String>, rows: &[Metrics]) -> Metrics {
         l1i_mpki: sum(&|r| r.l1i_mpki),
         itlb_walk_pki: sum(&|r| r.itlb_walk_pki),
         l2_mpki: sum(&|r| r.l2_mpki),
+        l3_mpki: sum(&|r| r.l3_mpki),
         l3_hit_ratio: sum(&|r| r.l3_hit_ratio),
         dtlb_walk_pki: sum(&|r| r.dtlb_walk_pki),
         branch_misprediction: sum(&|r| r.branch_misprediction),

@@ -49,7 +49,7 @@ pub mod synth;
 
 pub use op::{MicroOp, Mode, OpKind};
 pub use profile::WorkloadProfile;
-pub use synth::SyntheticTrace;
+pub use synth::{SyntheticTrace, MAX_DEP_DIST};
 
 /// A source of micro-operations consumed by the CPU simulator.
 ///

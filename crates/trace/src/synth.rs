@@ -35,8 +35,12 @@ pub const KERNEL_DATA_BASE: u64 = 0xFFFF_FFA0_0000_0000;
 /// Gap left between consecutive data regions.
 const REGION_GAP: u64 = 1 << 30;
 
-/// Maximum dependence distance communicated to the backend.
-const MAX_DEP_DIST: u64 = 64;
+/// Maximum dependence distance any generated µop will carry.
+///
+/// Public contract with consumers that resolve dependences through a
+/// bounded producer window (dc-cpu's completion ring sizes itself
+/// against this at compile time): `MicroOp::dep_dist` never exceeds it.
+pub const MAX_DEP_DIST: u64 = 64;
 
 /// Per-region cursor state.
 #[derive(Debug, Clone)]

@@ -4,6 +4,7 @@
 //! cargo run --release --example characterize_all            # everything
 //! cargo run --release --example characterize_all -- fig3    # one exhibit
 //! cargo run --release --example characterize_all -- table1
+//! cargo run --release --example characterize_all -- co      # co-run exhibit
 //! ```
 
 use dc_datagen::Scale;
@@ -59,5 +60,8 @@ fn main() {
     }
     if want("fig12") {
         println!("{}", report::figure12(&bench).render());
+    }
+    if want("co") {
+        println!("{}", report::corun_exhibit(&bench).render());
     }
 }

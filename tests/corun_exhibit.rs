@@ -1,0 +1,80 @@
+//! Exhibit CO: shape, contention physics, and cache coverage.
+//!
+//! Runs the co-run exhibit at a reduced window (the full-window numbers
+//! live in EXPERIMENTS.md) and checks the property the exhibit exists
+//! to show: as 1 → 4 → 8 copies of a data-analysis workload share the
+//! chip's L3, the observed task's L3 MPKI must not decrease for at
+//! least 9 of the 11 workloads — and regenerating the exhibit warm must
+//! re-simulate nothing.
+
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dcbench::report::{corun_exhibit, CORUN_WIDTHS};
+use dcbench::{cache, Characterizer};
+
+fn harness() -> Characterizer {
+    Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 75_000,
+            warmup_ops: 75_000,
+        },
+        2013,
+    )
+}
+
+#[test]
+fn exhibit_co_shape_contention_and_cache_coverage() {
+    let c = harness();
+    let fig = corun_exhibit(&c);
+
+    // ---- Shape ----
+    assert_eq!(fig.id, "Exhibit CO");
+    assert_eq!(fig.rows.len(), 11, "one row per data-analysis workload");
+    assert_eq!(fig.columns.len(), 2 * CORUN_WIDTHS.len());
+    for (label, vals) in &fig.rows {
+        assert_eq!(vals.len(), 6, "row {label} has MPKI and IPC per width");
+        assert!(vals.iter().all(|v| v.is_finite()));
+    }
+
+    // ---- Contention physics ----
+    // L3 MPKI must be monotonically non-decreasing across 1 → 4 → 8
+    // co-runners for at least 9 of the 11 workloads.
+    let monotone = fig
+        .rows
+        .iter()
+        .filter(|(_, v)| v[0] <= v[1] && v[1] <= v[2])
+        .count();
+    assert!(
+        monotone >= 9,
+        "only {monotone}/11 workloads show non-decreasing L3 MPKI under \
+         contention: {:?}",
+        fig.rows
+            .iter()
+            .map(|(l, v)| (l.clone(), v[0], v[1], v[2]))
+            .collect::<Vec<_>>()
+    );
+    // And the contended task must not get *faster* on average.
+    let mean = |i: usize| fig.rows.iter().map(|(_, v)| v[i]).sum::<f64>() / 11.0;
+    assert!(
+        mean(5) <= mean(3) + 1e-9,
+        "mean IPC rose under 8-way contention: {} -> {}",
+        mean(3),
+        mean(5)
+    );
+
+    // ---- Cache coverage ----
+    // The full co-run matrix is memoized: a warm regeneration must not
+    // simulate anything.
+    let sims_before = cache::sim_invocations();
+    let warm = corun_exhibit(&c);
+    assert_eq!(
+        cache::sim_invocations(),
+        sims_before,
+        "warm exhibit regeneration re-simulated"
+    );
+    assert_eq!(warm.rows.len(), fig.rows.len());
+    for ((la, va), (lb, vb)) in warm.rows.iter().zip(&fig.rows) {
+        assert_eq!(la, lb);
+        assert_eq!(va, vb, "warm rerun changed {la}");
+    }
+}

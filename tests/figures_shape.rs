@@ -1,5 +1,5 @@
 //! Cross-crate shape validation: the paper's qualitative claims must
-//! hold in the reproduction (DESIGN.md §6). These are the headline
+//! hold in the reproduction (DESIGN.md §8). These are the headline
 //! findings of the paper, asserted against the simulated machine.
 
 use dc_perfmon::metrics::average;
