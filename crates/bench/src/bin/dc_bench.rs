@@ -11,14 +11,20 @@
 //!     --baseline BENCH_baseline.json --tolerance 0.25
 //! ```
 //!
-//! With `--baseline`, every `full_matrix_*` and `chip_*` entry is
-//! compared against the same-named entry in the baseline file; any
-//! wall-clock more than `tolerance` above baseline fails the run
-//! (exit 1). `DCBENCH_JOBS` caps the parallel phase's worker count, as
-//! everywhere else.
+//! With `--baseline`, every `full_matrix_*`, `chip_*`, and
+//! `obs_disabled*` entry is compared against the same-named entry in
+//! the baseline file; any wall-clock more than `tolerance` above
+//! baseline fails the run (exit 1). `DCBENCH_JOBS` caps the parallel
+//! phase's worker count, as everywhere else.
+//!
+//! Besides `BENCH_<label>.json`, the run writes
+//! `BENCH_<label>.events.jsonl` — its own metadata as `dc-obs` events
+//! (`bench_run_start` / one `bench_entry` per timing / `bench_run_end`),
+//! validated in CI by `obs-schema-check`.
 
 use dc_datagen::Scale;
 use dc_mapreduce::engine::JobConfig;
+use dc_obs::{Recorder, Value};
 use dcbench::{cache, cluster_experiments, pool, Characterizer};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -172,7 +178,75 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     });
     push("chip_corun_cached", chip_warm, corun_uops, 1);
 
+    // Observability overhead: the sampled characterization pass over
+    // the eleven data-analysis workloads, once with the recorder
+    // disabled (the default — must cost nothing, so it gates) and once
+    // streaming JSONL to a sink (informational). Sampled runs are
+    // never memoized, so both passes simulate the same work.
+    eprintln!("dc-bench: observability overhead (sampled DA matrix)");
+    let da = dcbench::BenchmarkId::data_analysis();
+    let every = bench.options().max_ops / 8;
+    let sample_uops =
+        da.len() as f64 * (bench.options().warmup_ops + bench.options().max_ops) as f64;
+    let disabled = time_ms(|| {
+        for &id in da {
+            bench.run_sampled(id, every);
+        }
+    });
+    push("obs_disabled_sampled_matrix", disabled, sample_uops, 1);
+
+    let recording = bench
+        .clone()
+        .with_recorder(Recorder::jsonl(std::io::sink()));
+    let recorded = time_ms(|| {
+        for &id in da {
+            recording.run_sampled(id, every);
+        }
+    });
+    push("obs_recorder_sampled_matrix", recorded, sample_uops, 1);
+
     entries
+}
+
+/// Mirror the run into `BENCH_<label>.events.jsonl` as `dc-obs` events,
+/// so the bench harness itself exercises (and CI validates) the
+/// documented event schema. Timestamps are entry indices: the wall
+/// clock is already in the fields, and index timestamps keep the
+/// artifact deterministic in shape.
+fn write_events_jsonl(path: &str, opts: &Options, entries: &[BenchEntry]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let recorder = Recorder::jsonl(std::io::BufWriter::new(file));
+    recorder.emit(
+        0,
+        "bench_run_start",
+        vec![
+            ("label", Value::str(opts.label.as_str())),
+            (
+                "window",
+                Value::str(if opts.quick { "quick" } else { "full" }),
+            ),
+            ("jobs", Value::U64(pool::jobs() as u64)),
+        ],
+    );
+    for (i, e) in entries.iter().enumerate() {
+        recorder.emit(
+            i as u64 + 1,
+            "bench_entry",
+            vec![
+                ("name", Value::str(e.name)),
+                ("wall_ms", Value::F64(e.wall_ms)),
+                ("uops_per_s", Value::F64(e.uops_per_s)),
+                ("threads", Value::U64(e.threads as u64)),
+            ],
+        );
+    }
+    recorder.emit(
+        entries.len() as u64 + 1,
+        "bench_run_end",
+        vec![("entries", Value::U64(entries.len() as u64))],
+    );
+    recorder.flush();
+    Ok(())
 }
 
 fn render_json(label: &str, quick: bool, entries: &[BenchEntry]) -> String {
@@ -236,14 +310,18 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// (the warm-cache pass) cannot trip on scheduler noise.
 const GATE_SLACK_MS: f64 = 50.0;
 
-/// Compare the full-matrix and chip entries against the baseline;
-/// returns the list of human-readable regression descriptions.
+/// Compare the full-matrix, chip, and recorder-disabled entries
+/// against the baseline; returns the list of human-readable regression
+/// descriptions. `obs_recorder_*` entries are informational only — the
+/// contract is that the *disabled* path stays free, not that streaming
+/// JSONL is.
 fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
     let mut bad = Vec::new();
-    for e in current
-        .iter()
-        .filter(|e| e.name.starts_with("full_matrix") || e.name.starts_with("chip_"))
-    {
+    for e in current.iter().filter(|e| {
+        e.name.starts_with("full_matrix")
+            || e.name.starts_with("chip_")
+            || e.name.starts_with("obs_disabled")
+    }) {
         let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
             eprintln!(
                 "dc-bench: note: baseline has no entry '{}' — skipped",
@@ -276,6 +354,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     eprintln!("dc-bench: wrote {path}");
+
+    let events_path = format!("{}/BENCH_{}.events.jsonl", opts.out_dir, opts.label);
+    if let Err(e) = write_events_jsonl(&events_path, &opts, &entries) {
+        eprintln!("dc-bench: cannot write {events_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("dc-bench: wrote {events_path}");
 
     let seq = entries.iter().find(|e| e.name == "full_matrix_sequential");
     let par = entries.iter().find(|e| e.name == "full_matrix_parallel");
@@ -384,6 +469,53 @@ mod tests {
         let chip_base = vec![("chip_corun_sort_x4".to_string(), 1000.0)];
         assert_eq!(regressions(&chip, &chip_base, 0.25).len(), 1);
         assert!(regressions(&chip, &chip_base, 1.5).is_empty());
+        // The recorder-disabled path gates; the recording path is
+        // informational only.
+        let obs = vec![
+            BenchEntry {
+                name: "obs_disabled_sampled_matrix",
+                wall_ms: 2000.0,
+                uops_per_s: 0.0,
+                threads: 1,
+            },
+            BenchEntry {
+                name: "obs_recorder_sampled_matrix",
+                wall_ms: 9000.0,
+                uops_per_s: 0.0,
+                threads: 1,
+            },
+        ];
+        let obs_base = vec![
+            ("obs_disabled_sampled_matrix".to_string(), 1000.0),
+            ("obs_recorder_sampled_matrix".to_string(), 1000.0),
+        ];
+        let bad = regressions(&obs, &obs_base, 0.25);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("obs_disabled_sampled_matrix"));
+    }
+
+    #[test]
+    fn run_metadata_events_satisfy_the_documented_schema() {
+        let dir = std::env::temp_dir().join("dc_bench_events_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let opts = Options {
+            label: "schema-test".to_string(),
+            quick: true,
+            baseline: None,
+            tolerance: 0.25,
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let entries = vec![BenchEntry {
+            name: "full_matrix_sequential",
+            wall_ms: 12.5,
+            uops_per_s: 1e6,
+            threads: 1,
+        }];
+        let path = format!("{}/BENCH_{}.events.jsonl", opts.out_dir, opts.label);
+        write_events_jsonl(&path, &opts, &entries).expect("write events");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(dc_benches::schema::validate_stream(&text), Ok(3));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

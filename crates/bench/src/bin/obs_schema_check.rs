@@ -1,0 +1,72 @@
+//! `obs-schema-check` — validate `dc-obs` JSONL artifacts against the
+//! documented event schema.
+//!
+//! ```text
+//! obs-schema-check <file.jsonl> [more.jsonl ...]
+//! obs-schema-check --lines <file.jsonl> ...   # per-line only, no seq check
+//! ```
+//!
+//! Default mode treats each file as one single-recorder artifact
+//! (`seq` must be gapless from zero); `--lines` relaxes that for files
+//! that concatenate several recorders' output (e.g. the engine and
+//! cluster rings that `job_timeline --jsonl` chains into one file).
+//! Exit 0 when every file validates, 1 on the first schema violation,
+//! 2 on usage or I/O errors.
+
+use dc_benches::schema;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut per_line_only = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--lines" => per_line_only = true,
+            other if other.starts_with('-') => {
+                eprintln!("obs-schema-check: unknown flag {other}");
+                eprintln!("usage: obs-schema-check [--lines] <file.jsonl> ...");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: obs-schema-check [--lines] <file.jsonl> ...");
+        return ExitCode::from(2);
+    }
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-schema-check: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let result = if per_line_only {
+            let mut n = 0usize;
+            let mut err = None;
+            for (i, line) in text.lines().enumerate() {
+                if let Err(e) = schema::validate_line(line) {
+                    err = Some(format!("line {}: {e}", i + 1));
+                    break;
+                }
+                n += 1;
+            }
+            match err {
+                Some(e) => Err(e),
+                None => Ok(n),
+            }
+        } else {
+            schema::validate_stream(&text)
+        };
+        match result {
+            Ok(n) => eprintln!("obs-schema-check: {path}: {n} event(s) OK"),
+            Err(e) => {
+                eprintln!("obs-schema-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

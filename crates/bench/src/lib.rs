@@ -9,6 +9,8 @@
 //! the regeneration, so `cargo bench` doubles as the reproduction run;
 //! EXPERIMENTS.md records the printed series against the paper's.
 
+pub mod schema;
+
 /// Shared quick-characterizer constructor so every bench measures the
 /// same configuration.
 pub fn bench_characterizer() -> dcbench::Characterizer {

@@ -1,0 +1,463 @@
+//! The documented `dc-obs` JSONL event schema, and a validator for it.
+//!
+//! Every JSONL artifact the stack emits — the phase exhibit from
+//! `examples/phases.rs`, engine job timelines, cluster replays, and
+//! `dc-bench`'s own run metadata — is a stream of lines shaped
+//! `{"seq":N,"ts":N,"kind":"…","fields":{…}}`. This module pins that
+//! contract: [`validate_line`] checks one line's envelope and the
+//! per-kind required fields below, and [`validate_stream`] additionally
+//! checks that `seq` is gapless from zero (one recorder per artifact).
+//!
+//! The table is deliberately a compile-time list: adding an event kind
+//! anywhere in the stack without documenting it here makes the
+//! schema-check CI job fail on the first artifact that contains it.
+//!
+//! The validator carries its own ~150-line JSON reader rather than a
+//! dependency: the workspace is offline-vendored, and the subset of
+//! JSON the serializer in `dc-obs` emits is small and stable.
+
+/// Required fields per event kind. Extra fields are allowed (the
+/// producer may enrich events); missing ones fail validation, as does
+/// any kind not listed here.
+pub const EVENT_SCHEMA: &[(&str, &[&str])] = &[
+    // Characterizer cache telemetry (ts: logical, always 0).
+    ("cache_hit", &["entry", "corun"]),
+    ("cache_miss", &["entry", "corun"]),
+    ("sim_uncached", &["entry", "corun"]),
+    // Interval PMU sampling (ts: simulated cycles).
+    (
+        "interval_sample",
+        &[
+            "workload",
+            "interval",
+            "start_cycle",
+            "end_cycle",
+            "instructions",
+            "ipc",
+            "l2_mpki",
+            "l3_mpki",
+            "branch_mpki",
+        ],
+    ),
+    (
+        "workload_sampled",
+        &[
+            "workload",
+            "intervals",
+            "every_cycles",
+            "instructions",
+            "ipc",
+            "ipc_spread",
+        ],
+    ),
+    // Engine job timelines (ts: job-relative wall-clock ms).
+    (
+        "job_start",
+        &["map_tasks", "reduce_tasks", "input_bytes", "speculative"],
+    ),
+    (
+        "job_summary",
+        &[
+            "map_input_records",
+            "map_output_records",
+            "shuffle_bytes",
+            "reduce_input_records",
+            "reduce_input_bytes",
+            "reduce_output_records",
+            "failed_attempts",
+            "speculative_attempts",
+            "killed_attempts",
+            "reexecuted_bytes",
+            "map_ms",
+            "reduce_ms",
+        ],
+    ),
+    ("job_failed", &["error"]),
+    ("attempt_start", &["phase", "task", "attempt"]),
+    ("attempt_end", &["phase", "task", "attempt", "outcome"]),
+    ("attempt_retry", &["phase", "task", "attempt", "backoff_ms"]),
+    ("speculative_launch", &["phase", "task", "attempt"]),
+    // Cluster replay (ts: simulated ms).
+    ("phase_start", &["phase", "iteration"]),
+    ("phase_end", &["phase", "iteration", "secs"]),
+    (
+        "node_loss",
+        &[
+            "lost",
+            "alive",
+            "requeued_map_secs",
+            "rereplicated_mb",
+            "rereplication_stall_secs",
+        ],
+    ),
+    ("node_recover", &["recovered", "alive"]),
+    // dc-bench run metadata (ts: entry index).
+    ("bench_run_start", &["label", "window", "jobs"]),
+    ("bench_entry", &["name", "wall_ms", "threads"]),
+    ("bench_run_end", &["entries"]),
+];
+
+/// A parsed JSON value (the subset `dc-obs` emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (a non-finite f64 serializes as this).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| format!("invalid \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape '\\{}'", char::from(other))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// The validated envelope of one event line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLine {
+    /// Recorder-assigned sequence number.
+    pub seq: u64,
+    /// Producer timestamp (domain documented per kind).
+    pub ts: u64,
+    /// Event kind.
+    pub kind: String,
+}
+
+fn as_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Validate one JSONL line: envelope shape, known kind, required
+/// fields. Returns the envelope on success.
+pub fn validate_line(line: &str) -> Result<EventLine, String> {
+    let doc = parse_json(line)?;
+    let seq = doc
+        .get("seq")
+        .and_then(as_u64)
+        .ok_or("missing or non-integer \"seq\"")?;
+    let ts = doc
+        .get("ts")
+        .and_then(as_u64)
+        .ok_or("missing or non-integer \"ts\"")?;
+    let kind = match doc.get("kind") {
+        Some(Json::Str(k)) => k.clone(),
+        _ => return Err("missing or non-string \"kind\"".into()),
+    };
+    let fields = doc.get("fields").ok_or("missing \"fields\"")?;
+    if !matches!(fields, Json::Obj(_)) {
+        return Err("\"fields\" is not an object".into());
+    }
+    let Some((_, required)) = EVENT_SCHEMA.iter().find(|(k, _)| *k == kind) else {
+        return Err(format!("undocumented event kind \"{kind}\""));
+    };
+    for field in *required {
+        if fields.get(field).is_none() {
+            return Err(format!("kind \"{kind}\" is missing field \"{field}\""));
+        }
+    }
+    Ok(EventLine { seq, ts, kind })
+}
+
+/// Validate a whole single-recorder artifact: every line individually,
+/// plus `seq` gapless from zero. Returns the number of events.
+pub fn validate_stream(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let ev = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if ev.seq != i as u64 {
+            return Err(format!(
+                "line {}: seq {} breaks the gapless order (expected {})",
+                i + 1,
+                ev.seq,
+                i
+            ));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_obs::{Recorder, SharedBuf, Value};
+
+    #[test]
+    fn accepts_every_documented_kind_from_the_real_serializer() {
+        let buf = SharedBuf::default();
+        let rec = Recorder::jsonl(buf.clone());
+        rec.emit(
+            0,
+            "cache_miss",
+            vec![("entry", Value::str("sort")), ("corun", Value::U64(1))],
+        );
+        rec.emit(
+            7,
+            "interval_sample",
+            vec![
+                ("workload", Value::str("sort")),
+                ("interval", Value::U64(0)),
+                ("start_cycle", Value::U64(0)),
+                ("end_cycle", Value::U64(7)),
+                ("instructions", Value::U64(5)),
+                ("ipc", Value::F64(0.71)),
+                ("l2_mpki", Value::F64(1.0)),
+                ("l3_mpki", Value::F64(f64::NAN)), // serializes as null
+                ("branch_mpki", Value::F64(0.0)),
+            ],
+        );
+        rec.emit(
+            9,
+            "attempt_end",
+            vec![
+                ("phase", Value::str("map")),
+                ("task", Value::U64(1)),
+                ("attempt", Value::U64(0)),
+                ("outcome", Value::str("failed")),
+            ],
+        );
+        rec.flush();
+        let text = buf.to_string_lossy();
+        assert_eq!(validate_stream(&text), Ok(3));
+    }
+
+    #[test]
+    fn rejects_undocumented_kinds_and_missing_fields() {
+        let undocumented = r#"{"seq":0,"ts":0,"kind":"mystery","fields":{}}"#;
+        assert!(validate_line(undocumented)
+            .unwrap_err()
+            .contains("undocumented"));
+        let missing = r#"{"seq":0,"ts":0,"kind":"attempt_end","fields":{"phase":"map","task":1,"attempt":0}}"#;
+        assert!(validate_line(missing).unwrap_err().contains("outcome"));
+        let no_envelope = r#"{"ts":0,"kind":"job_failed","fields":{"error":"x"}}"#;
+        assert!(validate_line(no_envelope).unwrap_err().contains("seq"));
+    }
+
+    #[test]
+    fn stream_validation_requires_gapless_seq() {
+        let good = concat!(
+            r#"{"seq":0,"ts":0,"kind":"job_failed","fields":{"error":"a"}}"#,
+            "\n",
+            r#"{"seq":1,"ts":1,"kind":"job_failed","fields":{"error":"b"}}"#,
+            "\n"
+        );
+        assert_eq!(validate_stream(good), Ok(2));
+        let gapped = concat!(
+            r#"{"seq":0,"ts":0,"kind":"job_failed","fields":{"error":"a"}}"#,
+            "\n",
+            r#"{"seq":2,"ts":1,"kind":"job_failed","fields":{"error":"b"}}"#,
+            "\n"
+        );
+        assert!(validate_stream(gapped).unwrap_err().contains("gapless"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_nulls_and_nesting() {
+        let doc =
+            parse_json(r#"{"a":"x\n\"y\"A","b":[1,-2.5e3,null,true],"c":{}}"#).expect("valid json");
+        assert_eq!(doc.get("a"), Some(&Json::Str("x\n\"y\"A".to_string())));
+        match doc.get("b") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1], Json::Num(-2500.0));
+                assert_eq!(items[2], Json::Null);
+                assert_eq!(items[3], Json::Bool(true));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(parse_json(r#"{"a":}"#).is_err());
+        assert!(parse_json(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_json("").is_err());
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::registry::BenchmarkId;
 use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts};
+use dc_obs::{Recorder, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -80,6 +81,22 @@ pub(crate) fn note_simulation() {
     SIM_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Emit the cache-telemetry event for one lookup. `ts` is 0 for every
+/// cache event: lookups live in the host's logical time, not any
+/// simulated clock; ordering comes from the recorder's `seq`.
+fn emit_lookup(recorder: &Recorder, kind: &'static str, key: &CacheKey) {
+    if recorder.is_enabled() {
+        recorder.emit(
+            0,
+            kind,
+            vec![
+                ("entry", Value::str(key.id.name())),
+                ("corun", Value::U64(u64::from(key.corun))),
+            ],
+        );
+    }
+}
+
 /// Return the counter block for `key`, simulating via `compute` only on
 /// a miss.
 ///
@@ -87,8 +104,16 @@ pub(crate) fn note_simulation() {
 /// on different keys concurrently; two threads racing on the same key
 /// both simulate and insert the identical deterministic block — wasted
 /// work in a pathological schedule, never wrong data.
-pub(crate) fn counts_for(key: CacheKey, compute: impl FnOnce() -> PerfCounts) -> PerfCounts {
-    counts_vec_for(key, || vec![compute()])[0]
+///
+/// Every lookup emits one `cache_hit` or `cache_miss` event through
+/// `recorder` (a miss is exactly one real simulation), mirroring the
+/// [`sim_invocations`]/[`cache_hits`] lifetime counters.
+pub(crate) fn counts_for(
+    key: CacheKey,
+    recorder: &Recorder,
+    compute: impl FnOnce() -> PerfCounts,
+) -> PerfCounts {
+    counts_vec_for(key, recorder, || vec![compute()])[0]
 }
 
 /// Vector-valued variant for chip co-runs: one counter block per core,
@@ -96,13 +121,16 @@ pub(crate) fn counts_for(key: CacheKey, compute: impl FnOnce() -> PerfCounts) ->
 /// special case, so a width-1 co-run and a plain run share hits.
 pub(crate) fn counts_vec_for(
     key: CacheKey,
+    recorder: &Recorder,
     compute: impl FnOnce() -> Vec<PerfCounts>,
 ) -> Vec<PerfCounts> {
     if let Some(hit) = lock().get(&key).cloned() {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        emit_lookup(recorder, "cache_hit", &key);
         return hit;
     }
     note_simulation();
+    emit_lookup(recorder, "cache_miss", &key);
     let counts = compute();
     lock().insert(key, counts.clone());
     counts
@@ -190,11 +218,12 @@ mod tests {
             })
             .collect();
         let mut computed = 0u32;
-        let a = counts_vec_for(k, || {
+        let rec = Recorder::disabled();
+        let a = counts_vec_for(k, &rec, || {
             computed += 1;
             blocks.clone()
         });
-        let b = counts_vec_for(k, || {
+        let b = counts_vec_for(k, &rec, || {
             computed += 1;
             Vec::new()
         });
@@ -209,7 +238,8 @@ mod tests {
         // cannot interleave on the same key.
         let k = key(0xDEAD_BEEF_0BAD_F00D);
         let mut computed = 0u32;
-        let a = counts_for(k, || {
+        let rec = Recorder::disabled();
+        let a = counts_for(k, &rec, || {
             computed += 1;
             PerfCounts {
                 cycles: 7,
@@ -218,11 +248,30 @@ mod tests {
             }
         });
         assert_eq!(computed, 1);
-        let b = counts_for(k, || {
+        let b = counts_for(k, &rec, || {
             computed += 1;
             PerfCounts::default()
         });
         assert_eq!(computed, 1, "second lookup must not recompute");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookups_emit_matching_telemetry_events() {
+        // A seed no other test uses (same-key isolation).
+        let k = key(0x0B5E_C0DE_2026);
+        let (rec, buf) = Recorder::ring(64);
+        let _ = counts_for(k, &rec, PerfCounts::default);
+        let _ = counts_for(k, &rec, PerfCounts::default);
+        let _ = counts_for(k, &rec, PerfCounts::default);
+        assert_eq!(buf.count_kind("cache_miss"), 1);
+        assert_eq!(buf.count_kind("cache_hit"), 2);
+        let events = buf.snapshot();
+        assert_eq!(events[0].kind, "cache_miss");
+        assert_eq!(
+            events[0].field("entry").and_then(Value::as_str),
+            Some(BenchmarkId::Sort.name())
+        );
+        assert_eq!(events[0].field("corun").and_then(Value::as_u64), Some(1));
     }
 }

@@ -25,7 +25,8 @@ use crate::pool;
 use crate::profiles::profile;
 use crate::registry::BenchmarkId;
 use dc_cpu::{core::SimOptions, Chip, Core, CpuConfig, PerfCounts};
-use dc_perfmon::{msr, Metrics, PerfEvent};
+use dc_obs::{Recorder, Value};
+use dc_perfmon::{msr, Metrics, PerfEvent, SampledMetrics};
 use dc_trace::SyntheticTrace;
 
 /// Characterization harness: machine config + measurement window.
@@ -34,6 +35,7 @@ pub struct Characterizer {
     cfg: CpuConfig,
     opts: SimOptions,
     seed: u64,
+    recorder: Recorder,
 }
 
 impl Default for Characterizer {
@@ -43,9 +45,29 @@ impl Default for Characterizer {
 }
 
 impl Characterizer {
-    /// Build a harness with an explicit machine, window and seed.
+    /// Build a harness with an explicit machine, window and seed. The
+    /// recorder starts disabled; see [`Characterizer::with_recorder`].
     pub fn new(cfg: CpuConfig, opts: SimOptions, seed: u64) -> Self {
-        Characterizer { cfg, opts, seed }
+        Characterizer {
+            cfg,
+            opts,
+            seed,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attach an observability recorder: cache hits/misses, uncached
+    /// simulations and interval samples are emitted as [`dc_obs`]
+    /// events. The disabled default costs one branch per would-be
+    /// event and leaves every measured counter bit-identical.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder events are emitted through.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Short windows for tests and smoke runs.
@@ -99,7 +121,7 @@ impl Characterizer {
     /// Counter block for one entry through the memoizing cache.
     fn counts(&self, id: BenchmarkId) -> PerfCounts {
         let key = CacheKey::new(id, &self.cfg, &self.opts, self.entry_seed(id));
-        cache::counts_for(key, || self.simulate(id))
+        cache::counts_for(key, &self.recorder, || self.simulate(id))
     }
 
     /// Characterize one benchmark entry.
@@ -111,6 +133,13 @@ impl Characterizer {
     /// simulates, never reads or populates cached blocks.
     pub fn run_uncached(&self, id: BenchmarkId) -> Metrics {
         cache::note_simulation();
+        if self.recorder.is_enabled() {
+            self.recorder.emit(
+                0,
+                "sim_uncached",
+                vec![("entry", Value::str(id.name())), ("corun", Value::U64(1))],
+            );
+        }
         Metrics::from_counts(id.name(), &self.simulate(id))
     }
 
@@ -152,7 +181,7 @@ impl Characterizer {
         assert!(n > 0, "co-run width must be at least 1");
         let key =
             CacheKey::new(id, &self.cfg, &self.opts, self.entry_seed(id)).with_corun(n as u32);
-        cache::counts_vec_for(key, || self.simulate_corun(id, n))
+        cache::counts_vec_for(key, &self.recorder, || self.simulate_corun(id, n))
     }
 
     /// Characterize `n` co-running copies of one entry on a shared-L3
@@ -163,6 +192,77 @@ impl Characterizer {
     /// equals `run(id)` bit-for-bit.
     pub fn corun(&self, id: BenchmarkId, n: usize) -> Metrics {
         Metrics::from_counts(id.name(), &self.corun_counts(id, n)[0])
+    }
+
+    /// Characterize one entry with **interval PMU sampling**: snapshot
+    /// the counters every `every_cycles` simulated cycles (the
+    /// `perf stat -I` view) and derive per-interval IPC / L2 MPKI /
+    /// L3 MPKI / branch MPKI.
+    ///
+    /// Sampling is observation-only — the aggregate block inside the
+    /// returned [`SampledMetrics`] is bit-identical to
+    /// [`Characterizer::raw_counts`] for the same entry — and the
+    /// per-interval deltas telescope to that aggregate exactly. The
+    /// sampled path always simulates (series are not memoized; the
+    /// simulation is counted in [`crate::cache::sim_invocations`]).
+    /// With a recorder attached, one `interval_sample` event per
+    /// interval plus a `workload_sampled` summary are emitted, all
+    /// timestamped in **simulated cycles** since the warm-up boundary.
+    pub fn run_sampled(&self, id: BenchmarkId, every_cycles: u64) -> SampledMetrics {
+        let run = self.raw_sampled(id, every_cycles);
+        let sampled = SampledMetrics::from_run(id.name(), &run);
+        self.emit_samples(&sampled);
+        sampled
+    }
+
+    /// The raw counter-level sampled run behind
+    /// [`Characterizer::run_sampled`] (for validation/calibration, the
+    /// way [`Characterizer::raw_counts`] sits behind
+    /// [`Characterizer::run`]). Emits no events.
+    pub fn raw_sampled(&self, id: BenchmarkId, every_cycles: u64) -> dc_cpu::SampledRun {
+        cache::note_simulation();
+        let prof = profile(id);
+        let trace = SyntheticTrace::new(&prof, self.entry_seed(id));
+        Core::new(self.cfg.clone()).run_sampled(trace, &self.opts, every_cycles)
+    }
+
+    /// Emit one `interval_sample` event per interval plus the
+    /// `workload_sampled` summary for an already-computed series (used
+    /// by [`crate::report::phase_exhibit`], which samples workloads in
+    /// parallel but must emit in deterministic workload order).
+    pub(crate) fn emit_samples(&self, sampled: &SampledMetrics) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for iv in &sampled.intervals {
+            self.recorder.emit(
+                iv.end_cycle,
+                "interval_sample",
+                vec![
+                    ("workload", Value::str(sampled.name.clone())),
+                    ("interval", Value::U64(iv.index as u64)),
+                    ("start_cycle", Value::U64(iv.start_cycle)),
+                    ("end_cycle", Value::U64(iv.end_cycle)),
+                    ("instructions", Value::U64(iv.instructions)),
+                    ("ipc", Value::F64(iv.ipc)),
+                    ("l2_mpki", Value::F64(iv.l2_mpki)),
+                    ("l3_mpki", Value::F64(iv.l3_mpki)),
+                    ("branch_mpki", Value::F64(iv.branch_mpki)),
+                ],
+            );
+        }
+        self.recorder.emit(
+            sampled.aggregate.cycles,
+            "workload_sampled",
+            vec![
+                ("workload", Value::str(sampled.name.clone())),
+                ("intervals", Value::U64(sampled.intervals.len() as u64)),
+                ("every_cycles", Value::U64(sampled.every_cycles)),
+                ("instructions", Value::U64(sampled.aggregate.instructions)),
+                ("ipc", Value::F64(sampled.aggregate.ipc())),
+                ("ipc_spread", Value::F64(sampled.ipc_spread())),
+            ],
+        );
     }
 
     /// Characterize a set of entries in parallel, returning metric rows

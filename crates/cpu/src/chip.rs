@@ -43,6 +43,7 @@ use crate::cache::{PrivateHierarchy, SharedL3};
 use crate::config::CpuConfig;
 use crate::core::{Pipeline, SimOptions};
 use crate::counters::PerfCounts;
+use crate::sampling::{SampledRun, Sampler};
 use crate::tlb::Mmu;
 
 /// Bit position of the per-core physical-address salt. High enough
@@ -154,6 +155,80 @@ impl Chip {
             .iter()
             .zip(&self.cores)
             .map(|(p, core)| p.finalize(&core.hier, &core.mmu, &core.bp))
+            .collect()
+    }
+
+    /// Like [`Chip::run`], but each core also snapshots its counters
+    /// every `every_cycles` **global** cycles past its own warm-up
+    /// boundary, returning one [`SampledRun`] per core (indexed by
+    /// core). Aggregates are bit-identical to [`Chip::run`] on the same
+    /// traces — sampling is observation-only — and each core's interval
+    /// deltas telescope to its aggregate exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero or unless exactly one trace is
+    /// supplied per core.
+    pub fn run_sampled<T: TraceSource>(
+        &mut self,
+        traces: Vec<T>,
+        opts: &SimOptions,
+        every_cycles: u64,
+    ) -> Vec<SampledRun> {
+        assert_eq!(
+            traces.len(),
+            self.cores.len(),
+            "need exactly one trace per core"
+        );
+        let n = self.cores.len();
+        let mut traces = traces;
+        let mut pipes: Vec<Pipeline> = (0..n).map(|_| Pipeline::new(&self.cfg, opts)).collect();
+        let mut samplers: Vec<Sampler> = (0..n).map(|_| Sampler::new(every_cycles)).collect();
+        let mut warm: Vec<bool> = pipes.iter().map(|p| p.in_warmup()).collect();
+        let mut done = vec![false; n];
+        let mut remaining = n;
+        let mut cycle: u64 = 0;
+        while remaining > 0 {
+            cycle += 1;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let core = &mut self.cores[i];
+                let finished = pipes[i].step(
+                    cycle,
+                    &self.cfg,
+                    &mut core.hier,
+                    &mut self.shared,
+                    &mut core.mmu,
+                    &mut core.bp,
+                    &mut traces[i],
+                );
+                if warm[i] && !pipes[i].in_warmup() {
+                    samplers[i].rearm(pipes[i].cycle_base());
+                    warm[i] = false;
+                }
+                if finished {
+                    done[i] = true;
+                    remaining -= 1;
+                    continue;
+                }
+                let core = &self.cores[i];
+                samplers[i].observe(cycle, &pipes[i], &core.hier, &core.mmu, &core.bp);
+            }
+        }
+        pipes
+            .iter()
+            .zip(&self.cores)
+            .zip(samplers)
+            .map(|((p, core), sampler)| {
+                let aggregate = p.finalize(&core.hier, &core.mmu, &core.bp);
+                SampledRun {
+                    every_cycles,
+                    aggregate,
+                    samples: sampler.finish(aggregate),
+                }
+            })
             .collect()
     }
 }

@@ -33,6 +33,7 @@ use crate::branch::BranchPredictor;
 use crate::cache::{Hierarchy, PrivateHierarchy, SharedL3};
 use crate::config::CpuConfig;
 use crate::counters::PerfCounts;
+use crate::sampling::{SampledRun, Sampler};
 use crate::tlb::Mmu;
 
 /// Completion ring size for dependence resolution (must exceed the
@@ -417,6 +418,17 @@ impl Pipeline {
         false
     }
 
+    /// Whether this pipeline is still inside its warm-up window.
+    pub(crate) fn in_warmup(&self) -> bool {
+        self.in_warmup
+    }
+
+    /// The global cycle at which statistics were last reset (0 until
+    /// the warm-up boundary passes).
+    pub(crate) fn cycle_base(&self) -> u64 {
+        self.cycle_base
+    }
+
     /// Copy structure statistics into the counter block and return it.
     pub(crate) fn finalize(
         &self,
@@ -424,8 +436,24 @@ impl Pipeline {
         mmu: &Mmu,
         bp: &BranchPredictor,
     ) -> PerfCounts {
+        self.snapshot(self.final_cycle, hier, mmu, bp)
+    }
+
+    /// The counter block as it stands at global cycle `at_cycle`, with
+    /// structure statistics copied in — [`Pipeline::finalize`] is the
+    /// `at_cycle == final_cycle` case. Counters only ever increase
+    /// between snapshots (within one measurement window), so
+    /// consecutive snapshots difference cleanly
+    /// ([`PerfCounts::delta_since`]).
+    pub(crate) fn snapshot(
+        &self,
+        at_cycle: u64,
+        hier: &PrivateHierarchy,
+        mmu: &Mmu,
+        bp: &BranchPredictor,
+    ) -> PerfCounts {
         let mut counts = self.counts;
-        counts.cycles = self.final_cycle - self.cycle_base;
+        counts.cycles = at_cycle - self.cycle_base;
         counts.l1i_accesses = hier.l1i.accesses;
         counts.l1i_misses = hier.l1i.misses;
         counts.l1d_accesses = hier.l1d.accesses;
@@ -509,6 +537,60 @@ impl Core {
             }
         }
         pipe.finalize(&self.hier.private, &self.mmu, &self.bp)
+    }
+
+    /// Like [`Core::run`], but additionally snapshot the counters every
+    /// `every_cycles` simulated cycles (a `perf stat -I`-style series).
+    ///
+    /// The returned [`SampledRun`] holds the per-interval counter
+    /// *deltas* plus the aggregate block. The aggregate is
+    /// **bit-identical** to what [`Core::run`] returns for the same
+    /// trace and options — sampling reads pipeline state, it never
+    /// perturbs it — and the deltas telescope: accumulating them
+    /// reproduces the aggregate exactly. The interval clock restarts at
+    /// the warm-up boundary along with the statistics, so samples cover
+    /// precisely the measured window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero.
+    pub fn run_sampled<T: TraceSource>(
+        &mut self,
+        mut trace: T,
+        opts: &SimOptions,
+        every_cycles: u64,
+    ) -> SampledRun {
+        let mut pipe = Pipeline::new(&self.cfg, opts);
+        let mut sampler = Sampler::new(every_cycles);
+        let mut was_warm = pipe.in_warmup();
+        let mut cycle: u64 = 0;
+        loop {
+            cycle += 1;
+            let done = pipe.step(
+                cycle,
+                &self.cfg,
+                &mut self.hier.private,
+                &mut self.hier.shared,
+                &mut self.mmu,
+                &mut self.bp,
+                &mut trace,
+            );
+            if was_warm && !pipe.in_warmup() {
+                sampler.rearm(pipe.cycle_base());
+                was_warm = false;
+            }
+            if done {
+                break;
+            }
+            sampler.observe(cycle, &pipe, &self.hier.private, &self.mmu, &self.bp);
+        }
+        let aggregate = pipe.finalize(&self.hier.private, &self.mmu, &self.bp);
+        let samples = sampler.finish(aggregate);
+        SampledRun {
+            every_cycles,
+            aggregate,
+            samples,
+        }
     }
 }
 

@@ -109,6 +109,52 @@ impl PerfCounts {
         self.stores += other.stores;
     }
 
+    /// Event-wise difference `self - earlier`, for interval sampling:
+    /// `earlier` is a snapshot of the same monotonically counting block
+    /// taken previously, so every field of `self` is `>=` its
+    /// counterpart. Deltas over consecutive snapshots telescope —
+    /// summing them with [`PerfCounts::accumulate`] reproduces the
+    /// final block bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds
+    /// `self`'s (i.e. the arguments are not snapshots of one run in
+    /// chronological order).
+    pub fn delta_since(&self, earlier: &PerfCounts) -> PerfCounts {
+        PerfCounts {
+            cycles: self.cycles - earlier.cycles,
+            instructions: self.instructions - earlier.instructions,
+            user_instructions: self.user_instructions - earlier.user_instructions,
+            kernel_instructions: self.kernel_instructions - earlier.kernel_instructions,
+            fetch_stall_cycles: self.fetch_stall_cycles - earlier.fetch_stall_cycles,
+            rat_stall_cycles: self.rat_stall_cycles - earlier.rat_stall_cycles,
+            rs_full_stall_cycles: self.rs_full_stall_cycles - earlier.rs_full_stall_cycles,
+            rob_full_stall_cycles: self.rob_full_stall_cycles - earlier.rob_full_stall_cycles,
+            load_buf_stall_cycles: self.load_buf_stall_cycles - earlier.load_buf_stall_cycles,
+            store_buf_stall_cycles: self.store_buf_stall_cycles - earlier.store_buf_stall_cycles,
+            l1i_accesses: self.l1i_accesses - earlier.l1i_accesses,
+            l1i_misses: self.l1i_misses - earlier.l1i_misses,
+            itlb_accesses: self.itlb_accesses - earlier.itlb_accesses,
+            itlb_misses: self.itlb_misses - earlier.itlb_misses,
+            itlb_walks: self.itlb_walks - earlier.itlb_walks,
+            l1d_accesses: self.l1d_accesses - earlier.l1d_accesses,
+            l1d_misses: self.l1d_misses - earlier.l1d_misses,
+            dtlb_accesses: self.dtlb_accesses - earlier.dtlb_accesses,
+            dtlb_misses: self.dtlb_misses - earlier.dtlb_misses,
+            dtlb_walks: self.dtlb_walks - earlier.dtlb_walks,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l3_accesses: self.l3_accesses - earlier.l3_accesses,
+            l3_misses: self.l3_misses - earlier.l3_misses,
+            prefetches: self.prefetches - earlier.prefetches,
+            branches: self.branches - earlier.branches,
+            branch_mispredicts: self.branch_mispredicts - earlier.branch_mispredicts,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+        }
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -155,6 +201,13 @@ impl PerfCounts {
     /// metric of Exhibit CO; rises as co-runners contend for the L3).
     pub fn l3_mpki(&self) -> f64 {
         self.pki(self.l3_misses)
+    }
+
+    /// Branch mispredictions per thousand instructions (the
+    /// phase-exhibit series; the per-branch ratio is
+    /// [`PerfCounts::branch_misprediction_ratio`]).
+    pub fn branch_mpki(&self) -> f64 {
+        self.pki(self.branch_mispredicts)
     }
 
     /// Ratio of L2 misses satisfied by the L3 (Figure 10, Equation 1).
@@ -284,6 +337,69 @@ mod tests {
         let sum: f64 = b.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!((c.ooo_stall_share() - 350.0 / 500.0).abs() < 1e-12);
+    }
+
+    /// Every field nonzero and distinct, written as a full struct
+    /// literal (no `..Default::default()`): adding a counter field
+    /// without teaching `accumulate`/`delta_since` about it fails to
+    /// compile here.
+    fn every_field() -> PerfCounts {
+        PerfCounts {
+            cycles: 1,
+            instructions: 2,
+            user_instructions: 3,
+            kernel_instructions: 4,
+            fetch_stall_cycles: 5,
+            rat_stall_cycles: 6,
+            rs_full_stall_cycles: 7,
+            rob_full_stall_cycles: 8,
+            load_buf_stall_cycles: 9,
+            store_buf_stall_cycles: 10,
+            l1i_accesses: 11,
+            l1i_misses: 12,
+            itlb_accesses: 13,
+            itlb_misses: 14,
+            itlb_walks: 15,
+            l1d_accesses: 16,
+            l1d_misses: 17,
+            dtlb_accesses: 18,
+            dtlb_misses: 19,
+            dtlb_walks: 20,
+            l2_accesses: 21,
+            l2_misses: 22,
+            l3_accesses: 23,
+            l3_misses: 24,
+            prefetches: 25,
+            branches: 26,
+            branch_mispredicts: 27,
+            loads: 28,
+            stores: 29,
+        }
+    }
+
+    #[test]
+    fn delta_since_inverts_accumulate_on_every_field() {
+        let earlier = sample();
+        let step = every_field();
+        let mut later = earlier;
+        later.accumulate(&step);
+        assert_eq!(later.delta_since(&earlier), step);
+        assert_eq!(later.delta_since(&later), PerfCounts::default());
+        // And deltas re-accumulate to the final block (telescoping).
+        let mut rebuilt = earlier;
+        rebuilt.accumulate(&later.delta_since(&earlier));
+        assert_eq!(rebuilt, later);
+    }
+
+    #[test]
+    fn branch_mpki_is_mispredicts_per_kilo_instruction() {
+        let c = PerfCounts {
+            instructions: 4000,
+            branch_mispredicts: 6,
+            ..PerfCounts::default()
+        };
+        assert!((c.branch_mpki() - 1.5).abs() < 1e-12);
+        assert_eq!(PerfCounts::default().branch_mpki(), 0.0);
     }
 
     #[test]

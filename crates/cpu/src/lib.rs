@@ -43,9 +43,11 @@ pub mod chip;
 pub mod config;
 pub mod core;
 pub mod counters;
+pub mod sampling;
 pub mod tlb;
 
 pub use crate::chip::Chip;
 pub use crate::config::CpuConfig;
 pub use crate::core::{simulate, Core, SimOptions};
 pub use crate::counters::PerfCounts;
+pub use crate::sampling::{IntervalSample, SampledRun};

@@ -23,6 +23,7 @@
 //! shows lower speed-ups rather than simulation error.
 
 use crate::engine::JobStats;
+use dc_obs::{Recorder, Value};
 
 /// Cluster hardware/configuration parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -304,10 +305,52 @@ pub fn simulate_with_failures(
     job: &JobModel,
     failures: &FailureModel,
 ) -> ClusterRun {
-    let base = simulate(cluster, job);
     if failures.is_empty() {
-        return base;
+        return simulate(cluster, job);
     }
+    replay_with_failures(cluster, job, failures, &Recorder::disabled())
+}
+
+/// [`simulate_with_failures`] with the piecewise timeline emitted as
+/// structured events.
+///
+/// When `recorder` is enabled, the replay emits:
+///
+/// * `phase_start` / `phase_end` span pairs per iteration segment, with
+///   lane fields `phase` (`"setup"`/`"map"`/`"shuffle"`/`"reduce"`) and
+///   `iteration`;
+/// * `node_loss` / `node_recover` markers at each capacity change,
+///   carrying the surviving capacity, the re-queued map work and the
+///   HDFS re-replication volume.
+///
+/// Event timestamps are **simulated milliseconds** since job
+/// submission — a pure function of the inputs, so two calls with the
+/// same arguments produce byte-identical event streams. The returned
+/// [`ClusterRun`] is exactly [`simulate_with_failures`]'s.
+pub fn simulate_with_failures_observed(
+    cluster: &ClusterConfig,
+    job: &JobModel,
+    failures: &FailureModel,
+    recorder: &Recorder,
+) -> ClusterRun {
+    let run = replay_with_failures(cluster, job, failures, recorder);
+    if failures.is_empty() {
+        // Keep the exactness guarantee of the empty schedule (the
+        // replay matches `simulate` only up to float associativity).
+        simulate(cluster, job)
+    } else {
+        run
+    }
+}
+
+fn replay_with_failures(
+    cluster: &ClusterConfig,
+    job: &JobModel,
+    failures: &FailureModel,
+    recorder: &Recorder,
+) -> ClusterRun {
+    let base = simulate(cluster, job);
+    let sim_ms = |t: f64| (t * 1000.0).round() as u64;
 
     let s = f64::from(cluster.slaves);
     let fabric = cluster.fabric_mb_per_sec();
@@ -348,6 +391,7 @@ pub fn simulate_with_failures(
                  rerepl_mb: &mut f64|
      -> f64 {
         if lost > 0.0 {
+            let at_ms = sim_ms(*t);
             // Keep at least one slave so the job always completes.
             let k = lost.min(alive - 1.0).max(0.0);
             let frac = k / s;
@@ -358,27 +402,96 @@ pub fn simulate_with_failures(
             *extra_work += rework;
             // HDFS restores one fresh copy of every lost block.
             let lost_mb = input_mb * frac;
+            let mut stall_secs = 0.0;
             if fabric.is_finite() && lost_mb > 0.0 {
-                *t += lost_mb / fabric;
+                stall_secs = lost_mb / fabric;
+                *t += stall_secs;
                 *rerepl_mb += lost_mb;
+            }
+            if recorder.is_enabled() {
+                recorder.emit(
+                    at_ms,
+                    "node_loss",
+                    vec![
+                        ("lost", Value::F64(k)),
+                        ("alive", Value::F64(alive - k)),
+                        ("requeued_map_secs", Value::F64(rework)),
+                        ("rereplicated_mb", Value::F64(lost_mb)),
+                        ("rereplication_stall_secs", Value::F64(stall_secs)),
+                    ],
+                );
             }
             alive - k
         } else {
-            (alive - lost).min(s)
+            let restored = (alive - lost).min(s);
+            if recorder.is_enabled() {
+                recorder.emit(
+                    sim_ms(*t),
+                    "node_recover",
+                    vec![
+                        ("recovered", Value::F64(-lost)),
+                        ("alive", Value::F64(restored)),
+                    ],
+                );
+            }
+            restored
         }
     };
 
     let iters = job.iterations.max(1);
-    for _ in 0..iters {
+    for iter in 0..iters {
         map_done = 0.0;
-        // (wall secs, work slave-secs, phase index) per segment.
-        let segments: [(Option<f64>, Option<f64>, Option<usize>); 4] = [
-            (Some(cluster.job_setup_secs), None, None),
-            (None, Some(base.map_secs * s), Some(0)),
-            (Some(base.shuffle_secs), None, Some(1)),
-            (None, Some(base.reduce_secs * s), Some(2)),
+        // (name, wall secs, work slave-secs, phase index) per segment.
+        struct Segment {
+            name: &'static str,
+            wall: Option<f64>,
+            work: Option<f64>,
+            phase: Option<usize>,
+        }
+        let segments = [
+            Segment {
+                name: "setup",
+                wall: Some(cluster.job_setup_secs),
+                work: None,
+                phase: None,
+            },
+            Segment {
+                name: "map",
+                wall: None,
+                work: Some(base.map_secs * s),
+                phase: Some(0),
+            },
+            Segment {
+                name: "shuffle",
+                wall: Some(base.shuffle_secs),
+                work: None,
+                phase: Some(1),
+            },
+            Segment {
+                name: "reduce",
+                wall: None,
+                work: Some(base.reduce_secs * s),
+                phase: Some(2),
+            },
         ];
-        for (wall, work, phase) in segments {
+        for Segment {
+            name,
+            wall,
+            work,
+            phase,
+        } in segments
+        {
+            let seg_start = t;
+            if recorder.is_enabled() {
+                recorder.emit(
+                    sim_ms(t),
+                    "phase_start",
+                    vec![
+                        ("phase", Value::str(name)),
+                        ("iteration", Value::U64(u64::from(iter))),
+                    ],
+                );
+            }
             if let Some(d) = wall {
                 let mut remaining = d;
                 loop {
@@ -405,7 +518,6 @@ pub fn simulate_with_failures(
                     phase_wall[p] += d;
                 }
             } else if let Some(w0) = work {
-                let seg_start = t;
                 let mut w = w0 + debt;
                 debt = 0.0;
                 let is_map = phase == Some(0);
@@ -442,6 +554,17 @@ pub fn simulate_with_failures(
                 if let Some(p) = phase {
                     phase_wall[p] += t - seg_start;
                 }
+            }
+            if recorder.is_enabled() {
+                recorder.emit(
+                    sim_ms(t),
+                    "phase_end",
+                    vec![
+                        ("phase", Value::str(name)),
+                        ("iteration", Value::U64(u64::from(iter))),
+                        ("secs", Value::F64(t - seg_start)),
+                    ],
+                );
             }
         }
     }
@@ -650,6 +773,73 @@ mod tests {
             &FailureModel::single_loss(base.makespan_secs * 10.0),
         );
         assert!((run.makespan_secs - base.makespan_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_replay_emits_the_failure_timeline() {
+        let job = cpu_job().with_iterations(2);
+        let failures = FailureModel::single_loss_with_recovery(60.0, 30.0);
+        let (recorder, ring) = dc_obs::Recorder::ring(256);
+        let run =
+            simulate_with_failures_observed(&ClusterConfig::paper(8), &job, &failures, &recorder);
+        assert_eq!(
+            run,
+            simulate_with_failures(&ClusterConfig::paper(8), &job, &failures),
+            "observation must not change the simulated outcome"
+        );
+        assert_eq!(ring.count_kind("node_loss"), 1);
+        assert_eq!(ring.count_kind("node_recover"), 1);
+        // 4 segments per iteration, both iterations bracketed.
+        assert_eq!(ring.count_kind("phase_start"), 8);
+        assert_eq!(ring.count_kind("phase_end"), 8);
+        let events = ring.snapshot();
+        let loss = events
+            .iter()
+            .find(|e| e.kind == "node_loss")
+            .expect("loss event");
+        assert_eq!(loss.ts, 60_000, "loss lands at its simulated time");
+        assert!(
+            events.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "sim time is monotone"
+        );
+    }
+
+    #[test]
+    fn observed_empty_schedule_is_exactly_the_baseline_with_phases() {
+        let job = io_job();
+        let (recorder, ring) = dc_obs::Recorder::ring(64);
+        let run = simulate_with_failures_observed(
+            &ClusterConfig::paper(4),
+            &job,
+            &FailureModel::none(),
+            &recorder,
+        );
+        assert_eq!(run, simulate(&ClusterConfig::paper(4), &job));
+        assert_eq!(ring.count_kind("phase_start"), 4);
+        assert_eq!(ring.count_kind("node_loss"), 0);
+    }
+
+    /// The replay is a pure function of its inputs: same arguments,
+    /// byte-identical JSONL — the cluster half of the determinism
+    /// contract (timestamps are simulated milliseconds, never wall
+    /// clock).
+    #[test]
+    fn observed_replay_is_byte_deterministic() {
+        let run_once = || {
+            let buf = dc_obs::SharedBuf::default();
+            let recorder = dc_obs::Recorder::jsonl(buf.clone());
+            simulate_with_failures_observed(
+                &ClusterConfig::paper(8),
+                &io_job(),
+                &FailureModel::single_loss(45.0),
+                &recorder,
+            );
+            recorder.flush();
+            buf.contents()
+        };
+        let a = run_once();
+        assert!(!a.is_empty());
+        assert_eq!(a, run_once());
     }
 
     #[test]

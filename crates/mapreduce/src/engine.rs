@@ -40,6 +40,7 @@
 use crate::bytes::ByteSize;
 use crate::faults::{Fault, FaultPlan, TaskKind};
 use crate::pool::SpmcQueue;
+use dc_obs::{Recorder, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -197,6 +198,13 @@ pub struct JobStats {
     pub spilled_bytes: u64,
     /// Bytes moved in the shuffle.
     pub shuffle_bytes: u64,
+    /// Records consumed by reduce tasks after the merge (Hadoop's
+    /// "Reduce input records"): every shuffled record, counted once.
+    pub reduce_input_records: u64,
+    /// Bytes consumed by reduce tasks: key + value size of every merged
+    /// record (keys of a group counted per record, unlike the grouped
+    /// output accounting).
+    pub reduce_input_bytes: u64,
     /// Records produced by reduce tasks.
     pub reduce_output_records: u64,
     /// Bytes produced by reduce tasks.
@@ -270,6 +278,8 @@ impl JobStats {
         self.combine_output_records += other.combine_output_records;
         self.spilled_bytes += other.spilled_bytes;
         self.shuffle_bytes += other.shuffle_bytes;
+        self.reduce_input_records += other.reduce_input_records;
+        self.reduce_input_bytes += other.reduce_input_bytes;
         self.reduce_output_records += other.reduce_output_records;
         self.reduce_output_bytes += other.reduce_output_bytes;
         self.map_ms += other.map_ms;
@@ -302,6 +312,7 @@ struct AttemptSpec {
 /// What a worker reports back to the scheduler.
 struct AttemptReport<T> {
     task: usize,
+    attempt: u32,
     outcome: Result<T, String>,
 }
 
@@ -318,7 +329,8 @@ struct FaultCounters {
 struct TaskState {
     committed: bool,
     failures: u32,
-    running: u32,
+    /// Attempt numbers currently dispatched and not yet reported.
+    in_flight: Vec<u32>,
     next_attempt: u32,
     speculated: bool,
     dispatched_at: Instant,
@@ -371,6 +383,13 @@ where
 /// Execute `num_tasks` tasks of one phase on `slots` workers with
 /// retries, backoff, and speculative execution. Returns committed
 /// outputs in task order — exactly one per task.
+///
+/// Every attempt transition is emitted through `recorder` as a span
+/// event (`attempt_start` / `attempt_end` with an `outcome` field, plus
+/// `attempt_retry` and `speculative_launch` markers). Timestamps are
+/// milliseconds since `epoch` — job-relative wall-clock time, the one
+/// explicitly non-deterministic domain in the stack.
+#[allow(clippy::too_many_arguments)]
 fn run_phase<T, W>(
     kind: TaskKind,
     num_tasks: usize,
@@ -378,6 +397,8 @@ fn run_phase<T, W>(
     cfg: &JobConfig,
     faults: Option<&FaultPlan>,
     task_bytes: &[u64],
+    recorder: &Recorder,
+    epoch: Instant,
     work: W,
 ) -> Result<(Vec<T>, FaultCounters), JobError>
 where
@@ -387,6 +408,27 @@ where
     if num_tasks == 0 {
         return Ok((Vec::new(), FaultCounters::default()));
     }
+
+    let phase_name = match kind {
+        TaskKind::Map => "map",
+        TaskKind::Reduce => "reduce",
+    };
+    let now_ms = move || epoch.elapsed().as_millis() as u64;
+    let attempt_event =
+        |event_kind: &'static str, task: usize, attempt: u32, outcome: Option<&'static str>| {
+            if !recorder.is_enabled() {
+                return;
+            }
+            let mut fields = vec![
+                ("phase", Value::str(phase_name)),
+                ("task", Value::U64(task as u64)),
+                ("attempt", Value::U64(u64::from(attempt))),
+            ];
+            if let Some(o) = outcome {
+                fields.push(("outcome", Value::str(o)));
+            }
+            recorder.emit(now_ms(), event_kind, fields);
+        };
 
     let queue = SpmcQueue::new();
     let (report_tx, report_rx) = mpsc::channel::<AttemptReport<T>>();
@@ -404,6 +446,7 @@ where
                     if tx
                         .send(AttemptReport {
                             task: spec.task,
+                            attempt: spec.attempt,
                             outcome,
                         })
                         .is_err()
@@ -420,7 +463,7 @@ where
             .map(|_| TaskState {
                 committed: false,
                 failures: 0,
-                running: 0,
+                in_flight: Vec::new(),
                 next_attempt: 0,
                 speculated: false,
                 dispatched_at: Instant::now(),
@@ -436,7 +479,8 @@ where
         for (t, st) in tasks.iter_mut().enumerate() {
             st.dispatched_at = Instant::now();
             st.next_attempt = 1;
-            st.running = 1;
+            st.in_flight.push(0);
+            attempt_event("attempt_start", t, 0, None);
             queue.push(AttemptSpec {
                 task: t,
                 attempt: 0,
@@ -452,7 +496,9 @@ where
                 Ok(report) => {
                     let bytes = task_bytes.get(report.task).copied().unwrap_or(0);
                     let st = &mut tasks[report.task];
-                    st.running = st.running.saturating_sub(1);
+                    if let Some(p) = st.in_flight.iter().position(|a| *a == report.attempt) {
+                        st.in_flight.swap_remove(p);
+                    }
                     if st.committed {
                         // A condemned attempt finishing late; its kill
                         // was already accounted at commit time.
@@ -464,11 +510,14 @@ where
                             st.committed = true;
                             committed += 1;
                             committed_ms.push(st.dispatched_at.elapsed().as_millis() as u64);
+                            attempt_event("attempt_end", report.task, report.attempt, Some("ok"));
                             // Condemn any attempt still in flight: its
                             // output will be discarded on arrival.
-                            if st.running > 0 {
-                                counters.killed_attempts += st.running as u64;
-                                counters.reexecuted_bytes += bytes * st.running as u64;
+                            let condemned = std::mem::take(&mut st.in_flight);
+                            counters.killed_attempts += condemned.len() as u64;
+                            counters.reexecuted_bytes += bytes * condemned.len() as u64;
+                            for a in condemned {
+                                attempt_event("attempt_end", report.task, a, Some("killed"));
                             }
                         }
                         Err(message) => {
@@ -476,6 +525,12 @@ where
                             st.last_error = message;
                             counters.failed_attempts += 1;
                             counters.reexecuted_bytes += bytes;
+                            attempt_event(
+                                "attempt_end",
+                                report.task,
+                                report.attempt,
+                                Some("failed"),
+                            );
                             if st.failures >= cfg.max_attempts {
                                 break Err(JobError::TaskExhausted {
                                     kind,
@@ -484,9 +539,22 @@ where
                                     last_error: std::mem::take(&mut st.last_error),
                                 });
                             }
-                            let ready_at = Instant::now() + cfg.backoff_for(st.failures);
+                            let backoff = cfg.backoff_for(st.failures);
+                            let ready_at = Instant::now() + backoff;
                             let attempt = st.next_attempt;
                             st.next_attempt += 1;
+                            if recorder.is_enabled() {
+                                recorder.emit(
+                                    now_ms(),
+                                    "attempt_retry",
+                                    vec![
+                                        ("phase", Value::str(phase_name)),
+                                        ("task", Value::U64(report.task as u64)),
+                                        ("attempt", Value::U64(u64::from(attempt))),
+                                        ("backoff_ms", Value::U64(backoff.as_millis() as u64)),
+                                    ],
+                                );
+                            }
                             retries.push((
                                 ready_at,
                                 AttemptSpec {
@@ -512,8 +580,9 @@ where
                 if retries[i].0 <= now {
                     let (_, spec) = retries.swap_remove(i);
                     let st = &mut tasks[spec.task];
-                    st.running += 1;
+                    st.in_flight.push(spec.attempt);
                     st.dispatched_at = now;
+                    attempt_event("attempt_start", spec.task, spec.attempt, None);
                     queue.push(spec);
                 } else {
                     i += 1;
@@ -525,16 +594,18 @@ where
             if cfg.speculative && !committed_ms.is_empty() {
                 let mean_ms = committed_ms.iter().sum::<u64>() / committed_ms.len() as u64;
                 for (t, st) in tasks.iter_mut().enumerate() {
-                    if st.committed || st.speculated || st.running != 1 {
+                    if st.committed || st.speculated || st.in_flight.len() != 1 {
                         continue;
                     }
                     let elapsed = st.dispatched_at.elapsed().as_millis() as u64;
                     if elapsed >= cfg.speculative_lag_ms && elapsed > 2 * mean_ms {
                         let attempt = st.next_attempt;
                         st.next_attempt += 1;
-                        st.running += 1;
+                        st.in_flight.push(attempt);
                         st.speculated = true;
                         counters.speculative_attempts += 1;
+                        attempt_event("speculative_launch", t, attempt, None);
+                        attempt_event("attempt_start", t, attempt, None);
                         queue.push(AttemptSpec { task: t, attempt });
                     }
                 }
@@ -574,8 +645,10 @@ struct MapTaskOut<K, V> {
 /// Private per-attempt output of one reduce task.
 struct ReduceTaskOut<O> {
     out: Vec<O>,
-    records: u64,
-    bytes: u64,
+    records_in: u64,
+    bytes_in: u64,
+    records_out: u64,
+    bytes_out: u64,
 }
 
 /// Run one MapReduce job on the local engine. See the crate docs for an
@@ -629,6 +702,89 @@ where
     M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
     R: Fn(&K, &[V]) -> Vec<O> + Sync,
 {
+    run_job_observed(
+        inputs,
+        cfg,
+        faults,
+        &Recorder::disabled(),
+        mapper,
+        combiner,
+        reducer,
+    )
+}
+
+/// [`run_job_with_faults`] with a structured job timeline attached.
+///
+/// When `recorder` is enabled, the engine emits:
+///
+/// * `job_start` / `job_summary` (or `job_failed`) bracketing the run —
+///   the summary carries the full counter set of the returned
+///   [`JobStats`];
+/// * `attempt_start` / `attempt_end` span pairs per task attempt, with
+///   lane fields `phase`/`task`/`attempt` and an `outcome` on the end
+///   event (`"ok"`, `"failed"`, `"killed"`) — exactly the shape
+///   `dc_obs::gantt` renders by default;
+/// * `attempt_retry` and `speculative_launch` markers for the
+///   fault-tolerance machinery.
+///
+/// Event timestamps are **job-relative wall-clock milliseconds**: real
+/// scheduling time of a real multi-threaded run, and therefore the one
+/// event stream in the stack that is *not* deterministic across runs
+/// (event kinds and counts are; timestamps and interleavings are not).
+/// A disabled recorder costs one branch per would-be event and leaves
+/// behaviour identical to [`run_job_with_faults`].
+pub fn run_job_observed<I, K, V, O, M, R>(
+    inputs: Vec<I>,
+    cfg: &JobConfig,
+    faults: Option<&FaultPlan>,
+    recorder: &Recorder,
+    mapper: M,
+    combiner: Option<Combiner<K, V>>,
+    reducer: R,
+) -> Result<(Vec<O>, JobStats), JobError>
+where
+    I: Clone + Send + Sync + ByteSize,
+    K: Ord + Hash + Clone + Send + Sync + ByteSize,
+    V: Clone + Send + Sync + ByteSize,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, &[V]) -> Vec<O> + Sync,
+{
+    let epoch = Instant::now();
+    let result = run_job_inner(
+        inputs, cfg, faults, recorder, epoch, mapper, combiner, reducer,
+    );
+    if let Err(e) = &result {
+        if recorder.is_enabled() {
+            recorder.emit(
+                epoch.elapsed().as_millis() as u64,
+                "job_failed",
+                vec![("error", Value::str(e.to_string()))],
+            );
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_job_inner<I, K, V, O, M, R>(
+    inputs: Vec<I>,
+    cfg: &JobConfig,
+    faults: Option<&FaultPlan>,
+    recorder: &Recorder,
+    epoch: Instant,
+    mapper: M,
+    combiner: Option<Combiner<K, V>>,
+    reducer: R,
+) -> Result<(Vec<O>, JobStats), JobError>
+where
+    I: Clone + Send + Sync + ByteSize,
+    K: Ord + Hash + Clone + Send + Sync + ByteSize,
+    V: Clone + Send + Sync + ByteSize,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, &[V]) -> Vec<O> + Sync,
+{
     // The explicit plan wins; otherwise any plan carried by the config.
     let faults = faults.or(cfg.faults.as_ref());
     let num_map_tasks = cfg.effective_map_tasks(inputs.len());
@@ -644,6 +800,22 @@ where
         .map(|s| s.iter().map(|i| i.byte_size() as u64).sum())
         .collect();
 
+    if recorder.is_enabled() {
+        recorder.emit(
+            0,
+            "job_start",
+            vec![
+                ("map_tasks", Value::U64(num_map_tasks as u64)),
+                ("reduce_tasks", Value::U64(num_reduce_tasks as u64)),
+                (
+                    "input_bytes",
+                    Value::U64(map_bytes.iter().copied().sum::<u64>()),
+                ),
+                ("speculative", Value::Bool(cfg.speculative)),
+            ],
+        );
+    }
+
     // ---- Map phase (attempts, retries, speculation) ----
     let map_start = Instant::now();
     let splits_ref = &splits;
@@ -655,6 +827,8 @@ where
         cfg,
         faults,
         &map_bytes,
+        recorder,
+        epoch,
         move |t| {
             let mut parts: Vec<Vec<(K, V)>> = (0..num_reduce_tasks).map(|_| Vec::new()).collect();
             let mut records_in = 0u64;
@@ -737,14 +911,19 @@ where
         cfg,
         faults,
         &reduce_bytes,
+        recorder,
+        epoch,
         move |r| {
             // Merge: concatenate sorted runs and re-sort (k-way merge is
             // equivalent here; the engine is not the bottleneck we study).
             let mut all: Vec<(K, V)> = staged_ref[r].iter().flatten().cloned().collect();
             all.sort_by(|a, b| a.0.cmp(&b.0));
+            // Reduce input: every merged record, key counted per record.
+            let records_in = all.len() as u64;
+            let bytes_in = all.iter().map(|kv| kv.byte_size() as u64).sum::<u64>();
             let mut out = Vec::new();
-            let mut records = 0u64;
-            let mut bytes = 0u64;
+            let mut records_out = 0u64;
+            let mut bytes_out = 0u64;
             let mut i = 0;
             while i < all.len() {
                 let mut j = i + 1;
@@ -753,11 +932,13 @@ where
                 }
                 let values: Vec<V> = all[i..j].iter().map(|kv| kv.1.clone()).collect();
                 for o in reducer_ref(&all[i].0, &values) {
-                    records += 1;
+                    records_out += 1;
                     out.push(o);
                 }
-                // Output bytes: keys + values consumed.
-                bytes += all[i..j]
+                // Output bytes: values consumed plus one key per group
+                // (the engine's proxy for emitted volume; `O` carries no
+                // byte-size bound).
+                bytes_out += all[i..j]
                     .iter()
                     .map(|kv| kv.1.byte_size() as u64)
                     .sum::<u64>()
@@ -766,8 +947,10 @@ where
             }
             ReduceTaskOut {
                 out,
-                records,
-                bytes,
+                records_in,
+                bytes_in,
+                records_out,
+                bytes_out,
             }
         },
     )?;
@@ -776,8 +959,10 @@ where
     // ---- Commit reduce outputs (partition order) ----
     let mut outputs = Vec::new();
     for task_out in reduce_outs {
-        stats.reduce_output_records += task_out.records;
-        stats.reduce_output_bytes += task_out.bytes;
+        stats.reduce_input_records += task_out.records_in;
+        stats.reduce_input_bytes += task_out.bytes_in;
+        stats.reduce_output_records += task_out.records_out;
+        stats.reduce_output_bytes += task_out.bytes_out;
         outputs.extend(task_out.out);
     }
 
@@ -786,6 +971,36 @@ where
         map_faults.speculative_attempts + reduce_faults.speculative_attempts;
     stats.killed_attempts = map_faults.killed_attempts + reduce_faults.killed_attempts;
     stats.reexecuted_bytes = map_faults.reexecuted_bytes + reduce_faults.reexecuted_bytes;
+
+    if recorder.is_enabled() {
+        recorder.emit(
+            epoch.elapsed().as_millis() as u64,
+            "job_summary",
+            vec![
+                ("map_input_records", Value::U64(stats.map_input_records)),
+                ("map_output_records", Value::U64(stats.map_output_records)),
+                ("shuffle_bytes", Value::U64(stats.shuffle_bytes)),
+                (
+                    "reduce_input_records",
+                    Value::U64(stats.reduce_input_records),
+                ),
+                ("reduce_input_bytes", Value::U64(stats.reduce_input_bytes)),
+                (
+                    "reduce_output_records",
+                    Value::U64(stats.reduce_output_records),
+                ),
+                ("failed_attempts", Value::U64(stats.failed_attempts)),
+                (
+                    "speculative_attempts",
+                    Value::U64(stats.speculative_attempts),
+                ),
+                ("killed_attempts", Value::U64(stats.killed_attempts)),
+                ("reexecuted_bytes", Value::U64(stats.reexecuted_bytes)),
+                ("map_ms", Value::U64(stats.map_ms)),
+                ("reduce_ms", Value::U64(stats.reduce_ms)),
+            ],
+        );
+    }
 
     Ok((outputs, stats))
 }
@@ -946,16 +1161,18 @@ mod tests {
             combine_output_records: 5,
             spilled_bytes: 6,
             shuffle_bytes: 7,
-            reduce_output_records: 8,
-            reduce_output_bytes: 9,
-            map_ms: 10,
-            reduce_ms: 11,
-            map_tasks: 12,
-            reduce_tasks: 13,
-            failed_attempts: 14,
-            speculative_attempts: 15,
-            killed_attempts: 16,
-            reexecuted_bytes: 17,
+            reduce_input_records: 8,
+            reduce_input_bytes: 9,
+            reduce_output_records: 10,
+            reduce_output_bytes: 11,
+            map_ms: 12,
+            reduce_ms: 13,
+            map_tasks: 14,
+            reduce_tasks: 15,
+            failed_attempts: 16,
+            speculative_attempts: 17,
+            killed_attempts: 18,
+            reexecuted_bytes: 19,
         };
         let mut doubled = unit;
         doubled.accumulate(&unit);
@@ -967,16 +1184,18 @@ mod tests {
             combine_output_records: 10,
             spilled_bytes: 12,
             shuffle_bytes: 14,
-            reduce_output_records: 16,
-            reduce_output_bytes: 18,
-            map_ms: 20,
-            reduce_ms: 22,
-            map_tasks: 24,
-            reduce_tasks: 26,
-            failed_attempts: 28,
-            speculative_attempts: 30,
-            killed_attempts: 32,
-            reexecuted_bytes: 34,
+            reduce_input_records: 16,
+            reduce_input_bytes: 18,
+            reduce_output_records: 20,
+            reduce_output_bytes: 22,
+            map_ms: 24,
+            reduce_ms: 26,
+            map_tasks: 28,
+            reduce_tasks: 30,
+            failed_attempts: 32,
+            speculative_attempts: 34,
+            killed_attempts: 36,
+            reexecuted_bytes: 38,
         };
         assert_eq!(doubled, expected);
     }
@@ -999,6 +1218,29 @@ mod tests {
             s.spilled_bytes + s.reduce_output_bytes
         );
         assert!(s.disk_write_bytes() > 0);
+    }
+
+    /// Reduce-side input accounting: without a combiner every map
+    /// output record crosses the shuffle and is consumed exactly once;
+    /// with a combiner the reducers consume the combined records, and
+    /// the consumed bytes equal the shuffled bytes either way.
+    #[test]
+    fn reduce_input_counts_the_merged_shuffle() {
+        let lines: Vec<String> = (0..120)
+            .map(|i| format!("w{} w{} tok", i % 3, i % 9))
+            .collect();
+        let (_, plain) = wordcount(lines.clone(), &JobConfig::default(), false);
+        assert_eq!(plain.reduce_input_records, plain.map_output_records);
+        assert_eq!(plain.reduce_input_bytes, plain.shuffle_bytes);
+        assert!(plain.reduce_input_records > plain.reduce_output_records);
+
+        let (_, combined) = wordcount(lines, &JobConfig::default(), true);
+        assert_eq!(
+            combined.reduce_input_records,
+            combined.combine_output_records
+        );
+        assert_eq!(combined.reduce_input_bytes, combined.shuffle_bytes);
+        assert!(combined.reduce_input_records < plain.reduce_input_records);
     }
 
     // ---- Fault tolerance ----
@@ -1202,5 +1444,124 @@ mod tests {
                 .expect("empty job with a faulted attempt must still finish");
         assert!(out.is_empty());
         assert_eq!(stats.failed_attempts, 1);
+    }
+
+    // ---- Job timelines (dc-obs) ----
+
+    fn observed_wordcount(
+        cfg: &JobConfig,
+        plan: Option<&FaultPlan>,
+        recorder: &Recorder,
+    ) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
+        run_job_observed(
+            acceptance_lines(),
+            cfg,
+            plan,
+            recorder,
+            |line: String, emit: &mut dyn FnMut(String, u64)| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            None,
+            |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+        )
+    }
+
+    /// The attempt timeline mirrors the stats block: one `ok` end per
+    /// task, one `failed` end and one retry per failed attempt, and the
+    /// summary event carries the full counter set.
+    #[test]
+    fn observed_job_emits_a_complete_attempt_timeline() {
+        let mut cfg = JobConfig::default();
+        cfg.map_tasks = 4;
+        cfg.reduce_tasks = 2;
+        let plan = FaultPlan::new(0x0B5)
+            .with_fault(TaskKind::Map, 1, 0, Fault::Panic)
+            .with_fault(TaskKind::Reduce, 0, 0, Fault::IoError);
+        let (recorder, ring) = Recorder::ring(4096);
+        let (_, stats) =
+            observed_wordcount(&cfg, Some(&plan), &recorder).expect("job recovers from faults");
+        let events = ring.snapshot();
+
+        assert_eq!(ring.count_kind("job_start"), 1);
+        assert_eq!(ring.count_kind("job_summary"), 1);
+        assert_eq!(ring.count_kind("job_failed"), 0);
+        let total_tasks = stats.map_tasks + stats.reduce_tasks;
+        let ends_with = |outcome: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.kind == "attempt_end"
+                        && e.field("outcome").and_then(Value::as_str) == Some(outcome)
+                })
+                .count() as u64
+        };
+        assert_eq!(ends_with("ok"), total_tasks, "one committed end per task");
+        assert_eq!(ends_with("failed"), stats.failed_attempts);
+        assert_eq!(ends_with("killed"), stats.killed_attempts);
+        assert_eq!(
+            ring.count_kind("attempt_retry") as u64,
+            stats.failed_attempts
+        );
+        assert_eq!(
+            ring.count_kind("speculative_launch") as u64,
+            stats.speculative_attempts
+        );
+        assert_eq!(
+            ring.count_kind("attempt_start") as u64,
+            total_tasks + stats.failed_attempts + stats.speculative_attempts,
+            "every dispatched attempt opened a span"
+        );
+
+        let summary = events
+            .iter()
+            .find(|e| e.kind == "job_summary")
+            .expect("summary event");
+        assert_eq!(
+            summary
+                .field("reduce_input_records")
+                .and_then(Value::as_u64),
+            Some(stats.reduce_input_records)
+        );
+        assert_eq!(
+            summary.field("failed_attempts").and_then(Value::as_u64),
+            Some(stats.failed_attempts)
+        );
+
+        // The default Gantt config renders this stream directly.
+        let chart = dc_obs::gantt::render(&events, &dc_obs::gantt::GanttConfig::default());
+        assert!(chart.contains("map/1/0"), "faulted lane present:\n{chart}");
+        assert!(chart.contains("failed"), "outcome labelled:\n{chart}");
+    }
+
+    #[test]
+    fn exhausted_job_emits_job_failed() {
+        let mut cfg = JobConfig::default();
+        cfg.map_tasks = 2;
+        let mut plan = FaultPlan::new(6);
+        for attempt in 0..cfg.max_attempts {
+            plan = plan.with_fault(TaskKind::Map, 0, attempt, Fault::Panic);
+        }
+        let (recorder, ring) = Recorder::ring(1024);
+        let err = observed_wordcount(&cfg, Some(&plan), &recorder)
+            .expect_err("task must exhaust its attempts");
+        assert!(matches!(err, JobError::TaskExhausted { .. }));
+        assert_eq!(ring.count_kind("job_failed"), 1);
+        assert_eq!(ring.count_kind("job_summary"), 0);
+    }
+
+    /// A disabled recorder must leave results and counters untouched —
+    /// `run_job_with_faults` is literally the disabled-recorder path.
+    #[test]
+    fn disabled_recorder_changes_nothing() {
+        let cfg = JobConfig::default();
+        let (mut via_observed, obs_stats) =
+            observed_wordcount(&cfg, None, &Recorder::disabled()).expect("job succeeds");
+        let (mut plain, plain_stats) = wordcount(acceptance_lines(), &cfg, false);
+        via_observed.sort();
+        plain.sort();
+        assert_eq!(via_observed, plain);
+        assert_eq!(obs_stats.data_counters(), plain_stats.data_counters());
     }
 }

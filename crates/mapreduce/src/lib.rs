@@ -24,6 +24,12 @@
 //!   the engine (closeable SPMC queue + deterministic `parallel_map`),
 //!   shared with the `dcbench` characterization pipeline.
 //!
+//! Both halves are observable through `dc-obs`: [`engine::run_job_observed`]
+//! emits a live task-attempt timeline (wall-clock millisecond
+//! timestamps), and [`cluster::simulate_with_failures_observed`] emits
+//! the deterministic phase/failure timeline of the cluster replay
+//! (simulated-millisecond timestamps).
+//!
 //! ```
 //! use dc_mapreduce::engine::{run_job, JobConfig};
 //!
@@ -56,7 +62,9 @@ pub mod faults;
 pub mod pool;
 
 pub use bytes::ByteSize;
-pub use cluster::{ClusterConfig, ClusterRun, FailureModel, JobModel, NodeFailure};
-pub use engine::{run_job, run_job_with_faults, JobConfig, JobError, JobStats};
+pub use cluster::{
+    simulate_with_failures_observed, ClusterConfig, ClusterRun, FailureModel, JobModel, NodeFailure,
+};
+pub use engine::{run_job, run_job_observed, run_job_with_faults, JobConfig, JobError, JobStats};
 pub use faults::{ChaosSpec, Fault, FaultPlan, TaskKind};
 pub use pool::{parallel_map, SpmcQueue};

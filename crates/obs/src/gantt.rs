@@ -1,0 +1,222 @@
+//! ASCII Gantt rendering for span events.
+//!
+//! A span is a pair of events — one `start_kind`, one `end_kind` —
+//! agreeing on every *lane field* (e.g. `phase`/`task`/`attempt` for
+//! engine task attempts). The renderer lays each lane out on a common
+//! time axis scaled to a fixed character width, which makes retry gaps,
+//! speculative races and node-loss re-execution visible at a glance:
+//!
+//! ```text
+//! map/2/0     [====x               ]  failed
+//! map/2/1     [      ==========|   ]  ok
+//! reduce/0/0  [           =======| ]  ok
+//! ```
+
+use crate::event::{Event, Value};
+
+/// What to treat as a span and how to label it.
+#[derive(Debug, Clone)]
+pub struct GanttConfig {
+    /// Kind opening a span.
+    pub start_kind: &'static str,
+    /// Kind closing a span.
+    pub end_kind: &'static str,
+    /// Fields identifying a lane; start/end events match when all of
+    /// these agree. Field values also form the lane label.
+    pub lane_fields: &'static [&'static str],
+    /// Optional field on the end event naming the outcome (`"ok"`,
+    /// `"failed"`, `"killed"`…). Failed spans end in `x`, killed in
+    /// `k`, everything else in `|`.
+    pub outcome_field: &'static str,
+    /// Bar area width in characters.
+    pub width: usize,
+}
+
+impl Default for GanttConfig {
+    fn default() -> Self {
+        GanttConfig {
+            start_kind: "attempt_start",
+            end_kind: "attempt_end",
+            lane_fields: &["phase", "task", "attempt"],
+            outcome_field: "outcome",
+            width: 60,
+        }
+    }
+}
+
+struct Lane {
+    label: String,
+    start: u64,
+    end: Option<u64>,
+    outcome: String,
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => x.to_string(),
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn lane_key(event: &Event, cfg: &GanttConfig) -> String {
+    cfg.lane_fields
+        .iter()
+        .map(|f| event.field(f).map(value_text).unwrap_or_default())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Render every matched span among `events` as one ASCII Gantt chart.
+/// Lanes appear in span-start order; an empty string means no spans
+/// were found.
+pub fn render(events: &[Event], cfg: &GanttConfig) -> String {
+    let mut lanes: Vec<Lane> = Vec::new();
+    for event in events {
+        if event.kind == cfg.start_kind {
+            lanes.push(Lane {
+                label: lane_key(event, cfg),
+                start: event.ts,
+                end: None,
+                outcome: String::new(),
+            });
+        } else if event.kind == cfg.end_kind {
+            let key = lane_key(event, cfg);
+            if let Some(lane) = lanes.iter_mut().find(|l| l.end.is_none() && l.label == key) {
+                lane.end = Some(event.ts.max(lane.start));
+                lane.outcome = event
+                    .field(cfg.outcome_field)
+                    .map(value_text)
+                    .unwrap_or_default();
+            }
+        }
+    }
+    if lanes.is_empty() {
+        return String::new();
+    }
+
+    let t0 = lanes.iter().map(|l| l.start).min().unwrap_or(0);
+    let t1 = lanes
+        .iter()
+        .map(|l| l.end.unwrap_or(l.start))
+        .max()
+        .unwrap_or(t0)
+        .max(t0 + 1);
+    let span = (t1 - t0) as f64;
+    let width = cfg.width.max(10);
+    let label_w = lanes.iter().map(|l| l.label.len()).max().unwrap_or(0);
+    let scale =
+        |ts: u64| -> usize { (((ts - t0) as f64 / span) * (width - 1) as f64).round() as usize };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:label_w$}  t={t0}..{t1} ({} lanes)\n",
+        "",
+        lanes.len()
+    ));
+    for lane in &lanes {
+        let a = scale(lane.start);
+        let b = lane.end.map(|e| scale(e).max(a)).unwrap_or(width - 1);
+        let mut bar = vec![' '; width];
+        for cell in bar.iter_mut().take(b).skip(a) {
+            *cell = '=';
+        }
+        bar[b] = match lane.outcome.as_str() {
+            "failed" => 'x',
+            "killed" => 'k',
+            _ if lane.end.is_none() => '>',
+            _ => '|',
+        };
+        let bar: String = bar.into_iter().collect();
+        let outcome = if lane.outcome.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", lane.outcome)
+        };
+        out.push_str(&format!("{:label_w$}  [{bar}]{outcome}\n", lane.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(seq: u64, ts: u64, task: u64, attempt: u64) -> Event {
+        Event {
+            seq,
+            ts,
+            kind: "attempt_start",
+            fields: vec![
+                ("phase", Value::str("map")),
+                ("task", Value::U64(task)),
+                ("attempt", Value::U64(attempt)),
+            ],
+        }
+    }
+
+    fn end(seq: u64, ts: u64, task: u64, attempt: u64, outcome: &str) -> Event {
+        Event {
+            seq,
+            ts,
+            kind: "attempt_end",
+            fields: vec![
+                ("phase", Value::str("map")),
+                ("task", Value::U64(task)),
+                ("attempt", Value::U64(attempt)),
+                ("outcome", Value::str(outcome)),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_matched_spans_with_outcomes() {
+        let events = vec![
+            start(0, 0, 0, 0),
+            start(1, 5, 1, 0),
+            end(2, 40, 0, 0, "failed"),
+            end(3, 100, 1, 0, "ok"),
+            start(4, 45, 0, 1),
+            end(5, 90, 0, 1, "ok"),
+        ];
+        let chart = render(&events, &GanttConfig::default());
+        assert_eq!(chart.lines().count(), 4, "header + three lanes:\n{chart}");
+        assert!(chart.contains("map/0/0"));
+        assert!(chart.contains("map/0/1"));
+        assert!(chart.contains('x'), "failed attempt marked:\n{chart}");
+        assert!(chart.contains("  failed"));
+        assert!(chart.contains("  ok"));
+    }
+
+    #[test]
+    fn unclosed_span_runs_to_the_right_edge() {
+        let events = vec![
+            start(0, 0, 0, 0),
+            end(1, 50, 0, 0, "ok"),
+            start(2, 25, 1, 0),
+        ];
+        let chart = render(&events, &GanttConfig::default());
+        assert!(chart.contains('>'), "open span marker:\n{chart}");
+    }
+
+    #[test]
+    fn no_spans_renders_empty() {
+        assert!(render(&[], &GanttConfig::default()).is_empty());
+        let unrelated = vec![Event {
+            seq: 0,
+            ts: 0,
+            kind: "tick",
+            fields: vec![],
+        }];
+        assert!(render(&unrelated, &GanttConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_length_span_is_safe() {
+        let events = vec![start(0, 10, 0, 0), end(1, 10, 0, 0, "ok")];
+        let chart = render(&events, &GanttConfig::default());
+        assert!(chart.contains("map/0/0"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Event sinks: where an enabled [`Recorder`] puts its events.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Destination for recorded events. Implementations must be `Send`
+/// (recorders are shared across worker threads); calls arrive already
+/// serialized under the recorder's lock.
+pub trait Sink: Send {
+    /// Record one event.
+    fn record(&mut self, event: &Event);
+    /// Flush any buffered output (default: no-op).
+    fn flush(&mut self) {}
+}
+
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// An in-memory ring keeping the most recent `capacity` events.
+///
+/// Cloning shares the buffer, so tests keep one handle while the
+/// recorder owns the other.
+#[derive(Debug, Clone)]
+pub struct RingBuffer(Arc<Mutex<Ring>>);
+
+impl RingBuffer {
+    /// A ring holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer(Arc::new(Mutex::new(Ring {
+            cap: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        })))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Remove and return the buffered events, oldest first.
+    pub fn take(&self) -> Vec<Event> {
+        self.lock().events.drain(..).collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Number of buffered events of one kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.lock().events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+impl Sink for RingBuffer {
+    fn record(&mut self, event: &Event) {
+        let mut ring = self.lock();
+        if ring.events.len() == ring.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to any writer. Write errors are
+/// swallowed: telemetry must never take down the measurement.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A shared in-memory byte buffer implementing [`Write`], for tests
+/// that want to inspect JSONL output without touching the filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// Copy of the bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// The bytes written so far, lossily decoded as UTF-8.
+    pub fn to_string_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.contents()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            ts: seq * 10,
+            kind: "tick",
+            fields: vec![("n", Value::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let buf = RingBuffer::new(3);
+        let mut sink = buf.clone();
+        for i in 0..5 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let seqs: Vec<u64> = buf.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(buf.count_kind("tick"), 3);
+        assert_eq!(buf.count_kind("other"), 0);
+    }
+
+    #[test]
+    fn ring_take_drains() {
+        let buf = RingBuffer::new(4);
+        let mut sink = buf.clone();
+        sink.record(&ev(0));
+        assert!(!buf.is_empty());
+        assert_eq!(buf.take().len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_holds_one() {
+        let buf = RingBuffer::new(0);
+        let mut sink = buf.clone();
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_newline_per_event() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        sink.flush();
+        let text = buf.to_string_lossy();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -35,8 +35,10 @@ pub mod events;
 pub mod metrics;
 pub mod msr;
 pub mod osstat;
+pub mod sampling;
 
 pub use events::PerfEvent;
 pub use metrics::Metrics;
 pub use msr::{ChipPmu, Pmu};
 pub use osstat::OsStats;
+pub use sampling::{IntervalMetrics, SampledMetrics};

@@ -1,0 +1,68 @@
+//! Exhibit PH: interval-sampled phase behavior of the eleven
+//! data-analysis workloads (the `perf stat -I` view of the simulator).
+//!
+//! ```text
+//! cargo run --release --example phases                      # full windows
+//! cargo run --release --example phases -- --quick           # short windows (CI)
+//! cargo run --release --example phases -- --interval 50000  # sampling period
+//! cargo run --release --example phases -- --jsonl ph.jsonl  # event artifact
+//! ```
+//!
+//! With `--jsonl`, every `interval_sample`/`workload_sampled` event is
+//! streamed as JSON Lines. Timestamps are simulated cycles and emission
+//! order is fixed (workload order, then interval order), so two runs
+//! with the same flags produce **byte-identical** files at any
+//! `DCBENCH_JOBS` setting.
+
+use dc_obs::Recorder;
+use dcbench::{report, Characterizer};
+use std::io::BufWriter;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut interval: Option<u64> = None;
+    let mut jsonl: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--interval" => {
+                let v = it.next().expect("--interval takes a cycle count");
+                interval = Some(v.parse().expect("--interval takes a cycle count"));
+            }
+            "--jsonl" => jsonl = Some(it.next().expect("--jsonl takes a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: phases [--quick] [--interval CYCLES] [--jsonl PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let bench = if quick {
+        Characterizer::quick()
+    } else {
+        Characterizer::full()
+    };
+    // Aim for a few dozen intervals per workload at either window.
+    let every_cycles = interval.unwrap_or(if quick { 50_000 } else { 100_000 });
+
+    let recorder = match &jsonl {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            Recorder::jsonl(BufWriter::new(file))
+        }
+        None => Recorder::disabled(),
+    };
+    let bench = bench.with_recorder(recorder.clone());
+
+    for figure in report::phase_exhibit(&bench, every_cycles) {
+        println!("{}", figure.render());
+    }
+    recorder.flush();
+    if let Some(path) = jsonl {
+        eprintln!("event artifact written to {path}");
+    }
+}

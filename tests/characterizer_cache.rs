@@ -5,6 +5,7 @@
 //! simulation-invocation counter is not perturbed by concurrent tests.
 
 use dc_cpu::{core::SimOptions, CpuConfig};
+use dc_obs::Recorder;
 use dcbench::{cache, BenchmarkId, Characterizer};
 
 #[test]
@@ -82,4 +83,44 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
         warmed,
         "warm matrix re-simulates nothing"
     );
+
+    // The same telemetry, as dc-obs events: a recorder-attached harness
+    // emits one cache_miss per real cached simulation, one cache_hit
+    // per satisfied lookup and one sim_uncached per cache bypass —
+    // event totals must mirror the lifetime counters' deltas exactly.
+    let (recorder, ring) = Recorder::ring(1024);
+    let observed = Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 50_000,
+            warmup_ops: 20_000,
+        },
+        0x0BCA_FE01, // a seed no other test uses: all-cold keys
+    )
+    .with_recorder(recorder);
+    let sims_before = cache::sim_invocations();
+    let hits_before = cache::cache_hits();
+    let _ = observed.run(BenchmarkId::Sort); // miss
+    let _ = observed.run(BenchmarkId::Sort); // hit
+    let _ = observed.run(BenchmarkId::Grep); // miss
+    let _ = observed.corun(BenchmarkId::Sort, 2); // miss (new width)
+    let _ = observed.corun(BenchmarkId::Sort, 2); // hit
+    let _ = observed.run_uncached(BenchmarkId::Sort); // uncached simulation
+    let miss_events = ring.count_kind("cache_miss") as u64;
+    let hit_events = ring.count_kind("cache_hit") as u64;
+    let uncached_events = ring.count_kind("sim_uncached") as u64;
+    assert_eq!(miss_events, 3);
+    assert_eq!(hit_events, 2);
+    assert_eq!(uncached_events, 1);
+    assert_eq!(
+        cache::sim_invocations() - sims_before,
+        miss_events + uncached_events,
+        "every simulation surfaced as a cache_miss or sim_uncached event"
+    );
+    assert_eq!(
+        cache::cache_hits() - hits_before,
+        hit_events,
+        "every cache hit surfaced as a cache_hit event"
+    );
+    assert_eq!(ring.dropped(), 0, "ring was sized for the whole stream");
 }

@@ -149,3 +149,32 @@ fn counters_match_pre_refactor_golden_values() {
         );
     }
 }
+
+/// Interval sampling against the same golden constants: for each pinned
+/// entry, the sampled aggregate (recorder disabled — the default) must
+/// equal the pre-PR block bit-for-bit, and the per-interval counter
+/// deltas must sum back to it **exactly, field for field**. Sampling is
+/// observation-only; these constants prove it against real workload
+/// traces, not toy streams.
+#[test]
+fn sampled_deltas_sum_to_the_golden_aggregates() {
+    let c = golden_harness();
+    for every_cycles in [33_000, 100_000] {
+        for (id, want) in GOLDEN {
+            let run = c.raw_sampled(id, every_cycles);
+            assert_eq!(
+                run.aggregate, want,
+                "sampling perturbed counters for {id:?} at interval {every_cycles}"
+            );
+            assert_eq!(
+                run.summed(),
+                want,
+                "interval deltas do not telescope for {id:?} at interval {every_cycles}"
+            );
+            assert!(
+                run.samples.len() > 1,
+                "window should span several intervals for {id:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Interval PMU sampling through the characterizer: observation-only
+//! sampling, telescoping deltas, deterministic event streams, and the
+//! Exhibit PH pipeline end to end.
+
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dc_obs::{Recorder, SharedBuf, Value};
+use dcbench::{report, BenchmarkId, Characterizer};
+
+/// Small windows so the full 11-workload exhibit stays fast in CI.
+fn harness() -> Characterizer {
+    Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 60_000,
+            warmup_ops: 20_000,
+        },
+        0x5A3D_2013,
+    )
+}
+
+const EVERY: u64 = 20_000;
+
+#[test]
+fn sampling_with_recorder_disabled_changes_no_counters() {
+    let c = harness();
+    for id in [BenchmarkId::Sort, BenchmarkId::Grep, BenchmarkId::KMeans] {
+        let run = c.raw_sampled(id, EVERY);
+        // The sampled aggregate equals the unsampled simulation of the
+        // same (entry, config, window, seed) bit-for-bit…
+        assert_eq!(run.aggregate, c.raw_counts(id), "{id:?} aggregate");
+        // …and the interval deltas telescope back to it exactly.
+        assert_eq!(run.summed(), run.aggregate, "{id:?} telescoping");
+    }
+}
+
+#[test]
+fn sampled_metrics_mirror_the_raw_series() {
+    let c = harness();
+    let raw = c.raw_sampled(BenchmarkId::Sort, EVERY);
+    let derived = c.run_sampled(BenchmarkId::Sort, EVERY);
+    assert_eq!(derived.name, BenchmarkId::Sort.name());
+    assert_eq!(derived.every_cycles, EVERY);
+    assert_eq!(derived.aggregate, raw.aggregate);
+    assert_eq!(derived.intervals.len(), raw.samples.len());
+    for (iv, s) in derived.intervals.iter().zip(&raw.samples) {
+        assert_eq!(iv.start_cycle, s.start_cycle);
+        assert_eq!(iv.end_cycle, s.end_cycle);
+        assert_eq!(iv.instructions, s.counts.instructions);
+        assert!((iv.ipc - s.counts.ipc()).abs() < 1e-12);
+        assert!((iv.l2_mpki - s.counts.l2_mpki()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn phase_exhibit_covers_all_eleven_data_analysis_workloads() {
+    let c = harness();
+    let figures = report::phase_exhibit(&c, EVERY);
+    let ids = BenchmarkId::data_analysis();
+    assert_eq!(figures.len(), ids.len());
+    assert_eq!(figures.len(), 11, "the paper's eleven DA workloads");
+    for (figure, id) in figures.iter().zip(ids) {
+        assert_eq!(figure.id, "Exhibit PH");
+        assert!(
+            figure.title.contains(id.name()),
+            "figure order follows workload order: {} vs {:?}",
+            figure.title,
+            id
+        );
+        assert_eq!(figure.columns.len(), 5);
+        assert!(!figure.rows.is_empty());
+        let rendered = figure.render();
+        assert!(rendered.contains("Exhibit PH"));
+    }
+}
+
+#[test]
+fn recorder_captures_interval_events_in_workload_order() {
+    let (recorder, ring) = Recorder::ring(1 << 14);
+    let c = harness().with_recorder(recorder);
+    let figures = report::phase_exhibit(&c, EVERY);
+    let events = ring.snapshot();
+
+    let summaries: Vec<String> = events
+        .iter()
+        .filter(|e| e.kind == "workload_sampled")
+        .filter_map(|e| e.field("workload").and_then(Value::as_str))
+        .map(str::to_owned)
+        .collect();
+    let expected: Vec<String> = BenchmarkId::data_analysis()
+        .iter()
+        .map(|id| id.name().to_owned())
+        .collect();
+    assert_eq!(summaries, expected, "one summary per workload, in order");
+
+    let interval_events = events
+        .iter()
+        .filter(|e| e.kind == "interval_sample")
+        .count();
+    let figure_rows: usize = figures.iter().map(|f| f.rows.len()).sum();
+    assert_eq!(interval_events, figure_rows, "one event per exhibit row");
+
+    // Events within a workload are in interval order, timestamped at
+    // the interval close (simulated cycles).
+    let sort_ts: Vec<u64> = events
+        .iter()
+        .filter(|e| {
+            e.kind == "interval_sample"
+                && e.field("workload").and_then(Value::as_str) == Some(BenchmarkId::Sort.name())
+        })
+        .map(|e| e.ts)
+        .collect();
+    assert!(!sort_ts.is_empty());
+    assert!(sort_ts.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_jsonl() {
+    let run_once = || {
+        let buf = SharedBuf::default();
+        let recorder = Recorder::jsonl(buf.clone());
+        let c = harness().with_recorder(recorder.clone());
+        let _ = report::phase_exhibit(&c, EVERY);
+        recorder.flush();
+        buf.contents()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed phase exhibits must serialize identically");
+
+    // And every line is a self-contained JSON object.
+    let text = String::from_utf8(a).expect("utf-8 jsonl");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"seq\":"), "line shape: {line}");
+        assert!(line.ends_with("}}"), "line shape: {line}");
+    }
+}
