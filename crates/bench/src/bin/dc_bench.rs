@@ -11,7 +11,7 @@
 //!     --baseline BENCH_baseline.json --tolerance 0.25
 //! ```
 //!
-//! With `--baseline`, every `full_matrix_*`, `chip_*`, and
+//! With `--baseline`, every `full_matrix_*`, `chip_*`, `sweep_*`, and
 //! `obs_disabled*` entry is compared against the same-named entry in
 //! the baseline file; any wall-clock more than `tolerance` above
 //! baseline fails the run (exit 1). `DCBENCH_JOBS` caps the parallel
@@ -25,7 +25,7 @@
 use dc_datagen::Scale;
 use dc_mapreduce::engine::JobConfig;
 use dc_obs::{Recorder, Value};
-use dcbench::{cache, cluster_experiments, pool, Characterizer};
+use dcbench::{cache, cluster_experiments, pool, sweep, Characterizer};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -205,6 +205,25 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     });
     push("obs_recorder_sampled_matrix", recorded, sample_uops, 1);
 
+    // Sensitivity-sweep path: the eleven DA workloads along a two-point
+    // L3 axis (half / paper-size), cold and then from the warm counter
+    // cache. The cold pass is the per-axis cost unit EXPERIMENTS.md
+    // quotes for Exhibit SW; the warm pass pins sweep regeneration to
+    // cache-lookup speed.
+    eprintln!("dc-bench: sensitivity sweep (L3 axis, 11 DA workloads)");
+    let axis = [sweep::SweepAxis::l3_bytes(vec![6 << 20, 12 << 20])];
+    let sweep_uops = 2.0 * sample_uops;
+    cache::clear();
+    let swept = time_ms(|| {
+        sweep::run(&bench, da, &axis).expect("valid L3 grid");
+    });
+    push("sweep_l3_axis", swept, sweep_uops, jobs);
+
+    let swept_warm = time_ms(|| {
+        sweep::run(&bench, da, &axis).expect("valid L3 grid");
+    });
+    push("sweep_l3_cached", swept_warm, sweep_uops, jobs);
+
     entries
 }
 
@@ -310,7 +329,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// (the warm-cache pass) cannot trip on scheduler noise.
 const GATE_SLACK_MS: f64 = 50.0;
 
-/// Compare the full-matrix, chip, and recorder-disabled entries
+/// Compare the full-matrix, chip, sweep, and recorder-disabled entries
 /// against the baseline; returns the list of human-readable regression
 /// descriptions. `obs_recorder_*` entries are informational only — the
 /// contract is that the *disabled* path stays free, not that streaming
@@ -320,6 +339,7 @@ fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f6
     for e in current.iter().filter(|e| {
         e.name.starts_with("full_matrix")
             || e.name.starts_with("chip_")
+            || e.name.starts_with("sweep_")
             || e.name.starts_with("obs_disabled")
     }) {
         let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
@@ -469,6 +489,16 @@ mod tests {
         let chip_base = vec![("chip_corun_sort_x4".to_string(), 1000.0)];
         assert_eq!(regressions(&chip, &chip_base, 0.25).len(), 1);
         assert!(regressions(&chip, &chip_base, 1.5).is_empty());
+        // Sweep entries gate like the matrix ones.
+        let swept = vec![BenchEntry {
+            name: "sweep_l3_axis",
+            wall_ms: 3000.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let swept_base = vec![("sweep_l3_axis".to_string(), 1000.0)];
+        assert_eq!(regressions(&swept, &swept_base, 0.25).len(), 1);
+        assert!(regressions(&swept, &swept_base, 2.5).is_empty());
         // The recorder-disabled path gates; the recording path is
         // informational only.
         let obs = vec![

@@ -50,6 +50,23 @@ pub const EVENT_SCHEMA: &[(&str, &[&str])] = &[
             "ipc_spread",
         ],
     ),
+    // Sensitivity sweeps (ts: logical, always 0; order comes from seq).
+    (
+        "sweep_point",
+        &[
+            "axis",
+            "point",
+            "value",
+            "workload",
+            "ipc",
+            "l2_mpki",
+            "l3_mpki",
+            "l3_misses",
+            "misp_ratio",
+            "instructions",
+        ],
+    ),
+    ("sweep_axis", &["axis", "points", "workloads"]),
     // Engine job timelines (ts: job-relative wall-clock ms).
     (
         "job_start",
@@ -124,14 +141,32 @@ impl Json {
     }
 }
 
+/// Maximum container nesting [`parse_json`] accepts. The recursive
+/// descent would otherwise turn attacker-depth input (`[[[[…`) into a
+/// stack overflow — an abort, not an `Err`. Real event lines nest
+/// three levels deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -173,16 +208,21 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key \"{key}\" at byte {}", self.pos));
+            }
             self.skip_ws();
             self.expect(b':')?;
             pairs.push((key, self.value()?));
@@ -191,6 +231,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -199,11 +240,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -213,6 +256,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -286,11 +330,15 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parse one JSON document; trailing non-whitespace is an error.
+/// Parse one JSON document. Trailing non-whitespace, duplicate object
+/// keys, and nesting beyond [`MAX_DEPTH`] levels are errors — the
+/// parser reads artifacts that may be truncated or corrupt, so every
+/// malformation must surface as `Err`, never a panic.
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();

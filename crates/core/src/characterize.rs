@@ -99,6 +99,20 @@ impl Characterizer {
         &self.cfg
     }
 
+    /// The same harness measuring a different machine. Seed, window and
+    /// recorder are preserved, so per-entry trace seeds — and therefore
+    /// the instruction streams — are identical across configurations:
+    /// the property [`crate::sweep`] builds its sensitivity curves on.
+    pub fn with_config(mut self, cfg: CpuConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The master seed entry seeds are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The measurement window in use.
     pub fn options(&self) -> &SimOptions {
         &self.opts

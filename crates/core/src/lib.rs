@@ -18,6 +18,9 @@
 //!   `dc-mapreduce` worker pool;
 //! * [`cache`] — the process-wide memoizing result cache keyed by
 //!   `(entry, machine-config hash, window, seed)`;
+//! * [`sweep`] — microarchitectural sensitivity sweeps: axes over the
+//!   machine-description knobs expanded into a sharded
+//!   (workload × config-point) grid (Exhibit SW);
 //! * [`topsites`] — the Alexa-style top-site census behind Figure 1;
 //! * [`cluster_experiments`] — Figure 2 (speed-up) and Figure 5 (disk
 //!   writes/s) via real engine runs scaled through the cluster model;
@@ -43,6 +46,7 @@ pub mod pool;
 pub mod profiles;
 pub mod registry;
 pub mod report;
+pub mod sweep;
 pub mod topsites;
 
 pub use characterize::Characterizer;

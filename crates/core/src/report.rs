@@ -468,6 +468,50 @@ pub fn table3(bench: &Characterizer) -> String {
     out
 }
 
+/// Exhibit SW: microarchitectural sensitivity of every data-analysis
+/// workload. The grid is measured once through [`crate::sweep::run`]
+/// (sharded, cached, deterministic — `sweep_point` / `sweep_axis`
+/// events reach any attached recorder in grid order), then unfolded
+/// into one [`FigureData`] per (axis, metric): columns are the axis
+/// grid points, rows the 11 workloads, so each row *is* that
+/// workload's sensitivity curve. Metrics per axis: IPC, L2 MPKI,
+/// L3 MPKI, branch-misprediction ratio.
+pub fn sweep_exhibit(
+    bench: &Characterizer,
+    axes: &[crate::sweep::SweepAxis],
+) -> Result<Vec<FigureData>, dc_cpu::ConfigError> {
+    type MetricColumn = (&'static str, fn(&Metrics) -> f64);
+    let sweeps = crate::sweep::run(bench, BenchmarkId::data_analysis(), axes)?;
+    let metrics: [MetricColumn; 4] = [
+        ("IPC", |m| m.ipc),
+        ("L2 MPKI", |m| m.l2_mpki),
+        ("L3 MPKI", |m| m.l3_mpki),
+        ("misp ratio", |m| m.branch_misprediction),
+    ];
+    let mut figures = Vec::with_capacity(sweeps.len() * metrics.len());
+    for sweep in &sweeps {
+        for (metric_name, extract) in metrics {
+            let rows = sweep
+                .curves
+                .iter()
+                .map(|curve| {
+                    (
+                        curve.id.name().to_string(),
+                        curve.metrics.iter().map(extract).collect(),
+                    )
+                })
+                .collect();
+            figures.push(FigureData {
+                id: "Exhibit SW".into(),
+                title: format!("{} vs {}", metric_name, sweep.kind.title()),
+                columns: sweep.labels.clone(),
+                rows,
+            });
+        }
+    }
+    Ok(figures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +561,29 @@ mod tests {
             assert!(rework > 0.0 && rerepl > 0.0, "{label}: no recovery cost");
         }
         assert!(fig.render().contains("Exhibit FT"));
+    }
+
+    #[test]
+    fn sweep_exhibit_unfolds_axes_into_metric_figures() {
+        let bench = Characterizer::new(
+            dc_cpu::CpuConfig::westmere_e5645(),
+            dc_cpu::SimOptions {
+                max_ops: 30_000,
+                warmup_ops: 10_000,
+            },
+            0xE4_81B1,
+        );
+        let axes = [crate::sweep::SweepAxis::prefetch()];
+        let figs = sweep_exhibit(&bench, &axes).expect("valid grid");
+        // One axis × four metrics.
+        assert_eq!(figs.len(), 4);
+        for fig in &figs {
+            assert_eq!(fig.columns, vec!["off", "on"]);
+            assert_eq!(fig.rows.len(), 11);
+            assert!(fig.render().contains("Exhibit SW"));
+        }
+        assert!(figs[0].title.contains("IPC"));
+        assert!(figs[3].title.contains("misp ratio"));
     }
 
     #[test]

@@ -6,6 +6,32 @@
 //! can run the ablation studies the paper's recommendations imply (LLC
 //! capacity, predictor simplification, ROB/RS sizing).
 
+use std::fmt;
+
+/// A rejected machine-description parameter: which knob, what value,
+/// and why the geometry cannot be built from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The builder/parameter that rejected its input.
+    pub param: &'static str,
+    /// The offending value, rendered.
+    pub value: String,
+    /// Why it is invalid.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}: {} ({})",
+            self.param, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
@@ -215,30 +241,134 @@ impl CpuConfig {
         }
     }
 
+    /// Longest gshare history the predictor tables honour
+    /// ([`crate::branch::BranchPredictor`] clamps here); longer
+    /// configured histories would silently alias, so the builder
+    /// rejects them instead.
+    pub const MAX_PREDICTOR_BITS: u32 = 20;
+
+    /// Fallible form of [`CpuConfig::with_l3_bytes`]: the capacity must
+    /// be a positive whole number of sets (a multiple of
+    /// `line_bytes * assoc`), otherwise [`CacheConfig::sets`] would
+    /// silently truncate the geometry.
+    pub fn try_with_l3_bytes(mut self, bytes: u64) -> Result<Self, ConfigError> {
+        let set_bytes = u64::from(self.l3.line_bytes) * u64::from(self.l3.assoc);
+        if bytes == 0 {
+            return Err(ConfigError {
+                param: "l3.size_bytes",
+                value: bytes.to_string(),
+                reason: "capacity must be positive",
+            });
+        }
+        if !bytes.is_multiple_of(set_bytes) {
+            return Err(ConfigError {
+                param: "l3.size_bytes",
+                value: bytes.to_string(),
+                reason: "capacity must be a whole number of sets (line_bytes * assoc)",
+            });
+        }
+        self.l3.size_bytes = bytes;
+        Ok(self)
+    }
+
+    /// Fallible form of [`CpuConfig::with_rob_entries`]: a zero-entry
+    /// re-order buffer can never dispatch.
+    pub fn try_with_rob_entries(mut self, entries: u32) -> Result<Self, ConfigError> {
+        if entries == 0 {
+            return Err(ConfigError {
+                param: "core.rob_entries",
+                value: entries.to_string(),
+                reason: "the re-order buffer needs at least one entry",
+            });
+        }
+        self.core.rob_entries = entries;
+        Ok(self)
+    }
+
+    /// Fallible form of [`CpuConfig::with_rs_entries`]: a zero-entry
+    /// reservation station can never issue.
+    pub fn try_with_rs_entries(mut self, entries: u32) -> Result<Self, ConfigError> {
+        if entries == 0 {
+            return Err(ConfigError {
+                param: "core.rs_entries",
+                value: entries.to_string(),
+                reason: "the reservation station needs at least one entry",
+            });
+        }
+        self.core.rs_entries = entries;
+        Ok(self)
+    }
+
+    /// Fallible form of [`CpuConfig::with_predictor_bits`]: history
+    /// longer than [`CpuConfig::MAX_PREDICTOR_BITS`] would be silently
+    /// clamped by the predictor tables.
+    pub fn try_with_predictor_bits(mut self, bits: u32) -> Result<Self, ConfigError> {
+        if bits > Self::MAX_PREDICTOR_BITS {
+            return Err(ConfigError {
+                param: "predictor_history_bits",
+                value: bits.to_string(),
+                reason: "history beyond MAX_PREDICTOR_BITS aliases in the tables",
+            });
+        }
+        self.predictor_history_bits = bits;
+        Ok(self)
+    }
+
+    /// Fallible form of [`CpuConfig::with_cores`]: a chip needs at
+    /// least one core behind the shared L3.
+    pub fn try_with_cores(mut self, cores: u32) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError {
+                param: "cores",
+                value: cores.to_string(),
+                reason: "a chip needs at least one core",
+            });
+        }
+        self.cores = cores;
+        Ok(self)
+    }
+
     /// Same machine with a different last-level cache capacity (for the
     /// paper's LLC-sizing recommendation study).
-    pub fn with_l3_bytes(mut self, bytes: u64) -> Self {
-        self.l3.size_bytes = bytes;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics on a capacity [`CpuConfig::try_with_l3_bytes`] rejects.
+    pub fn with_l3_bytes(self, bytes: u64) -> Self {
+        self.try_with_l3_bytes(bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Same machine with a different ROB size (OoO-stall ablation).
-    pub fn with_rob_entries(mut self, entries: u32) -> Self {
-        self.core.rob_entries = entries;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero entries ([`CpuConfig::try_with_rob_entries`]).
+    pub fn with_rob_entries(self, entries: u32) -> Self {
+        self.try_with_rob_entries(entries)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Same machine with a different RS size (OoO-stall ablation).
-    pub fn with_rs_entries(mut self, entries: u32) -> Self {
-        self.core.rs_entries = entries;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero entries ([`CpuConfig::try_with_rs_entries`]).
+    pub fn with_rs_entries(self, entries: u32) -> Self {
+        self.try_with_rs_entries(entries)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Same machine with a simpler branch predictor (history bits;
     /// 0 = static not-taken).
-    pub fn with_predictor_bits(mut self, bits: u32) -> Self {
-        self.predictor_history_bits = bits;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`CpuConfig::MAX_PREDICTOR_BITS`]
+    /// ([`CpuConfig::try_with_predictor_bits`]).
+    pub fn with_predictor_bits(self, bits: u32) -> Self {
+        self.try_with_predictor_bits(bits)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Same machine with the prefetcher switched on/off.
@@ -248,9 +378,12 @@ impl CpuConfig {
     }
 
     /// Same machine with a different core count behind the shared L3.
-    pub fn with_cores(mut self, cores: u32) -> Self {
-        self.cores = cores;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero cores ([`CpuConfig::try_with_cores`]).
+    pub fn with_cores(self, cores: u32) -> Self {
+        self.try_with_cores(cores).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Stable 64-bit digest of the complete machine description.
@@ -320,6 +453,59 @@ mod tests {
             base.stable_hash(),
             base.clone().with_predictor_bits(0).stable_hash()
         );
+    }
+
+    #[test]
+    fn l3_builder_rejects_broken_geometries() {
+        let base = CpuConfig::westmere_e5645();
+        let err = base.clone().try_with_l3_bytes(0).unwrap_err();
+        assert_eq!(err.param, "l3.size_bytes");
+        assert!(err.reason.contains("positive"));
+        // 1000 bytes is not a whole number of 64 B x 16-way sets.
+        let err = base.clone().try_with_l3_bytes(1000).unwrap_err();
+        assert!(err.reason.contains("whole number of sets"), "{err}");
+        // One set (line_bytes * assoc) is the smallest legal L3.
+        let one_set = u64::from(base.l3.line_bytes) * u64::from(base.l3.assoc);
+        let ok = base.try_with_l3_bytes(one_set).expect("one set is legal");
+        assert_eq!(ok.l3.sets(), 1);
+    }
+
+    #[test]
+    fn window_builders_reject_zero_entries() {
+        let base = CpuConfig::westmere_e5645();
+        let err = base.clone().try_with_rob_entries(0).unwrap_err();
+        assert_eq!(err.param, "core.rob_entries");
+        let err = base.clone().try_with_rs_entries(0).unwrap_err();
+        assert_eq!(err.param, "core.rs_entries");
+        assert!(base.clone().try_with_rob_entries(1).is_ok());
+        assert!(base.try_with_rs_entries(1).is_ok());
+    }
+
+    #[test]
+    fn predictor_builder_rejects_out_of_range_history() {
+        let base = CpuConfig::westmere_e5645();
+        let err = base
+            .clone()
+            .try_with_predictor_bits(CpuConfig::MAX_PREDICTOR_BITS + 1)
+            .unwrap_err();
+        assert_eq!(err.param, "predictor_history_bits");
+        let ok = base
+            .try_with_predictor_bits(CpuConfig::MAX_PREDICTOR_BITS)
+            .expect("the clamp boundary itself is legal");
+        assert_eq!(ok.predictor_history_bits, CpuConfig::MAX_PREDICTOR_BITS);
+    }
+
+    #[test]
+    fn cores_builder_rejects_empty_chip() {
+        let err = CpuConfig::westmere_e5645().try_with_cores(0).unwrap_err();
+        assert_eq!(err.param, "cores");
+        assert!(err.to_string().contains("invalid cores: 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid l3.size_bytes")]
+    fn infallible_builder_panics_on_rejected_input() {
+        let _ = CpuConfig::westmere_e5645().with_l3_bytes(12345);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod sampling;
 pub mod tlb;
 
 pub use crate::chip::Chip;
-pub use crate::config::CpuConfig;
+pub use crate::config::{ConfigError, CpuConfig};
 pub use crate::core::{simulate, Core, SimOptions};
 pub use crate::counters::PerfCounts;
 pub use crate::sampling::{IntervalSample, SampledRun};

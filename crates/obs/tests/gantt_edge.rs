@@ -1,0 +1,158 @@
+//! Edge-case behavior of the ASCII Gantt renderer: degenerate spans,
+//! unmatched event pairs and pathological widths must all render
+//! without panicking, and identically on every call.
+
+use dc_obs::gantt::{render, GanttConfig};
+use dc_obs::{Event, Value};
+
+fn start(seq: u64, ts: u64, task: u64) -> Event {
+    Event {
+        seq,
+        ts,
+        kind: "attempt_start",
+        fields: vec![
+            ("phase", Value::str("map")),
+            ("task", Value::U64(task)),
+            ("attempt", Value::U64(0)),
+        ],
+    }
+}
+
+fn end(seq: u64, ts: u64, task: u64, outcome: &str) -> Event {
+    Event {
+        seq,
+        ts,
+        kind: "attempt_end",
+        fields: vec![
+            ("phase", Value::str("map")),
+            ("task", Value::U64(task)),
+            ("attempt", Value::U64(0)),
+            ("outcome", Value::str(outcome)),
+        ],
+    }
+}
+
+#[test]
+fn zero_duration_span_alone_renders_one_lane() {
+    // start == end == the only timestamp: the time axis would be a
+    // point, which the renderer widens to one unit instead of
+    // dividing by zero.
+    let events = vec![start(0, 42, 0), end(1, 42, 0, "ok")];
+    let chart = render(&events, &GanttConfig::default());
+    assert_eq!(chart.lines().count(), 2, "header + one lane:\n{chart}");
+    assert!(chart.contains("t=42..43"), "point axis widened:\n{chart}");
+    assert!(chart.contains('|'), "completed marker:\n{chart}");
+}
+
+#[test]
+fn end_before_start_clamps_to_zero_duration() {
+    // A corrupt artifact can carry an end timestamp before its start;
+    // the span clamps to zero length rather than underflowing.
+    let events = vec![
+        start(0, 100, 0),
+        end(1, 30, 0, "ok"),
+        start(2, 0, 1),
+        end(3, 200, 1, "ok"),
+    ];
+    let chart = render(&events, &GanttConfig::default());
+    assert_eq!(chart.lines().count(), 3, "header + two lanes:\n{chart}");
+    assert!(chart.contains("map/0/0"));
+}
+
+#[test]
+fn unmatched_end_is_ignored_and_unmatched_start_stays_open() {
+    let events = vec![
+        // End with no open lane (wrong task id): dropped.
+        end(0, 10, 7, "ok"),
+        // Start with no end: runs to the right edge as an open span.
+        start(1, 0, 0),
+        end(2, 50, 0, "ok"),
+        start(3, 20, 1),
+    ];
+    let chart = render(&events, &GanttConfig::default());
+    assert_eq!(chart.lines().count(), 3, "two real lanes only:\n{chart}");
+    assert!(
+        !chart.contains("map/7/0"),
+        "orphan end made a lane:\n{chart}"
+    );
+    assert!(chart.contains('>'), "open-span marker:\n{chart}");
+}
+
+#[test]
+fn double_end_closes_the_lane_once() {
+    let events = vec![start(0, 0, 0), end(1, 10, 0, "ok"), end(2, 90, 0, "failed")];
+    let chart = render(&events, &GanttConfig::default());
+    assert_eq!(chart.lines().count(), 2, "one lane:\n{chart}");
+    assert!(chart.contains("  ok"), "first close wins:\n{chart}");
+    assert!(!chart.contains('x'), "second close ignored:\n{chart}");
+}
+
+#[test]
+fn spans_longer_than_the_bar_area_compress_into_width() {
+    // Ten-million-tick spans against a 24-character bar: everything
+    // scales down; no line may exceed label + bar + outcome.
+    let cfg = GanttConfig {
+        width: 24,
+        ..GanttConfig::default()
+    };
+    let events = vec![
+        start(0, 0, 0),
+        end(1, 10_000_000, 0, "ok"),
+        start(2, 5_000_000, 1),
+        end(3, 9_999_999, 1, "failed"),
+    ];
+    let chart = render(&events, &cfg);
+    for line in chart.lines().skip(1) {
+        let bar = line
+            .split_once('[')
+            .and_then(|(_, rest)| rest.split_once(']'))
+            .map(|(bar, _)| bar)
+            .expect("every lane line frames its bar");
+        assert_eq!(bar.len(), 24, "bar overflows its area: {line:?}");
+    }
+}
+
+#[test]
+fn degenerate_width_is_floored_not_panicking() {
+    // width 0 would make `bar[b]` index into nothing; the renderer
+    // floors the bar area instead.
+    let cfg = GanttConfig {
+        width: 0,
+        ..GanttConfig::default()
+    };
+    let events = vec![start(0, 0, 0), end(1, 1_000_000, 0, "ok")];
+    let chart = render(&events, &cfg);
+    assert!(chart.contains('['), "still renders a bar:\n{chart}");
+    let bar_len = chart
+        .lines()
+        .nth(1)
+        .and_then(|l| l.split_once('['))
+        .and_then(|(_, rest)| rest.split_once(']'))
+        .map(|(bar, _)| bar.len())
+        .expect("lane line");
+    assert_eq!(bar_len, 10, "floored bar area:\n{chart}");
+}
+
+#[test]
+fn rendering_is_stable_across_calls() {
+    let events = vec![
+        start(0, 0, 0),
+        end(1, 42, 0, "failed"),
+        start(2, 13, 1),
+        start(3, 99, 2),
+        end(4, 100, 2, "killed"),
+    ];
+    let cfg = GanttConfig::default();
+    let first = render(&events, &cfg);
+    for _ in 0..10 {
+        assert_eq!(render(&events, &cfg), first);
+    }
+    // Pin the exact layout so accidental formatting drift is loud.
+    assert_eq!(
+        first,
+        "         t=0..100 (3 lanes)\n\
+         map/0/0  [=========================x                                  ]  failed\n\
+         map/1/0  [        ===================================================>]\n\
+         map/2/0  [                                                          =k]  killed\n"
+    );
+}

@@ -1,0 +1,66 @@
+//! Exhibit SW: microarchitectural sensitivity sweeps of the eleven
+//! data-analysis workloads.
+//!
+//! ```text
+//! cargo run --release --example sweeps                     # full grid, quick windows
+//! cargo run --release --example sweeps -- --quick          # reduced grid (CI smoke)
+//! cargo run --release --example sweeps -- --jsonl sw.jsonl # event artifact
+//! ```
+//!
+//! Every (axis, point, workload) grid cell is one pure simulation,
+//! sharded across `DCBENCH_JOBS` workers and memoized by the counter
+//! cache. With `--jsonl`, one `sweep_point` event per cell plus one
+//! `sweep_axis` summary per axis are streamed as JSON Lines in fixed
+//! grid order, so two runs with the same flags produce
+//! **byte-identical** files at any `DCBENCH_JOBS` setting.
+
+use dc_obs::Recorder;
+use dcbench::sweep::SweepAxis;
+use dcbench::{report, Characterizer};
+use std::io::BufWriter;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut jsonl: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jsonl" => jsonl = Some(it.next().expect("--jsonl takes a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: sweeps [--quick] [--jsonl PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Sweeps multiply the matrix by the grid size, so both modes
+    // measure through quick windows; --quick additionally shrinks the
+    // grid to the three-axis smoke set CI byte-compares.
+    let axes = if quick {
+        SweepAxis::reduced_axes()
+    } else {
+        SweepAxis::default_axes()
+    };
+
+    let recorder = match &jsonl {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            Recorder::jsonl(BufWriter::new(file))
+        }
+        None => Recorder::disabled(),
+    };
+    let bench = Characterizer::quick().with_recorder(recorder.clone());
+
+    let figures = report::sweep_exhibit(&bench, &axes).unwrap_or_else(|e| panic!("{e}"));
+    for figure in &figures {
+        println!("{}", figure.render());
+    }
+    recorder.flush();
+    if let Some(path) = jsonl {
+        eprintln!("event artifact written to {path}");
+    }
+}

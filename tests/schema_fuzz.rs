@@ -1,0 +1,111 @@
+//! Fuzz-style robustness tests for `dc_benches::schema`'s hand-rolled
+//! JSON parser and event validators.
+//!
+//! The parser's job is reading JSONL artifacts off disk — files that
+//! may be truncated mid-write, corrupted, or adversarial. The contract
+//! under test: **every** malformed input comes back as `Err`, never a
+//! panic, and never a stack overflow (which would abort the process,
+//! not unwind). Inputs that happen to be well-formed may parse; what
+//! is forbidden is any third outcome.
+
+use dc_benches::schema::{parse_json, validate_line, validate_stream, Json};
+use proptest::prelude::*;
+
+/// A representative valid event line (a documented kind with all its
+/// required fields), used as the seed for truncation/corruption tests.
+const GOOD_LINE: &str =
+    r#"{"seq":0,"ts":0,"kind":"cache_hit","fields":{"entry":"Sort","corun":1}}"#;
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded): parse and validate must
+    /// return, not panic. Whatever parses must also re-`get` safely.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(0u16..256, 0..300)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(doc) = parse_json(&text) {
+            let _ = doc.get("seq");
+        }
+        let _ = validate_line(&text);
+        let _ = validate_stream(&text);
+    }
+
+    /// Structural garbage — random soups of JSON punctuation, digits
+    /// and quotes, the shapes most likely to walk deep into the
+    /// parser's recursion — never panics either.
+    #[test]
+    fn json_shaped_garbage_never_panics(text in r#"[{}:,"0-9a-z. -]{0,120}"#) {
+        if let Ok(doc) = parse_json(&text) {
+            let _ = doc.get("kind");
+        }
+        let _ = validate_line(&text);
+    }
+
+    /// Every proper prefix of a valid event line is an error for both
+    /// the parser and the validator: the closing brace comes last, so
+    /// no truncation point leaves a complete document.
+    #[test]
+    fn truncated_lines_are_errors(cut in 0usize..71) {
+        // 0..71 covers every proper prefix of GOOD_LINE (len 71).
+        prop_assert_eq!(GOOD_LINE.len(), 71);
+        let prefix = &GOOD_LINE[..cut];
+        prop_assert!(parse_json(prefix).is_err(), "prefix {prefix:?} parsed");
+        prop_assert!(validate_line(prefix).is_err());
+    }
+
+    /// Unbalanced nesting at any depth is an error, and past the
+    /// parser's depth cap even *balanced* nesting is rejected rather
+    /// than recursed into — arbitrarily deep input must never turn
+    /// into a stack overflow.
+    #[test]
+    fn deep_nesting_is_an_error_not_an_overflow(depth in 1usize..200_000) {
+        let open = "[".repeat(depth);
+        prop_assert!(parse_json(&open).is_err());
+        let balanced = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        match parse_json(&balanced) {
+            Ok(_) => prop_assert!(depth <= 128, "depth {depth} should exceed the cap"),
+            Err(e) => prop_assert!(
+                depth > 128,
+                "balanced depth {depth} under the cap was rejected: {e}"
+            ),
+        }
+    }
+
+    /// Duplicate keys are rejected wherever they appear — in the event
+    /// envelope or nested inside `fields`.
+    #[test]
+    fn duplicate_keys_are_errors(key in "[a-z]{1,8}", a in 0u64..100, b in 0u64..100) {
+        let doc = format!(r#"{{"{key}":{a},"{key}":{b}}}"#);
+        let err = parse_json(&doc).unwrap_err();
+        prop_assert!(err.contains("duplicate key"), "got: {err}");
+        let nested = format!(
+            r#"{{"seq":0,"ts":0,"kind":"cache_hit","fields":{{"entry":"S","corun":1,"{key}":{a},"{key}":{b}}}}}"#
+        );
+        prop_assert!(validate_line(&nested).is_err());
+    }
+}
+
+#[test]
+fn nesting_at_the_cap_parses_and_one_past_does_not() {
+    // 127 array levels + the implicit depth of the value inside.
+    let ok = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+    assert!(parse_json(&ok).is_ok());
+    let too_deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+    let err = parse_json(&too_deep).unwrap_err();
+    assert!(err.contains("nesting deeper"), "got: {err}");
+}
+
+#[test]
+fn sibling_containers_do_not_accumulate_depth() {
+    // Ten thousand shallow arrays side by side: depth is per-branch,
+    // not cumulative, so this must parse.
+    let doc = format!("[{}[0]]", "[0],".repeat(10_000));
+    assert!(parse_json(&doc).is_ok());
+}
+
+#[test]
+fn the_seed_line_is_actually_valid() {
+    let ev = validate_line(GOOD_LINE).expect("seed line must validate");
+    assert_eq!((ev.seq, ev.ts, ev.kind), (0, 0, "cache_hit".to_string()));
+    assert!(matches!(parse_json(GOOD_LINE), Ok(Json::Obj(_))));
+}
