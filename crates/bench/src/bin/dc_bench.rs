@@ -224,6 +224,37 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     });
     push("sweep_l3_cached", swept_warm, sweep_uops, jobs);
 
+    // Same sweep through the persistent store: the cold pass simulates
+    // everything and writes through (simulation + append + fsync cost);
+    // the warm pass restarts with an empty memo and regenerates the
+    // grid entirely from recovered store records — the cross-process
+    // warm-start cost EXPERIMENTS.md quotes.
+    eprintln!("dc-bench: sensitivity sweep through the persistent store");
+    let store_dir = std::env::temp_dir().join(format!("dc_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&store_dir).expect("mkdir store dir");
+    let store_path = store_dir.join("bench_store.log");
+    let quiet = Recorder::disabled();
+    cache::clear();
+    cache::attach_store(&store_path, &quiet).expect("open fresh store");
+    let store_cold = time_ms(|| {
+        sweep::run(&bench, da, &axis).expect("valid L3 grid");
+    });
+    push("sweep_l3_store_cold", store_cold, sweep_uops, jobs);
+
+    cache::clear();
+    let store_warm = time_ms(|| {
+        cache::attach_store(&store_path, &quiet).expect("reopen populated store");
+        sweep::run(&bench, da, &axis).expect("valid L3 grid");
+    });
+    assert_eq!(
+        cache::sim_invocations(),
+        0,
+        "a populated store must regenerate the sweep without simulating"
+    );
+    push("sweep_l3_store_warm", store_warm, sweep_uops, jobs);
+    cache::detach_store();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     entries
 }
 

@@ -12,9 +12,10 @@
 //! anywhere in the stack without documenting it here makes the
 //! schema-check CI job fail on the first artifact that contains it.
 //!
-//! The validator carries its own ~150-line JSON reader rather than a
-//! dependency: the workspace is offline-vendored, and the subset of
-//! JSON the serializer in `dc-obs` emits is small and stable.
+//! The hardened JSON reader this validator uses lives in
+//! [`dc_store::json`] (re-exported here, its original home) so the
+//! event validator and the persistent store's recovery path share one
+//! parser — and one adversarial-input contract.
 
 /// Required fields per event kind. Extra fields are allowed (the
 /// producer may enrich events); missing ones fail validation, as does
@@ -112,241 +113,15 @@ pub const EVENT_SCHEMA: &[(&str, &[&str])] = &[
     ("bench_run_start", &["label", "window", "jobs"]),
     ("bench_entry", &["name", "wall_ms", "threads"]),
     ("bench_run_end", &["entries"]),
+    // Persistent result store (ts: logical, always 0).
+    ("store_hit", &["entry", "corun"]),
+    ("store_miss", &["entry", "corun"]),
+    ("store_corrupt_skipped", &["records", "stale"]),
+    ("store_truncated", &["bytes"]),
+    ("store_compacted", &["live", "dropped"]),
 ];
 
-/// A parsed JSON value (the subset `dc-obs` emits).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null` (a non-finite f64 serializes as this).
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number.
-    Num(f64),
-    /// A string, unescaped.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Look up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-/// Maximum container nesting [`parse_json`] accepts. The recursive
-/// descent would otherwise turn attacker-depth input (`[[[[…`) into a
-/// stack overflow — an abort, not an `Err`. Real event lines nest
-/// three levels deep.
-const MAX_DEPTH: usize = 128;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    depth: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn enter(&mut self) -> Result<(), String> {
-        self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err(format!(
-                "nesting deeper than {MAX_DEPTH} levels at byte {}",
-                self.pos
-            ));
-        }
-        Ok(())
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
-        }
-    }
-
-    fn eat(&mut self, word: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.eat("null") => Ok(Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.enter()?;
-        self.expect(b'{')?;
-        let mut pairs: Vec<(String, Json)> = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            if pairs.iter().any(|(k, _)| *k == key) {
-                return Err(format!("duplicate key \"{key}\" at byte {}", self.pos));
-            }
-            self.skip_ws();
-            self.expect(b':')?;
-            pairs.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.enter()?;
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            self.depth -= 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| format!("invalid \\u{hex}"))?,
-                            );
-                        }
-                        other => return Err(format!("bad escape '\\{}'", char::from(other))),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar, not one byte.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
-        ) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number at byte {start}"))
-    }
-}
-
-/// Parse one JSON document. Trailing non-whitespace, duplicate object
-/// keys, and nesting beyond [`MAX_DEPTH`] levels are errors — the
-/// parser reads artifacts that may be truncated or corrupt, so every
-/// malformation must surface as `Err`, never a panic.
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-        depth: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing input at byte {}", p.pos));
-    }
-    Ok(v)
-}
+pub use dc_store::json::{parse_json, Json, MAX_DEPTH};
 
 /// The validated envelope of one event line.
 #[derive(Debug, Clone, PartialEq)]

@@ -11,14 +11,23 @@
 //! Raw *counter blocks* are cached, not derived [`Metrics`] rows, so
 //! `run`, `run_with_events` and `raw_counts` all share hits.
 //!
+//! The memo dies with the process; [`attach_store`] extends it across
+//! processes by binding a `dc-store` append-only log: recovery seeds
+//! the table at attach (every hit on a preloaded key is a `store_hit`),
+//! and every subsequent miss writes through so the *next* process
+//! starts warm. `DCBENCH_STORE=<path>` is the shared opt-in switch
+//! ([`attach_from_env`]) used by `characterize_all` and `sweeps`.
+//!
 //! [`Metrics`]: dc_perfmon::Metrics
 
 use crate::registry::BenchmarkId;
 use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts};
 use dc_obs::{Recorder, Value};
-use std::collections::HashMap;
+use dc_store::{CompactStats, Record, Store, StoreKey};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Complete identity of one characterization measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,16 +72,75 @@ impl CacheKey {
 static SIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// Lookups satisfied without simulating.
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Lookups satisfied by records preloaded from a persistent store.
+static STORE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Simulated misses that happened while a store was attached (each one
+/// became a write-through append).
+static STORE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Write-through appends that failed at the I/O layer. The store is an
+/// amortization layer, not a system of record, so append errors degrade
+/// to "this record won't warm the next run" rather than failing the
+/// measurement — but they are counted, never swallowed invisibly.
+static STORE_WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
 
 fn table() -> &'static Mutex<HashMap<CacheKey, Vec<PerfCounts>>> {
     static TABLE: OnceLock<Mutex<HashMap<CacheKey, Vec<PerfCounts>>>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn lock() -> std::sync::MutexGuard<'static, HashMap<CacheKey, Vec<PerfCounts>>> {
+fn lock() -> MutexGuard<'static, HashMap<CacheKey, Vec<PerfCounts>>> {
     // Cache payloads are plain counter blocks; a panicking simulation
     // never holds the lock, but recover from poisoning regardless.
     table().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The attached persistent store handle, if any (write-through target).
+fn store_slot() -> &'static Mutex<Option<Store>> {
+    static STORE: OnceLock<Mutex<Option<Store>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(None))
+}
+
+fn store_lock() -> MutexGuard<'static, Option<Store>> {
+    store_slot().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Keys whose memo entry was preloaded from a persistent store — hits
+/// on these are `store_hit`s (the measurement crossed a process
+/// boundary), hits on everything else are plain `cache_hit`s.
+fn from_store_set() -> &'static Mutex<HashSet<CacheKey>> {
+    static FROM_STORE: OnceLock<Mutex<HashSet<CacheKey>>> = OnceLock::new();
+    FROM_STORE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn from_store_lock() -> MutexGuard<'static, HashSet<CacheKey>> {
+    from_store_set().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The on-disk mirror of a [`CacheKey`] (the store crate cannot name
+/// `BenchmarkId`, so entries are keyed by their stable registry name).
+fn to_store_key(key: &CacheKey) -> StoreKey {
+    StoreKey {
+        entry: key.id.name().to_string(),
+        cfg_hash: key.cfg_hash,
+        max_ops: key.max_ops,
+        warmup_ops: key.warmup_ops,
+        seed: key.seed,
+        corun: key.corun,
+    }
+}
+
+/// Map a recovered store key back to a cache key. `None` when the
+/// entry name is unknown to this build's registry (a foreign or
+/// future store file) — such records are skipped, not fatal.
+fn from_store_key(key: &StoreKey) -> Option<CacheKey> {
+    Some(CacheKey {
+        id: BenchmarkId::from_name(&key.entry)?,
+        cfg_hash: key.cfg_hash,
+        max_ops: key.max_ops,
+        warmup_ops: key.warmup_ops,
+        seed: key.seed,
+        corun: key.corun,
+    })
 }
 
 /// Record that one real simulation ran (also called by uncached paths,
@@ -126,13 +194,32 @@ pub(crate) fn counts_vec_for(
 ) -> Vec<PerfCounts> {
     if let Some(hit) = lock().get(&key).cloned() {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        emit_lookup(recorder, "cache_hit", &key);
+        if from_store_lock().contains(&key) {
+            STORE_HITS.fetch_add(1, Ordering::Relaxed);
+            emit_lookup(recorder, "store_hit", &key);
+        } else {
+            emit_lookup(recorder, "cache_hit", &key);
+        }
         return hit;
     }
     note_simulation();
     emit_lookup(recorder, "cache_miss", &key);
     let counts = compute();
     lock().insert(key, counts.clone());
+    // Write-through: an attached store makes this measurement durable
+    // for the next process. One framed append per miss; I/O failure
+    // degrades to a cold record next run (counted, not fatal).
+    if let Some(store) = store_lock().as_mut() {
+        STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+        emit_lookup(recorder, "store_miss", &key);
+        let record = Record {
+            key: to_store_key(&key),
+            counts: counts.clone(),
+        };
+        if store.append(&record).is_err() {
+            STORE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     counts
 }
 
@@ -146,6 +233,21 @@ pub fn cache_hits() -> u64 {
     CACHE_HITS.load(Ordering::Relaxed)
 }
 
+/// Lookups satisfied by records preloaded from a persistent store.
+pub fn store_hits() -> u64 {
+    STORE_HITS.load(Ordering::Relaxed)
+}
+
+/// Simulated misses that were written through to an attached store.
+pub fn store_misses() -> u64 {
+    STORE_MISSES.load(Ordering::Relaxed)
+}
+
+/// Write-through appends that failed at the I/O layer.
+pub fn store_write_errors() -> u64 {
+    STORE_WRITE_ERRORS.load(Ordering::Relaxed)
+}
+
 /// Number of distinct measurements currently cached.
 pub fn len() -> usize {
     lock().len()
@@ -156,12 +258,167 @@ pub fn is_empty() -> bool {
     lock().is_empty()
 }
 
-/// Drop every cached measurement (the invocation/hit counters keep
-/// counting — they are lifetime telemetry, not cache state). The bench
-/// harness clears between timed phases so "parallel" never reads
-/// "sequential"'s results.
+/// Drop every cached measurement AND reset the hit/miss/invocation
+/// telemetry counters to zero. The counters must reset with the memo
+/// table: callers assert on them relative to a `clear()` (the bench
+/// harness between timed phases, the warm-start tests around store
+/// attaches), and counters that survived the memo made every such
+/// assertion test-order dependent. An attached store handle is *not*
+/// detached — it is I/O state, not cache state — but its preloaded-key
+/// set is dropped along with the memo entries it described.
 pub fn clear() {
     lock().clear();
+    from_store_lock().clear();
+    SIM_INVOCATIONS.store(0, Ordering::Relaxed);
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    STORE_HITS.store(0, Ordering::Relaxed);
+    STORE_MISSES.store(0, Ordering::Relaxed);
+    STORE_WRITE_ERRORS.store(0, Ordering::Relaxed);
+}
+
+/// What attaching or loading a persistent store found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Verified records loaded into the memo table.
+    pub loaded: usize,
+    /// Verified records whose entry name this build's registry does not
+    /// know (foreign or future store files) — skipped.
+    pub unknown_entries: usize,
+    /// Complete-but-corrupt log lines quarantined by recovery.
+    pub corrupt_skipped: u64,
+    /// Verified records skipped as belonging to a superseded generation.
+    pub stale_skipped: u64,
+    /// Torn-tail bytes truncated by recovery.
+    pub truncated_bytes: u64,
+    /// Records shadowed by a later write of the same key.
+    pub superseded: u64,
+}
+
+/// Seed the memo table from recovered records and emit the recovery
+/// telemetry (`store_corrupt_skipped` / `store_truncated`, only when
+/// there was damage to report).
+fn absorb_recovery(recovery: &dc_store::Recovery, recorder: &Recorder) -> StoreReport {
+    let mut report = StoreReport {
+        corrupt_skipped: recovery.corrupt_skipped,
+        stale_skipped: recovery.stale_skipped,
+        truncated_bytes: recovery.truncated_bytes,
+        superseded: recovery.superseded,
+        ..StoreReport::default()
+    };
+    for record in &recovery.records {
+        let Some(key) = from_store_key(&record.key) else {
+            report.unknown_entries += 1;
+            continue;
+        };
+        lock().insert(key, record.counts.clone());
+        from_store_lock().insert(key);
+        report.loaded += 1;
+    }
+    if recorder.is_enabled() {
+        if report.corrupt_skipped > 0 || report.stale_skipped > 0 {
+            recorder.emit(
+                0,
+                "store_corrupt_skipped",
+                vec![
+                    ("records", Value::U64(report.corrupt_skipped)),
+                    ("stale", Value::U64(report.stale_skipped)),
+                ],
+            );
+        }
+        if report.truncated_bytes > 0 {
+            recorder.emit(
+                0,
+                "store_truncated",
+                vec![("bytes", Value::U64(report.truncated_bytes))],
+            );
+        }
+    }
+    report
+}
+
+/// Attach a persistent store: recover `path` (repairing a torn tail or
+/// damaged header in place), seed the memo table with every verified
+/// record, and keep the handle open so subsequent misses write through.
+/// Replaces any previously attached store.
+pub fn attach_store(path: impl AsRef<Path>, recorder: &Recorder) -> std::io::Result<StoreReport> {
+    let (store, recovery) = Store::open(path.as_ref())?;
+    let report = absorb_recovery(&recovery, recorder);
+    *store_lock() = Some(store);
+    Ok(report)
+}
+
+/// Attach the store named by the `DCBENCH_STORE` environment variable,
+/// if set (the shared warm-start switch for `characterize_all`,
+/// `corun`, and `sweeps`). Returns `None` when the variable is unset
+/// or empty.
+pub fn attach_from_env(recorder: &Recorder) -> std::io::Result<Option<StoreReport>> {
+    match std::env::var("DCBENCH_STORE") {
+        Ok(path) if !path.is_empty() => attach_store(path, recorder).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Warm the memo table from a store file *read-only*: no repair, no
+/// write-through, no handle kept. For one-shot consumers that must not
+/// mutate a shared store.
+pub fn load_from(path: impl AsRef<Path>, recorder: &Recorder) -> std::io::Result<StoreReport> {
+    let recovery = dc_store::scan(path.as_ref())?;
+    Ok(absorb_recovery(&recovery, recorder))
+}
+
+/// Export every currently memoized measurement to the store at `path`
+/// (appending only records the store does not already hold). Returns
+/// the number of records written. Works with or without an attached
+/// store; the handle is closed on return.
+pub fn persist_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let (mut store, recovery) = Store::open(path.as_ref())?;
+    let existing: HashSet<StoreKey> = recovery.records.into_iter().map(|r| r.key).collect();
+    let entries: Vec<(CacheKey, Vec<PerfCounts>)> =
+        lock().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut written = 0usize;
+    for (key, counts) in entries {
+        let record = Record {
+            key: to_store_key(&key),
+            counts,
+        };
+        if existing.contains(&record.key) {
+            continue;
+        }
+        store.append(&record)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Detach the attached store, if any (memoized measurements stay; they
+/// simply stop being written through). Returns whether one was
+/// attached.
+pub fn detach_store() -> bool {
+    let had = store_lock().take().is_some();
+    from_store_lock().clear();
+    had
+}
+
+/// Compact the attached store's log — dropping quarantined, stale, and
+/// superseded frames — and emit a `store_compacted` event. `None` when
+/// no store is attached.
+pub fn compact_store(recorder: &Recorder) -> std::io::Result<Option<CompactStats>> {
+    let mut slot = store_lock();
+    let Some(store) = slot.as_mut() else {
+        return Ok(None);
+    };
+    let stats = store.compact()?;
+    if recorder.is_enabled() {
+        recorder.emit(
+            0,
+            "store_compacted",
+            vec![
+                ("live", Value::U64(stats.live)),
+                ("dropped", Value::U64(stats.dropped)),
+            ],
+        );
+    }
+    Ok(Some(stats))
 }
 
 #[cfg(test)]

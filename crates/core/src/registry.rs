@@ -157,6 +157,18 @@ impl BenchmarkId {
         }
     }
 
+    /// Inverse of [`BenchmarkId::name`]: resolve a figure label back to
+    /// its entry. The persistent store keys records by this stable name
+    /// (it cannot depend on the enum), so loading a store record means
+    /// mapping the name back; unknown names (e.g. from a foreign or
+    /// future store file) are `None`, not a panic.
+    pub fn from_name(name: &str) -> Option<BenchmarkId> {
+        BenchmarkId::all()
+            .iter()
+            .copied()
+            .find(|id| id.name() == name)
+    }
+
     /// The suite this entry belongs to.
     pub fn suite(&self) -> Suite {
         use BenchmarkId::*;

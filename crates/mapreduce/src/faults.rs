@@ -139,11 +139,20 @@ fn mix(seed: u64, kind: TaskKind, task: usize, attempt: u32) -> u64 {
         TaskKind::Map => 0x4D41_5000u64,
         TaskKind::Reduce => 0x5244_4300u64,
     };
-    let mut z = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(kind_tag)
-        .wrapping_add((task as u64).wrapping_mul(0x0000_0001_0000_0001))
-        .wrapping_add((attempt as u64) << 17);
+    splitmix64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(kind_tag)
+            .wrapping_add((task as u64).wrapping_mul(0x0000_0001_0000_0001))
+            .wrapping_add((attempt as u64) << 17),
+    )
+}
+
+/// The SplitMix64 finalizer: a stateless, well-distributed `u64 → u64`
+/// mix. Shared by every seeded fault plan in the workspace (this
+/// module's chaos mode, `dc_store`'s I/O chaos mode) so "same seed →
+/// same faults" holds with one hash, not several ad-hoc ones.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

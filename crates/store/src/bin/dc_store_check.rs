@@ -1,0 +1,94 @@
+//! `dc-store-check`: offline verifier for a dc-store log file.
+//!
+//! Scans the log read-only, reports what recovery would serve, and
+//! (optionally) compacts it. Exit status is the contract — CI's
+//! store-recovery job runs this over a log that survived a SIGKILL:
+//!
+//! - `0`: every frame verified (or, without `--strict`, damage was
+//!   limited to what recovery handles: a torn tail, quarantined lines,
+//!   stale/superseded frames);
+//! - `1`: usage or I/O error;
+//! - `2`: `--strict` and the log carries any damage at all.
+//!
+//! ```text
+//! dc-store-check [--strict] [--compact] <store.log>
+//! ```
+
+use dc_store::{scan, Store};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut compact = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--compact" => compact = true,
+            "--help" | "-h" => {
+                eprintln!("usage: dc-store-check [--strict] [--compact] <store.log>");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("dc-store-check: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: dc-store-check [--strict] [--compact] <store.log>");
+        return ExitCode::FAILURE;
+    };
+
+    let recovery = match scan(std::path::Path::new(&path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dc-store-check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries: std::collections::BTreeSet<&str> = recovery
+        .records
+        .iter()
+        .map(|r| r.key.entry.as_str())
+        .collect();
+    println!("{path}: generation {}", recovery.generation);
+    println!(
+        "  live records:    {} ({} distinct entr{})",
+        recovery.records.len(),
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+    println!("  corrupt skipped: {}", recovery.corrupt_skipped);
+    println!("  stale skipped:   {}", recovery.stale_skipped);
+    println!("  superseded:      {}", recovery.superseded);
+    println!("  torn tail:       {} byte(s)", recovery.truncated_bytes);
+    if !recovery.header_valid && recovery.valid_prefix > 0 {
+        println!("  header:          INVALID (records salvaged best-effort)");
+    }
+
+    if compact {
+        // Opening repairs the tail / header; compaction then drops the
+        // quarantined and superseded frames.
+        match Store::open(&path).and_then(|(mut s, _)| s.compact()) {
+            Ok(stats) => println!(
+                "  compacted:       {} live kept, {} dropped, now generation {}",
+                stats.live, stats.dropped, stats.generation
+            ),
+            Err(e) => {
+                eprintln!("dc-store-check: compact {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let damaged = !recovery.is_clean()
+        || recovery.superseded > 0
+        || (!recovery.header_valid && recovery.valid_prefix > 0);
+    if strict && damaged {
+        eprintln!("dc-store-check: {path}: damage found (strict mode)");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

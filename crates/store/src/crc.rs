@@ -1,0 +1,67 @@
+//! Hand-rolled CRC-32 (IEEE 802.3 polynomial, the `cksum`/zlib one).
+//!
+//! The store's corruption tolerance rests on this checksum: every
+//! record line carries the CRC of its payload, and recovery trusts a
+//! record only when the stored and recomputed values agree. The
+//! workspace is offline-vendored, so the table-driven implementation
+//! lives here rather than behind a dependency — 256 words computed at
+//! compile time, one table lookup per byte.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF` — the
+/// standard parameterization, so values can be cross-checked against
+/// `cksum -o3`, zlib, or any other IEEE CRC-32 implementation).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_check_value() {
+        // The canonical CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_and_sensitivity() {
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+        // A single flipped bit anywhere changes the checksum.
+        let base = b"the quick brown fox".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

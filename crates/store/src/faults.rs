@@ -1,0 +1,172 @@
+//! Deterministic I/O fault injection for the store's write path.
+//!
+//! The same philosophy as the MapReduce engine's `FaultPlan` (PR 1):
+//! faults are either pinned to specific append indices or drawn by a
+//! seeded chaos mode, so a faulted run is exactly reproducible — the
+//! property suites assert recovery behavior against *known* injected
+//! damage, not random hope. The chaos draw reuses
+//! [`dc_mapreduce::faults::splitmix64`] so "same seed → same faults"
+//! rests on one hash across the workspace.
+//!
+//! Faults model the failure classes a real log file sees:
+//!
+//! - [`StoreFault::TornWrite`] — the process died (or the device lost
+//!   power) mid-`write`: only a prefix of the framed line lands.
+//! - [`StoreFault::BitFlip`] — media or transport bit rot inside an
+//!   otherwise complete frame.
+//! - [`StoreFault::DuplicateRecord`] — a retried write that actually
+//!   succeeded twice (the classic at-least-once storage bug).
+//! - [`StoreFault::StaleGeneration`] — an epoch-0 header stamped above
+//!   the record, modeling a writer that missed a compaction and keeps
+//!   appending under a superseded generation.
+
+use dc_mapreduce::faults::splitmix64;
+use std::collections::HashMap;
+
+/// One injected fault, applied to a single append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Write only the first `at_byte` bytes of the framed line
+    /// (clamped so at least the trailing newline is lost).
+    TornWrite {
+        /// Byte offset into the framed line where the write tears.
+        at_byte: usize,
+    },
+    /// XOR one bit somewhere in the framed line.
+    BitFlip {
+        /// Byte offset (taken modulo the line length).
+        at_byte: usize,
+        /// Bit index within the byte (taken modulo 8).
+        bit: u8,
+    },
+    /// Write the framed line twice back-to-back.
+    DuplicateRecord,
+    /// Prepend a generation-0 header, marking this append (and any
+    /// later ones from the same handle) stale.
+    StaleGeneration,
+}
+
+/// Chaos-mode parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreChaosSpec {
+    /// One in `every` appends is faulted (e.g. 4 → ~25%). Zero is
+    /// treated as "never".
+    pub every: u64,
+    /// Upper bound used when drawing torn/bit-flip byte offsets, so the
+    /// drawn offset lands inside typical frames.
+    pub max_offset: usize,
+}
+
+impl Default for StoreChaosSpec {
+    fn default() -> Self {
+        StoreChaosSpec {
+            every: 4,
+            max_offset: 256,
+        }
+    }
+}
+
+/// A deterministic schedule of write-path faults, consulted by
+/// `Store::append` with the handle-lifetime append index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreFaultPlan {
+    pinned: HashMap<u64, StoreFault>,
+    chaos: Option<(u64, StoreChaosSpec)>,
+}
+
+impl StoreFaultPlan {
+    /// An empty plan: every append lands intact.
+    pub fn none() -> Self {
+        StoreFaultPlan::default()
+    }
+
+    /// A chaos plan: each append's decision is a pure function of
+    /// `(seed, append index)`.
+    pub fn chaos(seed: u64, spec: StoreChaosSpec) -> Self {
+        StoreFaultPlan {
+            pinned: HashMap::new(),
+            chaos: Some((seed, spec)),
+        }
+    }
+
+    /// Pin a fault on one specific append index.
+    pub fn with_fault(mut self, append_idx: u64, fault: StoreFault) -> Self {
+        self.pinned.insert(append_idx, fault);
+        self
+    }
+
+    /// Number of explicitly pinned faults.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// The fault to inject for this append, if any. Pinned faults take
+    /// precedence over chaos draws.
+    pub fn fault_for(&self, append_idx: u64) -> Option<StoreFault> {
+        if let Some(f) = self.pinned.get(&append_idx) {
+            return Some(*f);
+        }
+        let (seed, spec) = self.chaos?;
+        if spec.every == 0 {
+            return None;
+        }
+        let h = splitmix64(seed ^ append_idx.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        if !h.is_multiple_of(spec.every) {
+            return None;
+        }
+        let offset = (h >> 8) as usize % spec.max_offset.max(1);
+        Some(match (h >> 2) % 4 {
+            0 => StoreFault::TornWrite { at_byte: offset },
+            1 => StoreFault::BitFlip {
+                at_byte: offset,
+                bit: (h >> 40) as u8 % 8,
+            },
+            2 => StoreFault::DuplicateRecord,
+            _ => StoreFault::StaleGeneration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_faults_hit_their_append_only() {
+        let plan = StoreFaultPlan::none().with_fault(2, StoreFault::DuplicateRecord);
+        assert_eq!(plan.fault_for(0), None);
+        assert_eq!(plan.fault_for(1), None);
+        assert_eq!(plan.fault_for(2), Some(StoreFault::DuplicateRecord));
+        assert_eq!(plan.fault_for(3), None);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed_and_roughly_rate_limited() {
+        let spec = StoreChaosSpec::default();
+        let a = StoreFaultPlan::chaos(42, spec);
+        let b = StoreFaultPlan::chaos(42, spec);
+        let c = StoreFaultPlan::chaos(43, spec);
+        let draws_a: Vec<_> = (0..512).map(|i| a.fault_for(i)).collect();
+        let draws_b: Vec<_> = (0..512).map(|i| b.fault_for(i)).collect();
+        let draws_c: Vec<_> = (0..512).map(|i| c.fault_for(i)).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same faults");
+        assert_ne!(draws_a, draws_c, "different seeds should differ somewhere");
+        let faulted = draws_a.iter().filter(|f| f.is_some()).count();
+        assert!(
+            (64..256).contains(&faulted),
+            "~1 in 4 of 512 appends faulted, got {faulted}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_chaos_never_faults() {
+        let plan = StoreFaultPlan::chaos(
+            9,
+            StoreChaosSpec {
+                every: 0,
+                max_offset: 64,
+            },
+        );
+        assert!((0..256).all(|i| plan.fault_for(i).is_none()));
+    }
+}

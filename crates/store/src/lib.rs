@@ -1,0 +1,48 @@
+//! `dc-store`: a crash-consistent, corruption-tolerant persistent
+//! result store for characterization measurements.
+//!
+//! The process-lifetime memo cache (`dcbench::cache`) makes repeated
+//! figures cheap *within* one run; this crate makes them cheap *across*
+//! runs. Counter blocks are durable records in an append-only,
+//! checksummed, log-structured file — a warm second invocation of the
+//! full sweep grid replays the log instead of re-simulating it
+//! (`DCBENCH_STORE=...`), which is the storage substrate the ROADMAP
+//! names for larger grids and the future `dc-server`.
+//!
+//! Durability without trust would be worse than no store at all — a
+//! silently served torn or bit-flipped record corrupts every downstream
+//! exhibit. So robustness is the design center:
+//!
+//! - every record line carries a length prefix and a hand-rolled
+//!   CRC-32 ([`crc`]); recovery serves a record only after checksum
+//!   *and* schema verification ([`record`]);
+//! - appends are staged and written as a single `write_all` + fsync,
+//!   bounding crash damage to one torn tail, which recovery truncates;
+//!   complete-but-corrupt mid-log lines are quarantined, counted, and
+//!   dropped by [`Store::compact`] ([`log`]);
+//! - the write path carries a seeded fault-injection hook
+//!   ([`faults`]) — torn writes, bit flips, duplicates, stale
+//!   generations — so the recovery guarantees are property-tested
+//!   against deterministic damage, not assumed;
+//! - [`recover`] is pure and total: any byte sequence, including
+//!   adversarial ones, yields a `Recovery` without panicking.
+//!
+//! The offline `dc-store-check` bin audits a log file and exercises
+//! the same code paths out-of-process.
+
+pub mod crc;
+pub mod faults;
+pub mod json;
+pub mod log;
+pub mod record;
+
+pub use crc::crc32;
+pub use faults::{StoreChaosSpec, StoreFault, StoreFaultPlan};
+pub use log::{
+    frame_line, recover, scan, CompactStats, Recovery, Store, SyncPolicy, FIRST_GENERATION,
+    FORMAT_VERSION,
+};
+pub use record::{
+    counts_from_array, counts_to_array, decode_payload, encode_payload, Record, StoreKey,
+    COUNTER_FIELDS,
+};

@@ -1,0 +1,338 @@
+//! Record payloads: one `(measurement key, Vec<PerfCounts>)` pair per
+//! log record, serialized as a single-line JSON object.
+//!
+//! Every `u64` travels as a **decimal string**, not a JSON number: the
+//! workspace's hardened parser ([`crate::json`]) reads numbers as
+//! `f64`, which silently rounds above 2^53 — fatal for `cfg_hash`,
+//! seeds, and long-run cycle counters. Strings round-trip exactly.
+//!
+//! Counter blocks are serialized as fixed-order arrays (declaration
+//! order of [`PerfCounts`]), not keyed objects: the payload is ~3×
+//! smaller across a sweep grid and the order is compile-pinned by
+//! exhaustive destructuring in [`counts_to_array`] — adding a counter
+//! field without updating this module is a build error, not a silent
+//! decode mismatch.
+
+use crate::json::{parse_json, write_json_string, Json};
+use dc_cpu::PerfCounts;
+
+/// Identity of one persisted measurement — the on-disk mirror of
+/// `dcbench::cache::CacheKey`. The store cannot name that type (the
+/// core crate depends on this one), so the benchmark entry is keyed by
+/// its stable registry name instead of the `BenchmarkId` enum.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Registry name of the benchmark entry (e.g. `"Sort"`).
+    pub entry: String,
+    /// `CpuConfig::stable_hash` of the simulated machine.
+    pub cfg_hash: u64,
+    /// Measured-window µops.
+    pub max_ops: u64,
+    /// Warm-up µops.
+    pub warmup_ops: u64,
+    /// Per-entry trace seed.
+    pub seed: u64,
+    /// Co-run width (1 = solo).
+    pub corun: u32,
+}
+
+/// One recoverable unit: a key plus its per-core counter blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The measurement this record answers.
+    pub key: StoreKey,
+    /// One counter block per co-running core (solo = one element).
+    pub counts: Vec<PerfCounts>,
+}
+
+/// Number of `u64` fields in [`PerfCounts`] (the serialized array
+/// length). Compile-pinned against the struct by [`counts_to_array`].
+pub const COUNTER_FIELDS: usize = 29;
+
+/// Flatten one counter block into declaration-order values. The
+/// exhaustive destructuring (no `..` rest pattern) is deliberate: a new
+/// `PerfCounts` field breaks this build until the array — and therefore
+/// the store format — is updated in the same change.
+pub fn counts_to_array(c: &PerfCounts) -> [u64; COUNTER_FIELDS] {
+    let PerfCounts {
+        cycles,
+        instructions,
+        user_instructions,
+        kernel_instructions,
+        fetch_stall_cycles,
+        rat_stall_cycles,
+        rs_full_stall_cycles,
+        rob_full_stall_cycles,
+        load_buf_stall_cycles,
+        store_buf_stall_cycles,
+        l1i_accesses,
+        l1i_misses,
+        itlb_accesses,
+        itlb_misses,
+        itlb_walks,
+        l1d_accesses,
+        l1d_misses,
+        dtlb_accesses,
+        dtlb_misses,
+        dtlb_walks,
+        l2_accesses,
+        l2_misses,
+        l3_accesses,
+        l3_misses,
+        prefetches,
+        branches,
+        branch_mispredicts,
+        loads,
+        stores,
+    } = *c;
+    [
+        cycles,
+        instructions,
+        user_instructions,
+        kernel_instructions,
+        fetch_stall_cycles,
+        rat_stall_cycles,
+        rs_full_stall_cycles,
+        rob_full_stall_cycles,
+        load_buf_stall_cycles,
+        store_buf_stall_cycles,
+        l1i_accesses,
+        l1i_misses,
+        itlb_accesses,
+        itlb_misses,
+        itlb_walks,
+        l1d_accesses,
+        l1d_misses,
+        dtlb_accesses,
+        dtlb_misses,
+        dtlb_walks,
+        l2_accesses,
+        l2_misses,
+        l3_accesses,
+        l3_misses,
+        prefetches,
+        branches,
+        branch_mispredicts,
+        loads,
+        stores,
+    ]
+}
+
+/// Rebuild a counter block from its declaration-order array.
+pub fn counts_from_array(a: &[u64; COUNTER_FIELDS]) -> PerfCounts {
+    PerfCounts {
+        cycles: a[0],
+        instructions: a[1],
+        user_instructions: a[2],
+        kernel_instructions: a[3],
+        fetch_stall_cycles: a[4],
+        rat_stall_cycles: a[5],
+        rs_full_stall_cycles: a[6],
+        rob_full_stall_cycles: a[7],
+        load_buf_stall_cycles: a[8],
+        store_buf_stall_cycles: a[9],
+        l1i_accesses: a[10],
+        l1i_misses: a[11],
+        itlb_accesses: a[12],
+        itlb_misses: a[13],
+        itlb_walks: a[14],
+        l1d_accesses: a[15],
+        l1d_misses: a[16],
+        dtlb_accesses: a[17],
+        dtlb_misses: a[18],
+        dtlb_walks: a[19],
+        l2_accesses: a[20],
+        l2_misses: a[21],
+        l3_accesses: a[22],
+        l3_misses: a[23],
+        prefetches: a[24],
+        branches: a[25],
+        branch_mispredicts: a[26],
+        loads: a[27],
+        stores: a[28],
+    }
+}
+
+fn push_u64_str(out: &mut String, v: u64) {
+    out.push('"');
+    out.push_str(&v.to_string());
+    out.push('"');
+}
+
+/// Serialize one record as a single-line JSON object (no trailing
+/// newline; framing is the log layer's job). Deterministic: identical
+/// records always produce identical bytes.
+pub fn encode_payload(record: &Record) -> String {
+    let mut out = String::with_capacity(128 + record.counts.len() * COUNTER_FIELDS * 8);
+    out.push_str("{\"entry\":");
+    write_json_string(&mut out, &record.key.entry);
+    out.push_str(",\"cfg\":");
+    push_u64_str(&mut out, record.key.cfg_hash);
+    out.push_str(",\"max_ops\":");
+    push_u64_str(&mut out, record.key.max_ops);
+    out.push_str(",\"warmup_ops\":");
+    push_u64_str(&mut out, record.key.warmup_ops);
+    out.push_str(",\"seed\":");
+    push_u64_str(&mut out, record.key.seed);
+    out.push_str(",\"corun\":");
+    push_u64_str(&mut out, u64::from(record.key.corun));
+    out.push_str(",\"counts\":[");
+    for (i, block) in record.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in counts_to_array(block).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_u64_str(&mut out, *v);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => s
+            .parse::<u64>()
+            .map_err(|_| format!("field \"{key}\" is not a u64 decimal string")),
+        Some(_) => Err(format!("field \"{key}\" must be a decimal string")),
+        None => Err(format!("missing field \"{key}\"")),
+    }
+}
+
+/// Parse one payload line back into a [`Record`]. Any malformation —
+/// bad JSON, wrong types, missing fields, wrong counter arity, empty
+/// counts — is an `Err`, never a panic: this runs on post-crash,
+/// possibly bit-flipped bytes.
+pub fn decode_payload(payload: &str) -> Result<Record, String> {
+    let doc = parse_json(payload)?;
+    let entry = match doc.get("entry") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return Err("missing or non-string \"entry\"".into()),
+    };
+    let corun = get_u64(&doc, "corun")?;
+    let corun = u32::try_from(corun).map_err(|_| "\"corun\" exceeds u32".to_string())?;
+    if corun == 0 {
+        return Err("\"corun\" must be at least 1".into());
+    }
+    let key = StoreKey {
+        entry,
+        cfg_hash: get_u64(&doc, "cfg")?,
+        max_ops: get_u64(&doc, "max_ops")?,
+        warmup_ops: get_u64(&doc, "warmup_ops")?,
+        seed: get_u64(&doc, "seed")?,
+        corun,
+    };
+    let blocks = match doc.get("counts") {
+        Some(Json::Arr(blocks)) => blocks,
+        _ => return Err("missing or non-array \"counts\"".into()),
+    };
+    if blocks.is_empty() {
+        return Err("\"counts\" must hold at least one block".into());
+    }
+    let mut counts = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let values = match block {
+            Json::Arr(values) => values,
+            _ => return Err("counter block must be an array".into()),
+        };
+        if values.len() != COUNTER_FIELDS {
+            return Err(format!(
+                "counter block has {} fields, expected {COUNTER_FIELDS}",
+                values.len()
+            ));
+        }
+        let mut array = [0u64; COUNTER_FIELDS];
+        for (slot, v) in array.iter_mut().zip(values) {
+            *slot = match v {
+                Json::Str(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| "counter value is not a u64 decimal string".to_string())?,
+                _ => return Err("counter value must be a decimal string".into()),
+            };
+        }
+        counts.push(counts_from_array(&array));
+    }
+    Ok(Record { key, counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        let mut a = [0u64; COUNTER_FIELDS];
+        for (i, slot) in a.iter_mut().enumerate() {
+            *slot = (i as u64 + 1) * 1_000_003;
+        }
+        Record {
+            key: StoreKey {
+                entry: "Sort".to_string(),
+                cfg_hash: u64::MAX - 7,
+                max_ops: 3_200_000,
+                warmup_ops: 200_000,
+                seed: 0xDEAD_BEEF_0BAD_F00D,
+                corun: 4,
+            },
+            counts: vec![counts_from_array(&a), PerfCounts::default()],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let r = sample();
+        assert_eq!(decode_payload(&encode_payload(&r)).expect("decodes"), r);
+    }
+
+    #[test]
+    fn u64s_above_f64_precision_survive() {
+        // 2^53 + 1 is the first integer an f64 cannot represent; the
+        // decimal-string encoding must carry it exactly.
+        let mut r = sample();
+        r.key.cfg_hash = (1 << 53) + 1;
+        r.counts[0].cycles = u64::MAX;
+        let back = decode_payload(&encode_payload(&r)).expect("decodes");
+        assert_eq!(back.key.cfg_hash, (1 << 53) + 1);
+        assert_eq!(back.counts[0].cycles, u64::MAX);
+    }
+
+    #[test]
+    fn array_order_matches_declaration_order() {
+        // Distinct per-slot values so any permutation would be caught.
+        let mut a = [0u64; COUNTER_FIELDS];
+        for (i, slot) in a.iter_mut().enumerate() {
+            *slot = i as u64 + 1;
+        }
+        let c = counts_from_array(&a);
+        assert_eq!(c.cycles, 1);
+        assert_eq!(c.instructions, 2);
+        assert_eq!(c.store_buf_stall_cycles, 10);
+        assert_eq!(c.l2_accesses, 21);
+        assert_eq!(c.stores, 29);
+        assert_eq!(counts_to_array(&c), a);
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors() {
+        for bad in [
+            "",
+            "{",
+            "null",
+            r#"{"entry":"Sort"}"#,
+            // cfg as a bare number instead of a decimal string
+            r#"{"entry":"Sort","cfg":1,"max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[["1"]]}"#,
+            // corun of zero
+            r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"0","counts":[["1"]]}"#,
+            // empty counts
+            r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[]}"#,
+            // wrong counter arity
+            r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[["1","2"]]}"#,
+        ] {
+            assert!(decode_payload(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

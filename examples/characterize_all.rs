@@ -6,13 +6,33 @@
 //! cargo run --release --example characterize_all -- table1
 //! cargo run --release --example characterize_all -- co      # co-run exhibit
 //! ```
+//!
+//! Set `DCBENCH_STORE=path/to/store.log` to warm-start from (and write
+//! new measurements through to) a persistent result store; exhibits
+//! render byte-identically either way.
 
 use dc_datagen::Scale;
-use dcbench::{report, Characterizer};
+use dc_obs::Recorder;
+use dcbench::{cache, report, Characterizer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
+    let store = cache::attach_from_env(&Recorder::disabled()).unwrap_or_else(|e| {
+        eprintln!("dc-store: cannot open DCBENCH_STORE: {e}");
+        std::process::exit(1);
+    });
+    if let Some(report) = &store {
+        eprintln!(
+            "dc-store: loaded {} record(s) \
+             (corrupt {}, stale {}, torn {} byte(s), unknown {})",
+            report.loaded,
+            report.corrupt_skipped,
+            report.stale_skipped,
+            report.truncated_bytes,
+            report.unknown_entries
+        );
+    }
     let bench = Characterizer::full();
     let scale = Scale::bytes(512 << 10);
 
@@ -63,5 +83,14 @@ fn main() {
     }
     if want("co") {
         println!("{}", report::corun_exhibit(&bench).render());
+    }
+    if store.is_some() {
+        eprintln!(
+            "dc-store: simulations: {} (store hits {}, store misses {}, write errors {})",
+            cache::sim_invocations(),
+            cache::store_hits(),
+            cache::store_misses(),
+            cache::store_write_errors()
+        );
     }
 }

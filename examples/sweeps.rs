@@ -13,10 +13,15 @@
 //! `sweep_axis` summary per axis are streamed as JSON Lines in fixed
 //! grid order, so two runs with the same flags produce
 //! **byte-identical** files at any `DCBENCH_JOBS` setting.
+//!
+//! Set `DCBENCH_STORE=path/to/store.log` to warm-start from (and write
+//! new measurements through to) a persistent result store; a run
+//! against a fully populated store does **zero** simulations and still
+//! renders byte-identical exhibits.
 
 use dc_obs::Recorder;
 use dcbench::sweep::SweepAxis;
-use dcbench::{report, Characterizer};
+use dcbench::{cache, report, Characterizer};
 use std::io::BufWriter;
 
 fn main() {
@@ -45,6 +50,25 @@ fn main() {
         SweepAxis::default_axes()
     };
 
+    // Store recovery telemetry stays out of the --jsonl artifact so
+    // cold and warm runs remain byte-identical; load results go to
+    // stderr instead.
+    let store = cache::attach_from_env(&Recorder::disabled()).unwrap_or_else(|e| {
+        eprintln!("dc-store: cannot open DCBENCH_STORE: {e}");
+        std::process::exit(1);
+    });
+    if let Some(report) = &store {
+        eprintln!(
+            "dc-store: loaded {} record(s) \
+             (corrupt {}, stale {}, torn {} byte(s), unknown {})",
+            report.loaded,
+            report.corrupt_skipped,
+            report.stale_skipped,
+            report.truncated_bytes,
+            report.unknown_entries
+        );
+    }
+
     let recorder = match &jsonl {
         Some(path) => {
             let file =
@@ -62,5 +86,14 @@ fn main() {
     recorder.flush();
     if let Some(path) = jsonl {
         eprintln!("event artifact written to {path}");
+    }
+    if store.is_some() {
+        eprintln!(
+            "dc-store: simulations: {} (store hits {}, store misses {}, write errors {})",
+            cache::sim_invocations(),
+            cache::store_hits(),
+            cache::store_misses(),
+            cache::store_write_errors()
+        );
     }
 }

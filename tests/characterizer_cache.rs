@@ -1,15 +1,59 @@
 //! The memoizing result cache: a second characterization of the same
 //! `(entry, config, window, seed)` key must do zero simulation work.
 //!
-//! Kept in its own integration binary (one test) so the process-wide
-//! simulation-invocation counter is not perturbed by concurrent tests.
+//! Kept in its own integration binary so the process-wide
+//! simulation-invocation counter is not perturbed by concurrent tests;
+//! the tests inside this binary serialize on one mutex for the same
+//! reason.
 
 use dc_cpu::{core::SimOptions, CpuConfig};
 use dc_obs::Recorder;
 use dcbench::{cache, BenchmarkId, Characterizer};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn clear_resets_telemetry_counters_with_the_memo() {
+    // Regression: clear() used to drop the memo table but leave the
+    // hit/miss/sim counters running, so any assertion phrased against
+    // absolute counter values depended on which tests ran earlier in
+    // the binary. Counters are cache telemetry; they reset with it.
+    let _guard = serial();
+    let c = Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 50_000,
+            warmup_ops: 20_000,
+        },
+        0xC1EA_4000,
+    );
+    let _ = c.run(BenchmarkId::Sort); // miss
+    let _ = c.run(BenchmarkId::Sort); // hit
+    assert!(cache::sim_invocations() > 0);
+    assert!(cache::cache_hits() > 0);
+    cache::clear();
+    assert_eq!(cache::sim_invocations(), 0, "clear() resets sim counter");
+    assert_eq!(cache::cache_hits(), 0, "clear() resets hit counter");
+    assert_eq!(cache::store_hits(), 0);
+    assert_eq!(cache::store_misses(), 0);
+    assert_eq!(cache::store_write_errors(), 0);
+    assert_eq!(cache::len(), 0);
+    // And the post-clear world behaves like a fresh process: the same
+    // key is cold again, with counters counting from zero.
+    let _ = c.run(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), 1);
+    assert_eq!(cache::cache_hits(), 0);
+    cache::clear();
+}
 
 #[test]
 fn second_run_of_same_entry_does_zero_simulation_work() {
+    let _guard = serial();
     let c = Characterizer::new(
         CpuConfig::westmere_e5645(),
         SimOptions {

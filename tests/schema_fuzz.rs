@@ -7,8 +7,16 @@
 //! panic, and never a stack overflow (which would abort the process,
 //! not unwind). Inputs that happen to be well-formed may parse; what
 //! is forbidden is any third outcome.
+//!
+//! The same adversarial corpus is replayed against the dc-store log
+//! format (`dc_store::recover` and `decode_payload`), which reads the
+//! same parser's output off the same kind of hostile disk — there the
+//! contract is stronger still: recovery is *total*, returning a
+//! `Recovery` (possibly empty) for any byte soup, never an error and
+//! never a panic.
 
 use dc_benches::schema::{parse_json, validate_line, validate_stream, Json};
+use dc_store::{decode_payload, frame_line, recover};
 use proptest::prelude::*;
 
 /// A representative valid event line (a documented kind with all its
@@ -82,6 +90,57 @@ proptest! {
             r#"{{"seq":0,"ts":0,"kind":"cache_hit","fields":{{"entry":"S","corun":1,"{key}":{a},"{key}":{b}}}}}"#
         );
         prop_assert!(validate_line(&nested).is_err());
+    }
+
+    /// The store format under the same byte soup: recovery is total
+    /// (always a Recovery, never a panic), record decoding is closed
+    /// (always Ok-or-Err), and whatever survives is schema-valid.
+    #[test]
+    fn store_recovery_is_total_on_arbitrary_bytes(bytes in collection::vec(0u16..256, 0..300)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let rec = recover(&bytes);
+        prop_assert!(rec.records.iter().all(|r| !r.counts.is_empty()));
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = decode_payload(&text);
+    }
+
+    /// Frame-shaped garbage — lines that *look* like store frames
+    /// (kind letter, digits, hex, JSON-ish payloads) — is the corpus
+    /// most likely to get deep into frame parsing. Still total, and a
+    /// frame whose checksum field is damaged never yields a record.
+    #[test]
+    fn store_frame_shaped_garbage_never_panics(
+        lines in collection::vec(r#"[hr 0-9a-f{}:,"]{0,60}"#, 0..6),
+    ) {
+        let mut bytes = Vec::new();
+        for l in &lines {
+            bytes.extend_from_slice(l.as_bytes());
+            bytes.push(b'\n');
+        }
+        let rec = recover(&bytes);
+        // None of these lines carries a CRC computed over its payload
+        // (the odds across a 64-case run are negligible, and the seed
+        // is deterministic), so nothing may be served.
+        prop_assert!(rec.records.is_empty(), "garbage line verified: {lines:?}");
+        prop_assert_eq!(rec.truncated_bytes, 0, "every line was terminated");
+    }
+
+    /// Every proper prefix of a valid framed record is either a torn
+    /// tail (no newline survived) or a corrupt line — never a served
+    /// record, and never a panic.
+    #[test]
+    fn truncated_store_frames_are_torn_or_quarantined(cut_permille in 0u64..1000) {
+        let payload = r#"{"entry":"Sort","cfg":"1","max_ops":"9","warmup_ops":"0","seed":"7","corun":"1","counts":[["1","2","3","4","5","6","7","8","9","10","11","12","13","14","15","16","17","18","19","20","21","22","23","24","25","26","27","28","29"]]}"#;
+        let frame = frame_line(b'r', payload);
+        let cut = (cut_permille as usize * frame.len()) / 1000;
+        let rec = recover(&frame[..cut]);
+        prop_assert!(rec.records.is_empty(), "prefix of length {cut} served a record");
+        if cut > 0 {
+            prop_assert!(
+                rec.truncated_bytes == cut as u64 || rec.corrupt_skipped == 1,
+                "prefix of length {cut} neither torn nor quarantined"
+            );
+        }
     }
 }
 

@@ -1,0 +1,352 @@
+//! End-to-end warm start through the persistent store (ISSUE 6
+//! acceptance): a second run against a populated `DCBENCH_STORE` does
+//! zero simulator invocations, serves identical raw counts, and
+//! surfaces the store telemetry; damaged logs recover (truncate /
+//! quarantine) instead of serving corrupt counter blocks.
+//!
+//! Every test here mutates the process-wide cache, its telemetry
+//! counters, and the attached store handle, so the whole binary is
+//! serialized through one mutex — the tests are about global state by
+//! nature.
+
+use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts};
+use dc_obs::Recorder;
+use dc_store::{counts_from_array, Record, Store, StoreKey, COUNTER_FIELDS};
+use dcbench::{cache, sweep, BenchmarkId, Characterizer};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Fresh global state: no attached store, empty memo, zeroed counters.
+fn reset() {
+    cache::detach_store();
+    cache::clear();
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dc-store-warm-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("store.log")
+}
+
+fn harness(recorder: Recorder) -> Characterizer {
+    Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 50_000,
+            warmup_ops: 20_000,
+        },
+        0x57_0123,
+    )
+    .with_recorder(recorder)
+}
+
+#[test]
+fn warm_start_does_zero_simulations_and_serves_identical_counts() {
+    let _guard = serial();
+    let path = tmp("zero-sims");
+    reset();
+
+    // Cold run against an empty store: every lookup simulates and
+    // writes through.
+    let (rec, ring) = Recorder::ring(256);
+    let report = cache::attach_store(&path, &rec).expect("attach");
+    assert_eq!(report.loaded, 0, "fresh store starts empty");
+    let c = harness(rec.clone());
+    let cold_sort = c.raw_counts(BenchmarkId::Sort);
+    let cold_grep = c.raw_counts(BenchmarkId::Grep);
+    let cold_corun = c.corun(BenchmarkId::Sort, 2);
+    assert_eq!(cache::sim_invocations(), 3, "three cold keys, three sims");
+    assert_eq!(cache::store_misses(), 3, "each miss wrote through");
+    assert_eq!(cache::store_write_errors(), 0);
+    assert_eq!(ring.count_kind("store_miss"), 3);
+    assert_eq!(ring.count_kind("store_hit"), 0);
+
+    // New "process": drop the handle and the whole in-memory cache.
+    reset();
+    assert_eq!(cache::sim_invocations(), 0, "clear() resets telemetry");
+
+    // Warm run: the store alone must satisfy everything.
+    let (rec, ring) = Recorder::ring(256);
+    let report = cache::attach_store(&path, &rec).expect("re-attach");
+    assert_eq!(report.loaded, 3, "all three records recovered");
+    assert_eq!(report.corrupt_skipped, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    let c = harness(rec.clone());
+    let warm_sort = c.raw_counts(BenchmarkId::Sort);
+    let warm_grep = c.raw_counts(BenchmarkId::Grep);
+    let warm_corun = c.corun(BenchmarkId::Sort, 2);
+    assert_eq!(cache::sim_invocations(), 0, "warm run simulates nothing");
+    assert_eq!(cache::store_hits(), 3, "every lookup was a store hit");
+    assert_eq!(ring.count_kind("store_hit"), 3);
+    assert_eq!(ring.count_kind("cache_miss"), 0);
+    assert_eq!(warm_sort, cold_sort, "store round-trips counts exactly");
+    assert_eq!(warm_grep, cold_grep);
+    assert_eq!(warm_corun, cold_corun);
+    reset();
+}
+
+#[test]
+fn sweep_against_populated_store_is_warm_and_identical() {
+    let _guard = serial();
+    let path = tmp("sweep");
+    reset();
+
+    let ids = [BenchmarkId::Sort, BenchmarkId::Grep];
+    let axes = [sweep::SweepAxis::l3_bytes(vec![6 << 20, 12 << 20])];
+
+    // Cold sweep populates the store.
+    let rec = Recorder::disabled();
+    cache::attach_store(&path, &rec).expect("attach");
+    let cold = sweep::run(&harness(rec.clone()), &ids, &axes).expect("cold sweep");
+    let cold_sims = cache::sim_invocations();
+    assert!(cold_sims > 0, "cold sweep must simulate");
+
+    // Warm sweep in a "new process".
+    reset();
+    let rec = Recorder::disabled();
+    let report = cache::attach_store(&path, &rec).expect("re-attach");
+    assert_eq!(report.loaded as u64, cold_sims, "one record per cold sim");
+    let warm = sweep::run(&harness(rec), &ids, &axes).expect("warm sweep");
+    assert_eq!(
+        cache::sim_invocations(),
+        0,
+        "sweep against a populated store performs zero simulator invocations"
+    );
+    assert!(cache::store_hits() > 0);
+
+    // Identical grids, counter-block for counter-block.
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.values, w.values);
+        for (cc, wc) in c.curves.iter().zip(&w.curves) {
+            assert_eq!(cc.id, wc.id);
+            assert_eq!(cc.counts, wc.counts, "warm sweep serves identical counts");
+        }
+    }
+    reset();
+}
+
+#[test]
+fn attach_from_env_honors_dcbench_store() {
+    let _guard = serial();
+    let path = tmp("env");
+    reset();
+
+    std::env::remove_var("DCBENCH_STORE");
+    let rec = Recorder::disabled();
+    assert!(
+        cache::attach_from_env(&rec).expect("attach").is_none(),
+        "unset variable attaches nothing"
+    );
+    std::env::set_var("DCBENCH_STORE", &path);
+    let report = cache::attach_from_env(&rec).expect("attach");
+    assert!(report.is_some(), "set variable attaches the store");
+    std::env::remove_var("DCBENCH_STORE");
+    assert!(path.exists(), "attach created the log");
+    reset();
+}
+
+#[test]
+fn torn_tail_is_recovered_and_warm_start_still_works() {
+    let _guard = serial();
+    let path = tmp("torn");
+    reset();
+
+    let rec = Recorder::disabled();
+    cache::attach_store(&path, &rec).expect("attach");
+    let cold = harness(rec).raw_counts(BenchmarkId::Sort);
+    reset();
+
+    // Crash mid-append: a torn, unterminated frame at the tail.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open raw");
+    f.write_all(b"r 240 0123abcd {\"entry\":\"Grep\",\"cfg")
+        .expect("tear");
+    drop(f);
+
+    let (rec, ring) = Recorder::ring(64);
+    let report = cache::attach_store(&path, &rec).expect("recover");
+    assert!(report.truncated_bytes > 0, "torn tail detected");
+    assert_eq!(report.loaded, 1, "the complete record survives");
+    assert_eq!(ring.count_kind("store_truncated"), 1);
+    let warm = harness(rec).raw_counts(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), 0);
+    assert_eq!(warm, cold);
+    reset();
+}
+
+#[test]
+fn corrupt_record_is_quarantined_never_served_then_rewritten() {
+    let _guard = serial();
+    let path = tmp("quarantine");
+    reset();
+
+    let rec = Recorder::disabled();
+    cache::attach_store(&path, &rec).expect("attach");
+    let cold = harness(rec).raw_counts(BenchmarkId::Sort);
+    reset();
+
+    // Bit rot inside the record line (the second line of the file).
+    let mut bytes = std::fs::read(&path).expect("read");
+    let record_start = bytes.iter().position(|&b| b == b'\n').expect("header end") + 1;
+    let target = record_start + (bytes.len() - record_start) / 2;
+    bytes[target] ^= 0x20;
+    std::fs::write(&path, &bytes).expect("write corrupted");
+
+    let (rec, ring) = Recorder::ring(64);
+    let report = cache::attach_store(&path, &rec).expect("attach damaged");
+    assert_eq!(report.corrupt_skipped, 1, "damaged record quarantined");
+    assert_eq!(report.loaded, 0, "nothing served from a corrupt frame");
+    assert_eq!(ring.count_kind("store_corrupt_skipped"), 1);
+
+    // The key re-simulates (never serving corrupt counts) and the
+    // write-through repopulates the store for the next process.
+    let resim = harness(rec).raw_counts(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), 1, "quarantined key re-simulates");
+    assert_eq!(resim, cold, "re-simulation reproduces the block exactly");
+    reset();
+
+    let rec = Recorder::disabled();
+    let report = cache::attach_store(&path, &rec).expect("final attach");
+    assert_eq!(report.loaded, 1, "write-through healed the store");
+    assert_eq!(cache::store_hits(), 0);
+    let warm = harness(rec).raw_counts(BenchmarkId::Sort);
+    assert_eq!(cache::sim_invocations(), 0);
+    assert_eq!(warm, cold);
+    reset();
+}
+
+#[test]
+fn compaction_drops_damage_and_emits_store_compacted() {
+    let _guard = serial();
+    let path = tmp("compact");
+    reset();
+
+    // Seed a log with a superseded duplicate via the store API
+    // directly (a key no characterization uses).
+    let mut a = [7u64; COUNTER_FIELDS];
+    let key = StoreKey {
+        entry: "Sort".to_string(),
+        cfg_hash: 42,
+        max_ops: 1,
+        warmup_ops: 0,
+        seed: 0xD0_0D,
+        corun: 1,
+    };
+    let (mut store, _) = Store::open(&path).expect("open");
+    store
+        .append(&Record {
+            key: key.clone(),
+            counts: vec![counts_from_array(&a)],
+        })
+        .expect("append v1");
+    a[0] = 8;
+    store
+        .append(&Record {
+            key,
+            counts: vec![counts_from_array(&a)],
+        })
+        .expect("append v2");
+    drop(store);
+
+    let (rec, ring) = Recorder::ring(64);
+    let report = cache::attach_store(&path, &rec).expect("attach");
+    assert_eq!(report.superseded, 1);
+    assert_eq!(report.loaded, 1, "last writer wins");
+    let stats = cache::compact_store(&rec)
+        .expect("compact")
+        .expect("store attached");
+    assert_eq!(stats.live, 1);
+    assert_eq!(stats.dropped, 1, "superseded frame dropped");
+    assert_eq!(ring.count_kind("store_compacted"), 1);
+    assert!(
+        cache::compact_store(&Recorder::disabled()).is_ok(),
+        "compacting twice is fine"
+    );
+    reset();
+    assert!(
+        cache::compact_store(&Recorder::disabled())
+            .expect("no store")
+            .is_none(),
+        "no attached store, no compaction"
+    );
+}
+
+#[test]
+fn persist_to_and_load_from_round_trip_without_write_through() {
+    let _guard = serial();
+    let path = tmp("persist");
+    reset();
+
+    // Cold run with NO store attached.
+    let rec = Recorder::disabled();
+    let c = harness(rec.clone());
+    let cold_sort = c.raw_counts(BenchmarkId::Sort);
+    let cold_grep = c.raw_counts(BenchmarkId::Grep);
+    assert_eq!(cache::store_misses(), 0, "no store, no write-through");
+
+    // Export the memo, then prove the export is complete and
+    // idempotent.
+    assert_eq!(cache::persist_to(&path).expect("persist"), 2);
+    assert_eq!(
+        cache::persist_to(&path).expect("re-persist"),
+        0,
+        "second export writes nothing new"
+    );
+
+    // Read-only warm start.
+    reset();
+    let report = cache::load_from(&path, &rec).expect("load");
+    assert_eq!(report.loaded, 2);
+    let before = std::fs::read(&path).expect("read");
+    let c = harness(rec);
+    assert_eq!(c.raw_counts(BenchmarkId::Sort), cold_sort);
+    assert_eq!(c.raw_counts(BenchmarkId::Grep), cold_grep);
+    assert_eq!(cache::sim_invocations(), 0);
+    assert_eq!(cache::store_hits(), 2);
+    // A load_from (unlike attach_store) never writes: new misses stay
+    // process-local.
+    let _ = c.raw_counts(BenchmarkId::WordCount);
+    assert_eq!(cache::store_misses(), 0);
+    let after = std::fs::read(&path).expect("read");
+    assert_eq!(before, after, "read-only load leaves the file untouched");
+    reset();
+}
+
+#[test]
+fn unknown_entries_in_a_foreign_store_are_skipped_not_fatal() {
+    let _guard = serial();
+    let path = tmp("foreign");
+    reset();
+
+    let (mut store, _) = Store::open(&path).expect("open");
+    store
+        .append(&Record {
+            key: StoreKey {
+                entry: "Quantum Frobnicator".to_string(),
+                cfg_hash: 1,
+                max_ops: 1,
+                warmup_ops: 0,
+                seed: 1,
+                corun: 1,
+            },
+            counts: vec![PerfCounts::default()],
+        })
+        .expect("append foreign");
+    drop(store);
+
+    let report = cache::attach_store(&path, &Recorder::disabled()).expect("attach");
+    assert_eq!(report.unknown_entries, 1);
+    assert_eq!(report.loaded, 0);
+    reset();
+}
