@@ -11,8 +11,8 @@
 //!     --baseline BENCH_baseline.json --tolerance 0.25
 //! ```
 //!
-//! With `--baseline`, every `full_matrix_*`, `chip_*`, `sweep_*`, and
-//! `obs_disabled*` entry is compared against the same-named entry in
+//! With `--baseline`, every `full_matrix_*`, `chip_*`, `sweep_*`,
+//! `server_*`, and `obs_disabled*` entry is compared against the same-named entry in
 //! the baseline file; any wall-clock more than `tolerance` above
 //! baseline fails the run (exit 1). `DCBENCH_JOBS` caps the parallel
 //! phase's worker count, as everywhere else.
@@ -255,7 +255,95 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     cache::detach_store();
     let _ = std::fs::remove_dir_all(&store_dir);
 
+    // Daemon request throughput: an in-process `dc-server` on an
+    // ephemeral TCP port, four concurrent clients each pushing warm
+    // submit+stream rounds end to end (accept → parse → queue →
+    // executor → memo-cache hit → event replay → final response). A
+    // cold warm-up submission first, so the timed rounds simulate
+    // nothing and the number is pure protocol + scheduling cost.
+    eprintln!("dc-bench: dc-server request throughput (warm submit+stream over TCP)");
+    let server = dc_server::Server::start(dc_server::ServerConfig {
+        workers: jobs,
+        queue_cap: 256,
+        recorder: Recorder::disabled(),
+    });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve_listener(&listener));
+    }
+    server_client(addr, 0, 1); // cold warm-up: the one simulated round
+    const SERVER_CLIENTS: usize = 4;
+    const SERVER_ROUNDS: usize = 8;
+    let served = time_ms(|| {
+        let handles: Vec<_> = (1..=SERVER_CLIENTS)
+            .map(|c| std::thread::spawn(move || server_client(addr, c, SERVER_ROUNDS)))
+            .collect();
+        for h in handles {
+            h.join().expect("bench client thread");
+        }
+    });
+    push(
+        "server_throughput",
+        served,
+        (SERVER_CLIENTS * SERVER_ROUNDS) as f64,
+        SERVER_CLIENTS,
+    );
+    server.begin_shutdown();
+    server.wait();
+
     entries
+}
+
+/// One `server_throughput` client: `rounds` identical warm submissions
+/// over a single connection, each followed to completion with `stream`
+/// (blocks until the job is done — no sleep-polling in the timed path).
+fn server_client(addr: std::net::SocketAddr, client: usize, rounds: usize) {
+    use std::io::{BufRead, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(addr).expect("connect dc-server");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let recv = |reader: &mut BufReader<std::net::TcpStream>| -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("daemon response");
+        line
+    };
+    for round in 0..rounds {
+        let submit = format!(
+            "{{\"id\":\"bench-c{client}-r{round}\",\"verb\":\"submit\",\
+             \"job\":{{\"entries\":[\"Sort\",\"Grep\"],\"window\":\"quick\",\"seed\":704}}}}\n"
+        );
+        stream.write_all(submit.as_bytes()).expect("send submit");
+        stream.flush().expect("flush submit");
+        let accepted = recv(&mut reader);
+        assert!(
+            accepted.contains("\"ok\":true"),
+            "submit rejected: {accepted}"
+        );
+        let job = {
+            let pat = "\"job\":\"";
+            let start = accepted.find(pat).expect("job name in response") + pat.len();
+            let end = accepted[start..].find('"').expect("terminated job name");
+            accepted[start..start + end].to_string()
+        };
+        let follow = format!(
+            "{{\"id\":\"bench-c{client}-r{round}-f\",\"verb\":\"stream\",\"job\":\"{job}\"}}\n"
+        );
+        stream.write_all(follow.as_bytes()).expect("send stream");
+        stream.flush().expect("flush stream");
+        loop {
+            let line = recv(&mut reader);
+            assert!(!line.is_empty(), "daemon dropped the connection");
+            if line.contains("\"ok\":") {
+                assert!(
+                    line.contains("\"done\""),
+                    "job did not finish cleanly: {line}"
+                );
+                break;
+            }
+        }
+    }
 }
 
 /// Mirror the run into `BENCH_<label>.events.jsonl` as `dc-obs` events,
@@ -360,17 +448,18 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// (the warm-cache pass) cannot trip on scheduler noise.
 const GATE_SLACK_MS: f64 = 50.0;
 
-/// Compare the full-matrix, chip, sweep, and recorder-disabled entries
-/// against the baseline; returns the list of human-readable regression
-/// descriptions. `obs_recorder_*` entries are informational only — the
-/// contract is that the *disabled* path stays free, not that streaming
-/// JSONL is.
+/// Compare the full-matrix, chip, sweep, server, and recorder-disabled
+/// entries against the baseline; returns the list of human-readable
+/// regression descriptions. `obs_recorder_*` entries are informational
+/// only — the contract is that the *disabled* path stays free, not that
+/// streaming JSONL is.
 fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
     let mut bad = Vec::new();
     for e in current.iter().filter(|e| {
         e.name.starts_with("full_matrix")
             || e.name.starts_with("chip_")
             || e.name.starts_with("sweep_")
+            || e.name.starts_with("server_")
             || e.name.starts_with("obs_disabled")
     }) {
         let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
@@ -530,6 +619,16 @@ mod tests {
         let swept_base = vec![("sweep_l3_axis".to_string(), 1000.0)];
         assert_eq!(regressions(&swept, &swept_base, 0.25).len(), 1);
         assert!(regressions(&swept, &swept_base, 2.5).is_empty());
+        // Daemon throughput gates like the matrix ones.
+        let daemon = vec![BenchEntry {
+            name: "server_throughput",
+            wall_ms: 2000.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let daemon_base = vec![("server_throughput".to_string(), 1000.0)];
+        assert_eq!(regressions(&daemon, &daemon_base, 0.25).len(), 1);
+        assert!(regressions(&daemon, &daemon_base, 1.5).is_empty());
         // The recorder-disabled path gates; the recording path is
         // informational only.
         let obs = vec![

@@ -119,6 +119,16 @@ pub const EVENT_SCHEMA: &[(&str, &[&str])] = &[
     ("store_corrupt_skipped", &["records", "stale"]),
     ("store_truncated", &["bytes"]),
     ("store_compacted", &["live", "dropped"]),
+    // dc-server daemon lifecycle (ts: logical, always 0). The first
+    // two come from the server-wide recorder only; `job_queued` and
+    // `job_done` bracket every job's own event stream as well.
+    ("request_accepted", &["verb"]),
+    ("request_rejected", &["code"]),
+    (
+        "job_queued",
+        &["job", "kind", "entries", "window", "seed", "corun"],
+    ),
+    ("job_done", &["job", "state", "simulations"]),
 ];
 
 pub use dc_store::json::{parse_json, Json, MAX_DEPTH};

@@ -83,37 +83,47 @@ static STORE_MISSES: AtomicU64 = AtomicU64::new(0);
 /// measurement — but they are counted, never swallowed invisibly.
 static STORE_WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
 
-fn table() -> &'static Mutex<HashMap<CacheKey, Vec<PerfCounts>>> {
-    static TABLE: OnceLock<Mutex<HashMap<CacheKey, Vec<PerfCounts>>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+/// All mutable cache state, under **one** mutex.
+///
+/// The memo table, the preloaded-key set, and the attached store handle
+/// used to live behind three separate locks, which made
+/// [`attach_store`] racy against parallel workers: a worker could miss,
+/// simulate, and check the (not-yet-installed) store handle while the
+/// attach was still seeding the memo table — leaving that measurement
+/// memoized but never written through, so the *next* process started
+/// cold on it. With a single lock, an attach observes either the state
+/// strictly before a miss's insertion (and catches the entry up itself)
+/// or strictly after it (and the miss sees the installed handle); there
+/// is no in-between. `tests/cache_attach_race.rs` pins the resulting
+/// invariant: after any attach, every memoized measurement is durable.
+struct CacheState {
+    /// The memo table: measured counter blocks by key.
+    memo: HashMap<CacheKey, Vec<PerfCounts>>,
+    /// Keys whose memo entry was preloaded from a persistent store —
+    /// hits on these are `store_hit`s (the measurement crossed a
+    /// process boundary), hits on everything else are plain
+    /// `cache_hit`s.
+    from_store: HashSet<CacheKey>,
+    /// The attached persistent store handle, if any (write-through
+    /// target).
+    store: Option<Store>,
 }
 
-fn lock() -> MutexGuard<'static, HashMap<CacheKey, Vec<PerfCounts>>> {
+fn state() -> &'static Mutex<CacheState> {
+    static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(CacheState {
+            memo: HashMap::new(),
+            from_store: HashSet::new(),
+            store: None,
+        })
+    })
+}
+
+fn lock() -> MutexGuard<'static, CacheState> {
     // Cache payloads are plain counter blocks; a panicking simulation
     // never holds the lock, but recover from poisoning regardless.
-    table().lock().unwrap_or_else(|p| p.into_inner())
-}
-
-/// The attached persistent store handle, if any (write-through target).
-fn store_slot() -> &'static Mutex<Option<Store>> {
-    static STORE: OnceLock<Mutex<Option<Store>>> = OnceLock::new();
-    STORE.get_or_init(|| Mutex::new(None))
-}
-
-fn store_lock() -> MutexGuard<'static, Option<Store>> {
-    store_slot().lock().unwrap_or_else(|p| p.into_inner())
-}
-
-/// Keys whose memo entry was preloaded from a persistent store — hits
-/// on these are `store_hit`s (the measurement crossed a process
-/// boundary), hits on everything else are plain `cache_hit`s.
-fn from_store_set() -> &'static Mutex<HashSet<CacheKey>> {
-    static FROM_STORE: OnceLock<Mutex<HashSet<CacheKey>>> = OnceLock::new();
-    FROM_STORE.get_or_init(|| Mutex::new(HashSet::new()))
-}
-
-fn from_store_lock() -> MutexGuard<'static, HashSet<CacheKey>> {
-    from_store_set().lock().unwrap_or_else(|p| p.into_inner())
+    state().lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// The on-disk mirror of a [`CacheKey`] (the store crate cannot name
@@ -192,31 +202,53 @@ pub(crate) fn counts_vec_for(
     recorder: &Recorder,
     compute: impl FnOnce() -> Vec<PerfCounts>,
 ) -> Vec<PerfCounts> {
-    if let Some(hit) = lock().get(&key).cloned() {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        if from_store_lock().contains(&key) {
-            STORE_HITS.fetch_add(1, Ordering::Relaxed);
-            emit_lookup(recorder, "store_hit", &key);
-        } else {
-            emit_lookup(recorder, "cache_hit", &key);
+    {
+        let st = lock();
+        if let Some(hit) = st.memo.get(&key).cloned() {
+            let preloaded = st.from_store.contains(&key);
+            drop(st);
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            if preloaded {
+                STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                emit_lookup(recorder, "store_hit", &key);
+            } else {
+                emit_lookup(recorder, "cache_hit", &key);
+            }
+            return hit;
         }
-        return hit;
     }
     note_simulation();
     emit_lookup(recorder, "cache_miss", &key);
     let counts = compute();
-    lock().insert(key, counts.clone());
+    let mut st = lock();
+    if st.memo.contains_key(&key) {
+        // Two threads raced on the same cold key; the winner already
+        // inserted (and, if a store is attached, wrote through) the
+        // identical deterministic block. Wasted work, never wrong data
+        // — and never a duplicate store record.
+        return counts;
+    }
+    st.memo.insert(key, counts.clone());
     // Write-through: an attached store makes this measurement durable
-    // for the next process. One framed append per miss; I/O failure
-    // degrades to a cold record next run (counted, not fatal).
-    if let Some(store) = store_lock().as_mut() {
-        STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+    // for the next process. One framed append per miss, under the same
+    // lock as the insertion so an in-flight attach can never observe
+    // the entry memoized but not yet appended; I/O failure degrades to
+    // a cold record next run (counted, not fatal).
+    let append_failed = match st.store.as_mut() {
+        Some(store) => {
+            STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+            let record = Record {
+                key: to_store_key(&key),
+                counts: counts.clone(),
+            };
+            Some(store.append(&record).is_err())
+        }
+        None => None,
+    };
+    drop(st);
+    if let Some(failed) = append_failed {
         emit_lookup(recorder, "store_miss", &key);
-        let record = Record {
-            key: to_store_key(&key),
-            counts: counts.clone(),
-        };
-        if store.append(&record).is_err() {
+        if failed {
             STORE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -250,12 +282,12 @@ pub fn store_write_errors() -> u64 {
 
 /// Number of distinct measurements currently cached.
 pub fn len() -> usize {
-    lock().len()
+    lock().memo.len()
 }
 
 /// Whether the cache is empty.
 pub fn is_empty() -> bool {
-    lock().is_empty()
+    lock().memo.is_empty()
 }
 
 /// Drop every cached measurement AND reset the hit/miss/invocation
@@ -267,8 +299,10 @@ pub fn is_empty() -> bool {
 /// detached — it is I/O state, not cache state — but its preloaded-key
 /// set is dropped along with the memo entries it described.
 pub fn clear() {
-    lock().clear();
-    from_store_lock().clear();
+    let mut st = lock();
+    st.memo.clear();
+    st.from_store.clear();
+    drop(st);
     SIM_INVOCATIONS.store(0, Ordering::Relaxed);
     CACHE_HITS.store(0, Ordering::Relaxed);
     STORE_HITS.store(0, Ordering::Relaxed);
@@ -292,28 +326,41 @@ pub struct StoreReport {
     pub truncated_bytes: u64,
     /// Records shadowed by a later write of the same key.
     pub superseded: u64,
+    /// Measurements that were already memoized *before* the store was
+    /// attached and absent from its log, written through at attach time
+    /// so pre-attach work is just as durable as post-attach work.
+    pub caught_up: usize,
 }
 
-/// Seed the memo table from recovered records and emit the recovery
+/// Seed the memo table under `st`'s lock from recovered records.
+/// Records whose key is already memoized are *not* re-inserted (the
+/// local computation is bit-identical by determinism) and keep counting
+/// as locally computed, so their hits stay `cache_hit`s.
+fn seed_memo(st: &mut CacheState, recovery: &dc_store::Recovery, report: &mut StoreReport) {
+    for record in &recovery.records {
+        let Some(key) = from_store_key(&record.key) else {
+            report.unknown_entries += 1;
+            continue;
+        };
+        if let std::collections::hash_map::Entry::Vacant(slot) = st.memo.entry(key) {
+            slot.insert(record.counts.clone());
+            st.from_store.insert(key);
+        }
+        report.loaded += 1;
+    }
+}
+
+/// Build the damage side of a [`StoreReport`] and emit the recovery
 /// telemetry (`store_corrupt_skipped` / `store_truncated`, only when
 /// there was damage to report).
-fn absorb_recovery(recovery: &dc_store::Recovery, recorder: &Recorder) -> StoreReport {
-    let mut report = StoreReport {
+fn damage_report(recovery: &dc_store::Recovery, recorder: &Recorder) -> StoreReport {
+    let report = StoreReport {
         corrupt_skipped: recovery.corrupt_skipped,
         stale_skipped: recovery.stale_skipped,
         truncated_bytes: recovery.truncated_bytes,
         superseded: recovery.superseded,
         ..StoreReport::default()
     };
-    for record in &recovery.records {
-        let Some(key) = from_store_key(&record.key) else {
-            report.unknown_entries += 1;
-            continue;
-        };
-        lock().insert(key, record.counts.clone());
-        from_store_lock().insert(key);
-        report.loaded += 1;
-    }
     if recorder.is_enabled() {
         if report.corrupt_skipped > 0 || report.stale_skipped > 0 {
             recorder.emit(
@@ -338,12 +385,42 @@ fn absorb_recovery(recovery: &dc_store::Recovery, recorder: &Recorder) -> StoreR
 
 /// Attach a persistent store: recover `path` (repairing a torn tail or
 /// damaged header in place), seed the memo table with every verified
-/// record, and keep the handle open so subsequent misses write through.
-/// Replaces any previously attached store.
+/// record, write through any measurement memoized before the attach
+/// that the log does not already hold, and keep the handle open so
+/// subsequent misses write through. Replaces any previously attached
+/// store.
+///
+/// Safe at **any** point in the process lifetime, including while
+/// parallel workers are actively populating the memo table: seeding,
+/// catch-up, and handle installation happen under the same lock as
+/// miss insertion, so every measurement is durable the moment the
+/// attach returns — there is no window in which a concurrent miss can
+/// land memoized-but-unpersisted.
 pub fn attach_store(path: impl AsRef<Path>, recorder: &Recorder) -> std::io::Result<StoreReport> {
-    let (store, recovery) = Store::open(path.as_ref())?;
-    let report = absorb_recovery(&recovery, recorder);
-    *store_lock() = Some(store);
+    let (mut store, recovery) = Store::open(path.as_ref())?;
+    let mut report = damage_report(&recovery, recorder);
+    let in_store: HashSet<StoreKey> = recovery.records.iter().map(|r| r.key.clone()).collect();
+    let mut st = lock();
+    seed_memo(&mut st, &recovery, &mut report);
+    // Catch-up write-through: measurements simulated before this attach
+    // would otherwise stay process-local forever (the old racy window,
+    // stretched to the whole pre-attach lifetime).
+    for (key, counts) in &st.memo {
+        let skey = to_store_key(key);
+        if in_store.contains(&skey) {
+            continue;
+        }
+        let record = Record {
+            key: skey,
+            counts: counts.clone(),
+        };
+        if store.append(&record).is_err() {
+            STORE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            report.caught_up += 1;
+        }
+    }
+    st.store = Some(store);
     Ok(report)
 }
 
@@ -363,7 +440,9 @@ pub fn attach_from_env(recorder: &Recorder) -> std::io::Result<Option<StoreRepor
 /// mutate a shared store.
 pub fn load_from(path: impl AsRef<Path>, recorder: &Recorder) -> std::io::Result<StoreReport> {
     let recovery = dc_store::scan(path.as_ref())?;
-    Ok(absorb_recovery(&recovery, recorder))
+    let mut report = damage_report(&recovery, recorder);
+    seed_memo(&mut lock(), &recovery, &mut report);
+    Ok(report)
 }
 
 /// Export every currently memoized measurement to the store at `path`
@@ -374,7 +453,7 @@ pub fn persist_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
     let (mut store, recovery) = Store::open(path.as_ref())?;
     let existing: HashSet<StoreKey> = recovery.records.into_iter().map(|r| r.key).collect();
     let entries: Vec<(CacheKey, Vec<PerfCounts>)> =
-        lock().iter().map(|(k, v)| (*k, v.clone())).collect();
+        lock().memo.iter().map(|(k, v)| (*k, v.clone())).collect();
     let mut written = 0usize;
     for (key, counts) in entries {
         let record = Record {
@@ -394,8 +473,9 @@ pub fn persist_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
 /// simply stop being written through). Returns whether one was
 /// attached.
 pub fn detach_store() -> bool {
-    let had = store_lock().take().is_some();
-    from_store_lock().clear();
+    let mut st = lock();
+    let had = st.store.take().is_some();
+    st.from_store.clear();
     had
 }
 
@@ -403,11 +483,12 @@ pub fn detach_store() -> bool {
 /// superseded frames — and emit a `store_compacted` event. `None` when
 /// no store is attached.
 pub fn compact_store(recorder: &Recorder) -> std::io::Result<Option<CompactStats>> {
-    let mut slot = store_lock();
-    let Some(store) = slot.as_mut() else {
+    let mut st = lock();
+    let Some(store) = st.store.as_mut() else {
         return Ok(None);
     };
     let stats = store.compact()?;
+    drop(st);
     if recorder.is_enabled() {
         recorder.emit(
             0,

@@ -1,0 +1,394 @@
+//! `dc-server-client`: a scripted client for `dc-server` sessions.
+//!
+//! ```text
+//! dc-server-client --connect HOST:PORT [--script PATH] [--events PATH]
+//! ```
+//!
+//! Runs a small session script (from `--script`, else stdin) against a
+//! live daemon, printing every wire line it receives and exiting
+//! non-zero the moment an expectation fails — which is exactly what a
+//! CI smoke job wants. Request ids are auto-assigned (`c1`, `c2`, …).
+//!
+//! Script commands (one per line, `#` starts a comment; `$name` tokens
+//! substitute a variable bound by `submit`):
+//!
+//! ```text
+//! submit A {"entries":["Sort","Grep"],"seed":42}   # bind $A to the job name
+//! await $A                 # poll status until the job is terminal
+//! status $A                # one status request
+//! stream $A                # replay+follow events (appended to --events)
+//! cancel $A
+//! shutdown
+//! send <raw line>          # arbitrary bytes on the wire, read one reply
+//! send-bytes N             # a garbage line of N bytes, read one reply
+//! sleep-ms N
+//! expect-ok                # last response has "ok":true
+//! expect-error CODE        # last response is an error with this code
+//! expect-state STATE       # last response result.state == STATE
+//! expect-sims N            # last response result.simulations == N
+//! expect-sims-gt N
+//! save-output PATH         # write result.output of the last response,
+//!                          # byte-exact, to PATH
+//! ```
+
+use dc_store::json::{parse_json, Json};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    vars: HashMap<String, String>,
+    /// Raw bytes of the last non-frame response line.
+    last: Option<String>,
+    events_out: Option<std::fs::File>,
+}
+
+fn fail(line_no: usize, msg: &str) -> ! {
+    eprintln!("dc-server-client: line {line_no}: {msg}");
+    std::process::exit(1);
+}
+
+impl Client {
+    fn send_raw(&mut self, line_no: usize, line: &str) {
+        if self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .is_err()
+        {
+            fail(line_no, "connection closed while sending");
+        }
+    }
+
+    fn read_line(&mut self, line_no: usize) -> String {
+        let mut buf = String::new();
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => fail(line_no, "connection closed while awaiting a response"),
+            Ok(_) => {
+                let line = buf.trim_end_matches('\n').to_string();
+                println!("{line}");
+                line
+            }
+            Err(e) => fail(line_no, &format!("read failed: {e}")),
+        }
+    }
+
+    fn request(&mut self, line_no: usize, verb_and_payload: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = format!("{{\"id\":\"c{id}\",{verb_and_payload}}}");
+        self.send_raw(line_no, &line);
+        let response = self.read_line(line_no);
+        self.last = Some(response.clone());
+        response
+    }
+
+    fn last_doc(&self, line_no: usize) -> Json {
+        let Some(last) = &self.last else {
+            fail(line_no, "no response received yet");
+        };
+        match parse_json(last) {
+            Ok(doc) => doc,
+            Err(e) => fail(line_no, &format!("last response is not JSON: {e}")),
+        }
+    }
+
+    fn subst(&self, line_no: usize, token: &str) -> String {
+        if let Some(name) = token.strip_prefix('$') {
+            match self.vars.get(name) {
+                Some(v) => v.clone(),
+                None => fail(line_no, &format!("unbound variable ${name}")),
+            }
+        } else {
+            token.to_string()
+        }
+    }
+}
+
+/// `result.<field>` of a response document.
+fn result_field<'a>(doc: &'a Json, field: &str) -> Option<&'a Json> {
+    doc.get("result")?.get(field)
+}
+
+/// Extract the byte-exact rendering of `"output":{…}` from a raw
+/// response line: brace matching with JSON string/escape awareness, so
+/// braces inside strings cannot derail it.
+fn extract_output(raw: &str) -> Option<&str> {
+    let at = raw.find("\"output\":")?;
+    let start = at + "\"output\":".len();
+    let bytes = raw.as_bytes();
+    if bytes.get(start) != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes[start..].iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&raw[start..start + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The inner `dc-obs` event of a stream frame `{"id":…,"event":{…}}`,
+/// byte-exact (the frame renderer appends the event last, so stripping
+/// the final `}` recovers it).
+fn extract_event(raw: &str) -> Option<&str> {
+    let at = raw.find("\"event\":")?;
+    let inner = &raw[at + "\"event\":".len()..raw.len().checked_sub(1)?];
+    inner.starts_with('{').then_some(inner)
+}
+
+const AWAIT_POLLS: usize = 4000;
+const AWAIT_INTERVAL_MS: u64 = 25;
+
+fn run_script(client: &mut Client, script: &str) {
+    for (idx, raw_line) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((cmd, rest)) => (cmd, rest.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "submit" => {
+                let (var, job) = rest
+                    .split_once(char::is_whitespace)
+                    .unwrap_or_else(|| fail(line_no, "usage: submit VAR {job json}"));
+                let response = client.request(
+                    line_no,
+                    &format!("\"verb\":\"submit\",\"job\":{}", job.trim()),
+                );
+                if let Ok(doc) = parse_json(&response) {
+                    if let Some(Json::Str(name)) = result_field(&doc, "job") {
+                        client.vars.insert(var.to_string(), name.clone());
+                    }
+                }
+            }
+            "status" | "cancel" => {
+                let job = client.subst(line_no, rest);
+                client.request(line_no, &format!("\"verb\":\"{cmd}\",\"job\":\"{job}\""));
+            }
+            "await" => {
+                let job = client.subst(line_no, rest);
+                let mut done = false;
+                for _ in 0..AWAIT_POLLS {
+                    let response =
+                        client.request(line_no, &format!("\"verb\":\"status\",\"job\":\"{job}\""));
+                    let doc = parse_json(&response)
+                        .unwrap_or_else(|e| fail(line_no, &format!("bad response: {e}")));
+                    match result_field(&doc, "state") {
+                        Some(Json::Str(s)) if s == "done" || s == "cancelled" || s == "failed" => {
+                            done = true;
+                            break;
+                        }
+                        Some(Json::Str(_)) => {
+                            std::thread::sleep(std::time::Duration::from_millis(AWAIT_INTERVAL_MS))
+                        }
+                        _ => fail(line_no, &format!("await {job}: no state in {response}")),
+                    }
+                }
+                if !done {
+                    fail(
+                        line_no,
+                        &format!("await {job}: not terminal after {AWAIT_POLLS} polls"),
+                    );
+                }
+            }
+            "stream" => {
+                let job = client.subst(line_no, rest);
+                let id = client.next_id;
+                client.next_id += 1;
+                client.send_raw(
+                    line_no,
+                    &format!("{{\"id\":\"c{id}\",\"verb\":\"stream\",\"job\":\"{job}\"}}"),
+                );
+                loop {
+                    let line = client.read_line(line_no);
+                    if let Some(event) = extract_event(&line) {
+                        if let Some(out) = &mut client.events_out {
+                            let _ = writeln!(out, "{event}");
+                        }
+                        continue;
+                    }
+                    client.last = Some(line);
+                    break;
+                }
+            }
+            "shutdown" => {
+                client.request(line_no, "\"verb\":\"shutdown\"");
+            }
+            "send" => {
+                client.send_raw(line_no, rest);
+                let response = client.read_line(line_no);
+                client.last = Some(response);
+            }
+            "send-bytes" => {
+                let n: usize = rest
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, "usage: send-bytes N"));
+                let garbage = vec![b'x'; n];
+                if client
+                    .writer
+                    .write_all(&garbage)
+                    .and_then(|()| client.writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    fail(line_no, "connection closed while sending");
+                }
+                let response = client.read_line(line_no);
+                client.last = Some(response);
+            }
+            "sleep-ms" => {
+                let ms: u64 = rest
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, "usage: sleep-ms N"));
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            "expect-ok" => {
+                let doc = client.last_doc(line_no);
+                if doc.get("ok") != Some(&Json::Bool(true)) {
+                    fail(line_no, &format!("expected ok, got {:?}", client.last));
+                }
+            }
+            "expect-error" => {
+                let doc = client.last_doc(line_no);
+                let code = doc.get("error").and_then(|e| e.get("code"));
+                match code {
+                    Some(Json::Str(code)) if code == rest => {}
+                    _ => fail(
+                        line_no,
+                        &format!("expected error code {rest:?}, got {:?}", client.last),
+                    ),
+                }
+            }
+            "expect-state" => {
+                let doc = client.last_doc(line_no);
+                match result_field(&doc, "state") {
+                    Some(Json::Str(s)) if s == rest => {}
+                    _ => fail(
+                        line_no,
+                        &format!("expected state {rest:?}, got {:?}", client.last),
+                    ),
+                }
+            }
+            "expect-sims" | "expect-sims-gt" => {
+                let want: f64 = rest
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, "usage: expect-sims N"));
+                let doc = client.last_doc(line_no);
+                let got = match result_field(&doc, "simulations") {
+                    Some(Json::Num(n)) => *n,
+                    _ => fail(
+                        line_no,
+                        &format!("no simulations in last response {:?}", client.last),
+                    ),
+                };
+                let pass = if cmd == "expect-sims" {
+                    got == want
+                } else {
+                    got > want
+                };
+                if !pass {
+                    fail(line_no, &format!("{cmd} {want}: got {got}"));
+                }
+            }
+            "save-output" => {
+                let Some(last) = client.last.clone() else {
+                    fail(line_no, "no response to save");
+                };
+                let Some(output) = extract_output(&last) else {
+                    fail(line_no, &format!("no output object in {last:?}"));
+                };
+                if let Err(e) = std::fs::write(rest, format!("{output}\n")) {
+                    fail(line_no, &format!("save-output {rest}: {e}"));
+                }
+            }
+            other => fail(line_no, &format!("unknown command {other:?}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut connect = None;
+    let mut script_path = None;
+    let mut events_path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(0, &format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")),
+            "--script" => script_path = Some(value("--script")),
+            "--events" => events_path = Some(value("--events")),
+            other => fail(0, &format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("usage: dc-server-client --connect HOST:PORT [--script PATH] [--events PATH]");
+        return ExitCode::from(2);
+    };
+    let script = match &script_path {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(0, &format!("--script {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(0, &format!("reading stdin: {e}")));
+            buf
+        }
+    };
+    let stream =
+        TcpStream::connect(&addr).unwrap_or_else(|e| fail(0, &format!("connect {addr}: {e}")));
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .unwrap_or_else(|e| fail(0, &format!("clone stream: {e}"))),
+    );
+    let events_out = events_path.map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| fail(0, &format!("--events {path}: {e}")))
+    });
+    let mut client = Client {
+        reader,
+        writer: stream,
+        next_id: 1,
+        vars: HashMap::new(),
+        last: None,
+        events_out,
+    };
+    run_script(&mut client, &script);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,124 @@
+//! Regression test: `cache::attach_store` / `attach_from_env` must be
+//! safe at **any** point in the process lifetime, including while
+//! parallel workers are actively populating the memo table.
+//!
+//! The old implementation kept the memo table, the preloaded-key set,
+//! and the store handle behind three separate locks, so an attach that
+//! raced a miss could leave a measurement memoized but never written
+//! through — silently cold in the next process. The fixed contract,
+//! pinned here: once an attach has returned and all in-flight
+//! simulations have finished, **every** memoized measurement is in the
+//! store. `cache::persist_to` appends exactly the records the store
+//! does not already hold, so "0 written" is the machine-checkable form
+//! of that invariant.
+//!
+//! One `#[test]` drives all phases sequentially: the memo cache is
+//! process-global, and concurrent tests would see each other's keys.
+
+use dc_cpu::{core::SimOptions, CpuConfig};
+use dc_obs::Recorder;
+use dcbench::{cache, BenchmarkId, Characterizer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// A tiny-window harness with a per-thread seed so every lookup in this
+/// test is a distinct cold key nothing else in the binary touches.
+fn harness(seed: u64) -> Characterizer {
+    Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions {
+            max_ops: 2_000,
+            warmup_ops: 0,
+        },
+        0xA77A_C400_0000_0000 | seed,
+    )
+}
+
+#[test]
+fn attach_midway_through_parallel_population_loses_nothing() {
+    let dir = std::env::temp_dir().join(format!("dc_attach_race_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("race.log");
+    let quiet = Recorder::disabled();
+
+    cache::clear();
+    cache::detach_store();
+
+    // Phase 1: workers populate the memo table while the main thread
+    // attaches (and re-attaches) the store midway. Each worker computes
+    // 8 distinct keys; the barrier maximizes the overlap between the
+    // first insertions and the attach.
+    const WORKERS: u64 = 4;
+    const KEYS_PER_WORKER: u64 = 8;
+    let start = Barrier::new(WORKERS as usize + 1);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let (start, _done) = (&start, &done);
+            s.spawn(move || {
+                start.wait();
+                for k in 0..KEYS_PER_WORKER {
+                    let c = harness((w << 8) | k);
+                    c.raw_counts(BenchmarkId::Sort);
+                }
+            });
+        }
+        start.wait();
+        // Attach while the workers are mid-flight, then detach and
+        // attach again: every transition must be linearizable against
+        // concurrent misses.
+        cache::attach_store(&path, &quiet).expect("first attach");
+        cache::detach_store();
+        cache::attach_store(&path, &quiet).expect("re-attach");
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // Every measurement the workers memoized — whether it landed
+    // before, during, or after the attaches — must already be durable:
+    // persist_to appends only records the store lacks.
+    let memoized = cache::len();
+    assert_eq!(memoized as u64, WORKERS * KEYS_PER_WORKER);
+    cache::detach_store();
+    let missing = cache::persist_to(&path).expect("persist");
+    assert_eq!(
+        missing, 0,
+        "{missing} of {memoized} memoized measurements were never written through"
+    );
+
+    // Phase 2: the catch-up path alone. A fresh process-half (cleared
+    // memo, no store) computes first, attaches second — the attach
+    // itself must make the pre-attach work durable and report it.
+    cache::clear();
+    let late_path = dir.join("late.log");
+    let c = harness(0xFFFF);
+    c.raw_counts(BenchmarkId::Grep);
+    c.raw_counts(BenchmarkId::Sort);
+    let report = cache::attach_store(&late_path, &quiet).expect("late attach");
+    assert_eq!(report.loaded, 0, "fresh store has nothing to load");
+    assert_eq!(
+        report.caught_up, 2,
+        "both pre-attach measurements caught up"
+    );
+    cache::detach_store();
+    assert_eq!(cache::persist_to(&late_path).expect("persist"), 0);
+
+    // Phase 3: attaching a populated store must prefer locally computed
+    // blocks (identical by determinism), count them as loaded, and not
+    // flip their hits to store_hits.
+    cache::clear();
+    let c = harness(0xFFFF);
+    c.raw_counts(BenchmarkId::Grep); // recomputed locally
+    let report = cache::attach_store(&late_path, &quiet).expect("warm attach");
+    assert_eq!(report.loaded, 2);
+    assert_eq!(report.caught_up, 0);
+    let hits_before = cache::store_hits();
+    c.raw_counts(BenchmarkId::Grep); // hit on the locally computed block
+    assert_eq!(
+        cache::store_hits(),
+        hits_before,
+        "a locally computed entry must stay a cache_hit after attach"
+    );
+    cache::detach_store();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,232 @@
+//! Fuzz-style robustness tests for the `dc-server` wire protocol, in
+//! the same idiom as `tests/schema_fuzz.rs`: adversarial input must
+//! come back as a structured error response — never a panic, never a
+//! hang, and never a dropped connection.
+//!
+//! One shared in-process daemon serves every case (the fuzz traffic and
+//! the concurrent test threads exercise exactly the concurrent-client
+//! path the daemon runs in production). Every fuzz connection carries a
+//! read timeout, so a protocol hang fails the test instead of wedging
+//! the suite.
+
+use dc_server::protocol::{self, MAX_LINE_BYTES};
+use dc_server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn daemon_addr() -> std::net::SocketAddr {
+    static DAEMON: OnceLock<std::net::SocketAddr> = OnceLock::new();
+    *DAEMON.get_or_init(|| {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            recorder: dc_obs::Recorder::disabled(),
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("bound");
+        std::thread::spawn(move || server.serve_listener(&listener));
+        addr
+    })
+}
+
+struct FuzzConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl FuzzConn {
+    fn connect() -> FuzzConn {
+        let stream = TcpStream::connect(daemon_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        FuzzConn {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    /// One response line; a read timeout (the daemon hung) or EOF (the
+    /// daemon dropped us) both fail the test.
+    fn recv(&mut self) -> String {
+        let mut buf = String::new();
+        let n = self
+            .reader
+            .read_line(&mut buf)
+            .expect("response before timeout (daemon must not hang)");
+        assert!(n > 0, "daemon dropped the connection");
+        buf.trim_end_matches('\n').to_string()
+    }
+
+    /// The connection still works: an unknown-job probe comes back as
+    /// the documented structured error.
+    fn assert_alive(&mut self, probe_id: &str) {
+        self.send_bytes(
+            format!("{{\"id\":\"{probe_id}\",\"verb\":\"status\",\"job\":\"job-none\"}}\n")
+                .as_bytes(),
+        );
+        let response = self.recv();
+        assert!(
+            response.contains("\"unknown_job\""),
+            "probe after abuse: {response}"
+        );
+    }
+}
+
+/// Every response is a JSON object with an "ok" field — the envelope
+/// contract even for garbage input.
+fn assert_response_envelope(response: &str) {
+    assert!(
+        response.starts_with("{\"id\":") && response.contains("\"ok\":"),
+        "malformed response envelope: {response}"
+    );
+}
+
+proptest! {
+    /// The request parser is total over arbitrary strings: every input
+    /// parses or errors, never panics. (Pure-function layer, no server.)
+    #[test]
+    fn parse_request_is_total(bytes in collection::vec(0u16..256, 0..300)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        match protocol::parse_request(&text) {
+            Ok(req) => { let _ = req.verb(); }
+            Err((id, err)) => {
+                // Error rendering is total too.
+                let _ = protocol::error_response(id.as_ref(), &err);
+            }
+        }
+    }
+
+    /// Arbitrary byte soup on the wire: one line in, one structured
+    /// response out, and the connection keeps serving afterwards.
+    #[test]
+    fn arbitrary_lines_get_structured_errors(bytes in collection::vec(0u16..256, 0..200)) {
+        let mut line: Vec<u8> = bytes
+            .into_iter()
+            .map(|b| b as u8)
+            .filter(|&b| b != b'\n' && b != b'\r')
+            .collect();
+        line.push(b'\n');
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(&line);
+        assert_response_envelope(&conn.recv());
+        conn.assert_alive("alive-arb");
+    }
+
+    /// JSON-shaped garbage — punctuation soups that walk deepest into
+    /// the parser — same contract.
+    #[test]
+    fn json_shaped_garbage_gets_structured_errors(text in r#"[{}:,"0-9a-z. -]{0,150}"#) {
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(format!("{text}\n").as_bytes());
+        assert_response_envelope(&conn.recv());
+        conn.assert_alive("alive-json");
+    }
+
+    /// Every proper prefix of a valid request line is answered with an
+    /// error response (no prefix is a complete JSON object), and the
+    /// connection survives.
+    #[test]
+    fn truncated_frames_are_errors(cut_permille in 0u64..1000) {
+        let full = r#"{"id":"t1","verb":"submit","job":{"entries":["Sort"],"seed":701}}"#;
+        // permille < 1000, so cut is always a proper prefix length.
+        let cut = (cut_permille as usize * full.len()) / 1000;
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(format!("{}\n", &full[..cut]).as_bytes());
+        let response = conn.recv();
+        assert_response_envelope(&response);
+        prop_assert!(
+            response.contains("\"ok\":false"),
+            "prefix of length {cut} was accepted: {response}"
+        );
+        conn.assert_alive("alive-trunc");
+    }
+
+    /// A request split into two half-writes with a pause between them
+    /// is reassembled into one well-formed response: framing is by
+    /// newline, not by write boundary.
+    #[test]
+    fn interleaved_half_requests_reassemble(split_permille in 1u64..999) {
+        let full = "{\"id\":\"h1\",\"verb\":\"status\",\"job\":\"job-none\"}\n";
+        let split = 1 + (split_permille as usize * (full.len() - 2)) / 1000;
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(&full.as_bytes()[..split]);
+        std::thread::sleep(Duration::from_millis(2));
+        conn.send_bytes(&full.as_bytes()[split..]);
+        let response = conn.recv();
+        prop_assert!(
+            response.contains("\"unknown_job\""),
+            "reassembled request mishandled: {response}"
+        );
+    }
+
+    /// Reusing a request id after a success is a `duplicate_id` error;
+    /// the original job is unaffected and the connection keeps serving.
+    #[test]
+    fn duplicate_ids_are_rejected(id in "[a-z0-9]{1,12}") {
+        let submit = format!(
+            "{{\"id\":\"dup-{id}\",\"verb\":\"submit\",\"job\":{{\"entries\":[\"Sort\"],\"seed\":702}}}}\n"
+        );
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(submit.as_bytes());
+        let first = conn.recv();
+        prop_assert!(first.contains("\"ok\":true"), "first submit: {first}");
+        conn.send_bytes(submit.as_bytes());
+        let second = conn.recv();
+        prop_assert!(
+            second.contains("\"duplicate_id\""),
+            "second submit with the same id: {second}"
+        );
+        conn.assert_alive("alive-dup");
+    }
+
+    /// Oversized lines are consumed and rejected with `line_too_long`;
+    /// framing — and the connection — survive.
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered(extra in 1usize..4096) {
+        let mut line = vec![b'{'; MAX_LINE_BYTES + extra];
+        line.push(b'\n');
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(&line);
+        let response = conn.recv();
+        prop_assert!(
+            response.contains("\"line_too_long\""),
+            "oversized line: {response}"
+        );
+        conn.assert_alive("alive-long");
+    }
+}
+
+#[test]
+fn a_hostile_session_mixing_every_abuse_still_serves_real_work() {
+    let mut conn = FuzzConn::connect();
+    // Garbage, truncation, duplicate ids, oversized lines, half-writes
+    // — back to back on one connection.
+    conn.send_bytes(b"\x00\xffgarbage\n");
+    assert_response_envelope(&conn.recv());
+    conn.send_bytes(b"{\"id\":\"mix\",\"verb\":\"sub\n");
+    assert_response_envelope(&conn.recv());
+    let mut oversized = vec![b'x'; MAX_LINE_BYTES + 7];
+    oversized.push(b'\n');
+    conn.send_bytes(&oversized);
+    assert!(conn.recv().contains("\"line_too_long\""));
+    // And then a real job goes straight through.
+    conn.send_bytes(
+        b"{\"id\":\"mix2\",\"verb\":\"submit\",\"job\":{\"entries\":[\"IBCF\"],\"seed\":703}}\n",
+    );
+    let accepted = conn.recv();
+    assert!(
+        accepted.contains("\"ok\":true"),
+        "submit after abuse: {accepted}"
+    );
+}
