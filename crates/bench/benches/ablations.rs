@@ -19,10 +19,7 @@ fn config() -> Criterion {
 }
 
 fn quick_opts() -> SimOptions {
-    SimOptions {
-        max_ops: 250_000,
-        warmup_ops: 400_000,
-    }
+    SimOptions::exact(250_000, 400_000)
 }
 
 fn run_with(cfg: CpuConfig, id: BenchmarkId) -> dc_perfmon::Metrics {

@@ -44,12 +44,17 @@ struct Options {
     baseline: Option<String>,
     tolerance: f64,
     out_dir: String,
+    /// Only time entries whose name starts with this prefix. Entries
+    /// that depend on state a skipped entry would have left behind
+    /// (warm memo cache, populated store) set it up untimed.
+    only: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dc-bench [--label <name>] [--quick|--full] \
-         [--baseline <BENCH_x.json>] [--tolerance <frac>] [--out <dir>]"
+         [--baseline <BENCH_x.json>] [--tolerance <frac>] [--out <dir>] \
+         [--only <name-prefix>]"
     );
     std::process::exit(2)
 }
@@ -61,6 +66,7 @@ fn parse_args() -> Options {
         baseline: None,
         tolerance: 0.25,
         out_dir: ".".to_string(),
+        only: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,10 +83,16 @@ fn parse_args() -> Options {
                 }
             }
             "--out" => opts.out_dir = args.next().unwrap_or_else(|| usage()),
+            "--only" => opts.only = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     opts
+}
+
+/// Whether entry `name` is selected under an optional `--only` prefix.
+fn selected(name: &str, only: Option<&str>) -> bool {
+    only.is_none_or(|prefix| name.starts_with(prefix))
 }
 
 fn time_ms(f: impl FnOnce()) -> f64 {
@@ -96,7 +108,7 @@ fn matrix_uops(bench: &Characterizer) -> f64 {
     (dcbench::BenchmarkId::all().len() as u64 * per_entry) as f64
 }
 
-fn run_entries(quick: bool) -> Vec<BenchEntry> {
+fn run_entries(quick: bool, only: Option<&str>) -> Vec<BenchEntry> {
     let bench = if quick {
         Characterizer::quick()
     } else {
@@ -104,6 +116,7 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     };
     let uops = matrix_uops(&bench);
     let jobs = pool::jobs();
+    let want = |name: &str| selected(name, only);
     let mut entries = Vec::new();
     let mut push = |name, wall_ms: f64, work: f64, threads| {
         let rate = if wall_ms > 0.0 {
@@ -120,140 +133,223 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
         });
     };
 
-    eprintln!(
-        "dc-bench: full characterization matrix ({} entries)",
-        dcbench::BenchmarkId::all().len()
-    );
-    cache::clear();
-    let seq = time_ms(|| {
-        bench.run_all_sequential();
-    });
-    push("full_matrix_sequential", seq, uops, 1);
+    if want("full_matrix_sequential") || want("full_matrix_parallel") || want("full_matrix_cached")
+    {
+        eprintln!(
+            "dc-bench: full characterization matrix ({} entries)",
+            dcbench::BenchmarkId::all().len()
+        );
+    }
+    if want("full_matrix_sequential") {
+        cache::clear();
+        let seq = time_ms(|| {
+            bench.run_all_sequential();
+        });
+        push("full_matrix_sequential", seq, uops, 1);
+    }
 
-    cache::clear();
-    let par = time_ms(|| {
-        bench.run_all();
-    });
-    push("full_matrix_parallel", par, uops, jobs);
+    let mut matrix_warm = false;
+    if want("full_matrix_parallel") {
+        cache::clear();
+        let par = time_ms(|| {
+            bench.run_all();
+        });
+        push("full_matrix_parallel", par, uops, jobs);
+        matrix_warm = true;
+    }
 
     // Cache stays warm from the parallel pass: this measures pure
     // lookup + metric derivation, the figN-regeneration steady state.
-    let cached = time_ms(|| {
-        bench.run_all();
-    });
-    push("full_matrix_cached", cached, uops, jobs);
+    // Under `--only`, warm the cache untimed when the parallel pass
+    // was filtered out.
+    if want("full_matrix_cached") {
+        if !matrix_warm {
+            cache::clear();
+            bench.run_all();
+        }
+        let cached = time_ms(|| {
+            bench.run_all();
+        });
+        push("full_matrix_cached", cached, uops, jobs);
+    }
 
-    eprintln!("dc-bench: engine + cluster hot paths");
-    let docs = dc_datagen::text::documents(2013, Scale::bytes(256 << 10), 24);
-    let doc_bytes: usize = docs.iter().map(String::len).sum();
-    let engine = time_ms(|| {
-        dc_analytics::wordcount::run(docs, &JobConfig::default()).expect("fault-free wordcount");
-    });
-    push(
-        "engine_wordcount_256k",
-        engine,
-        doc_bytes as f64,
-        JobConfig::default().map_slots,
-    );
+    // The matrix entries the SoA/SMARTS work added. `full_matrix_soa`
+    // re-times the exact sequential pass under its post-refactor name:
+    // `full_matrix_sequential`'s baseline preserves the pre-SoA
+    // trajectory point, while this entry's baseline pins the
+    // flat-array engine's level so future regressions gate against the
+    // tighter number. `full_matrix_sampled` runs the same matrix under
+    // the default SMARTS plan — the fast path for window-hungry
+    // consumers (sweeps, co-run grids).
+    if want("full_matrix_soa") {
+        cache::clear();
+        let soa = time_ms(|| {
+            bench.run_all_sequential();
+        });
+        push("full_matrix_soa", soa, uops, 1);
+    }
+    if want("full_matrix_sampled") {
+        let plan = dc_cpu::SamplePlan::DEFAULT;
+        let sampled_bench = bench.clone().with_sampling(plan.detail_ops, plan.ffwd_ops);
+        cache::clear();
+        let sam = time_ms(|| {
+            sampled_bench.run_all_sequential();
+        });
+        push("full_matrix_sampled", sam, uops, 1);
+    }
 
-    let cluster = time_ms(|| {
-        cluster_experiments::figure2_speedups(Scale::bytes(48 << 10));
-    });
-    push("cluster_model_figure2", cluster, 0.0, 1);
+    if want("engine_wordcount_256k") || want("cluster_model_figure2") {
+        eprintln!("dc-bench: engine + cluster hot paths");
+    }
+    if want("engine_wordcount_256k") {
+        let docs = dc_datagen::text::documents(2013, Scale::bytes(256 << 10), 24);
+        let doc_bytes: usize = docs.iter().map(String::len).sum();
+        let engine = time_ms(|| {
+            dc_analytics::wordcount::run(docs, &JobConfig::default())
+                .expect("fault-free wordcount");
+        });
+        push(
+            "engine_wordcount_256k",
+            engine,
+            doc_bytes as f64,
+            JobConfig::default().map_slots,
+        );
+    }
 
-    eprintln!("dc-bench: chip co-run path (4 Sort tasks, shared L3)");
+    if want("cluster_model_figure2") {
+        let cluster = time_ms(|| {
+            cluster_experiments::figure2_speedups(Scale::bytes(48 << 10));
+        });
+        push("cluster_model_figure2", cluster, 0.0, 1);
+    }
+
     let corun_width = 4;
     let corun_uops =
         corun_width as f64 * (bench.options().warmup_ops + bench.options().max_ops) as f64;
-    cache::clear();
-    let chip = time_ms(|| {
-        bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
-    });
-    push("chip_corun_sort_x4", chip, corun_uops, 1);
+    let mut corun_warm = false;
+    if want("chip_corun_sort_x4") {
+        eprintln!("dc-bench: chip co-run path (4 Sort tasks, shared L3)");
+        cache::clear();
+        let chip = time_ms(|| {
+            bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
+        });
+        push("chip_corun_sort_x4", chip, corun_uops, 1);
+        corun_warm = true;
+    }
 
     // Warm: the co-run matrix is memoized like everything else, so this
-    // measures pure cache lookup.
-    let chip_warm = time_ms(|| {
-        bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
-    });
-    push("chip_corun_cached", chip_warm, corun_uops, 1);
+    // measures pure cache lookup (populated untimed under `--only`).
+    if want("chip_corun_cached") {
+        if !corun_warm {
+            bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
+        }
+        let chip_warm = time_ms(|| {
+            bench.corun_counts(dcbench::BenchmarkId::Sort, corun_width);
+        });
+        push("chip_corun_cached", chip_warm, corun_uops, 1);
+    }
 
     // Observability overhead: the sampled characterization pass over
     // the eleven data-analysis workloads, once with the recorder
     // disabled (the default — must cost nothing, so it gates) and once
     // streaming JSONL to a sink (informational). Sampled runs are
     // never memoized, so both passes simulate the same work.
-    eprintln!("dc-bench: observability overhead (sampled DA matrix)");
     let da = dcbench::BenchmarkId::data_analysis();
     let every = bench.options().max_ops / 8;
     let sample_uops =
         da.len() as f64 * (bench.options().warmup_ops + bench.options().max_ops) as f64;
-    let disabled = time_ms(|| {
-        for &id in da {
-            bench.run_sampled(id, every);
-        }
-    });
-    push("obs_disabled_sampled_matrix", disabled, sample_uops, 1);
+    if want("obs_disabled_sampled_matrix") || want("obs_recorder_sampled_matrix") {
+        eprintln!("dc-bench: observability overhead (sampled DA matrix)");
+    }
+    if want("obs_disabled_sampled_matrix") {
+        let disabled = time_ms(|| {
+            for &id in da {
+                bench.run_sampled(id, every);
+            }
+        });
+        push("obs_disabled_sampled_matrix", disabled, sample_uops, 1);
+    }
 
-    let recording = bench
-        .clone()
-        .with_recorder(Recorder::jsonl(std::io::sink()));
-    let recorded = time_ms(|| {
-        for &id in da {
-            recording.run_sampled(id, every);
-        }
-    });
-    push("obs_recorder_sampled_matrix", recorded, sample_uops, 1);
+    if want("obs_recorder_sampled_matrix") {
+        let recording = bench
+            .clone()
+            .with_recorder(Recorder::jsonl(std::io::sink()));
+        let recorded = time_ms(|| {
+            for &id in da {
+                recording.run_sampled(id, every);
+            }
+        });
+        push("obs_recorder_sampled_matrix", recorded, sample_uops, 1);
+    }
 
     // Sensitivity-sweep path: the eleven DA workloads along a two-point
     // L3 axis (half / paper-size), cold and then from the warm counter
     // cache. The cold pass is the per-axis cost unit EXPERIMENTS.md
     // quotes for Exhibit SW; the warm pass pins sweep regeneration to
     // cache-lookup speed.
-    eprintln!("dc-bench: sensitivity sweep (L3 axis, 11 DA workloads)");
     let axis = [sweep::SweepAxis::l3_bytes(vec![6 << 20, 12 << 20])];
     let sweep_uops = 2.0 * sample_uops;
-    cache::clear();
-    let swept = time_ms(|| {
-        sweep::run(&bench, da, &axis).expect("valid L3 grid");
-    });
-    push("sweep_l3_axis", swept, sweep_uops, jobs);
+    let mut sweep_warm = false;
+    if want("sweep_l3_axis") {
+        eprintln!("dc-bench: sensitivity sweep (L3 axis, 11 DA workloads)");
+        cache::clear();
+        let swept = time_ms(|| {
+            sweep::run(&bench, da, &axis).expect("valid L3 grid");
+        });
+        push("sweep_l3_axis", swept, sweep_uops, jobs);
+        sweep_warm = true;
+    }
 
-    let swept_warm = time_ms(|| {
-        sweep::run(&bench, da, &axis).expect("valid L3 grid");
-    });
-    push("sweep_l3_cached", swept_warm, sweep_uops, jobs);
+    if want("sweep_l3_cached") {
+        if !sweep_warm {
+            cache::clear();
+            sweep::run(&bench, da, &axis).expect("valid L3 grid");
+        }
+        let swept_warm = time_ms(|| {
+            sweep::run(&bench, da, &axis).expect("valid L3 grid");
+        });
+        push("sweep_l3_cached", swept_warm, sweep_uops, jobs);
+    }
 
     // Same sweep through the persistent store: the cold pass simulates
     // everything and writes through (simulation + append + fsync cost);
     // the warm pass restarts with an empty memo and regenerates the
     // grid entirely from recovered store records — the cross-process
     // warm-start cost EXPERIMENTS.md quotes.
-    eprintln!("dc-bench: sensitivity sweep through the persistent store");
-    let store_dir = std::env::temp_dir().join(format!("dc_bench_store_{}", std::process::id()));
-    std::fs::create_dir_all(&store_dir).expect("mkdir store dir");
-    let store_path = store_dir.join("bench_store.log");
-    let quiet = Recorder::disabled();
-    cache::clear();
-    cache::attach_store(&store_path, &quiet).expect("open fresh store");
-    let store_cold = time_ms(|| {
-        sweep::run(&bench, da, &axis).expect("valid L3 grid");
-    });
-    push("sweep_l3_store_cold", store_cold, sweep_uops, jobs);
+    if want("sweep_l3_store_cold") || want("sweep_l3_store_warm") {
+        eprintln!("dc-bench: sensitivity sweep through the persistent store");
+        let store_dir = std::env::temp_dir().join(format!("dc_bench_store_{}", std::process::id()));
+        std::fs::create_dir_all(&store_dir).expect("mkdir store dir");
+        let store_path = store_dir.join("bench_store.log");
+        let quiet = Recorder::disabled();
+        cache::clear();
+        cache::attach_store(&store_path, &quiet).expect("open fresh store");
+        if want("sweep_l3_store_cold") {
+            let store_cold = time_ms(|| {
+                sweep::run(&bench, da, &axis).expect("valid L3 grid");
+            });
+            push("sweep_l3_store_cold", store_cold, sweep_uops, jobs);
+        } else {
+            // Populate the store untimed so the warm pass has records.
+            sweep::run(&bench, da, &axis).expect("valid L3 grid");
+        }
 
-    cache::clear();
-    let store_warm = time_ms(|| {
-        cache::attach_store(&store_path, &quiet).expect("reopen populated store");
-        sweep::run(&bench, da, &axis).expect("valid L3 grid");
-    });
-    assert_eq!(
-        cache::sim_invocations(),
-        0,
-        "a populated store must regenerate the sweep without simulating"
-    );
-    push("sweep_l3_store_warm", store_warm, sweep_uops, jobs);
-    cache::detach_store();
-    let _ = std::fs::remove_dir_all(&store_dir);
+        if want("sweep_l3_store_warm") {
+            cache::clear();
+            let store_warm = time_ms(|| {
+                cache::attach_store(&store_path, &quiet).expect("reopen populated store");
+                sweep::run(&bench, da, &axis).expect("valid L3 grid");
+            });
+            assert_eq!(
+                cache::sim_invocations(),
+                0,
+                "a populated store must regenerate the sweep without simulating"
+            );
+            push("sweep_l3_store_warm", store_warm, sweep_uops, jobs);
+        }
+        cache::detach_store();
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
 
     // Daemon request throughput: an in-process `dc-server` on an
     // ephemeral TCP port, four concurrent clients each pushing warm
@@ -261,37 +357,39 @@ fn run_entries(quick: bool) -> Vec<BenchEntry> {
     // executor → memo-cache hit → event replay → final response). A
     // cold warm-up submission first, so the timed rounds simulate
     // nothing and the number is pure protocol + scheduling cost.
-    eprintln!("dc-bench: dc-server request throughput (warm submit+stream over TCP)");
-    let server = dc_server::Server::start(dc_server::ServerConfig {
-        workers: jobs,
-        queue_cap: 256,
-        recorder: Recorder::disabled(),
-    });
-    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
-    let addr = listener.local_addr().expect("bound address");
-    {
-        let server = server.clone();
-        std::thread::spawn(move || server.serve_listener(&listener));
-    }
-    server_client(addr, 0, 1); // cold warm-up: the one simulated round
-    const SERVER_CLIENTS: usize = 4;
-    const SERVER_ROUNDS: usize = 8;
-    let served = time_ms(|| {
-        let handles: Vec<_> = (1..=SERVER_CLIENTS)
-            .map(|c| std::thread::spawn(move || server_client(addr, c, SERVER_ROUNDS)))
-            .collect();
-        for h in handles {
-            h.join().expect("bench client thread");
+    if want("server_throughput") {
+        eprintln!("dc-bench: dc-server request throughput (warm submit+stream over TCP)");
+        let server = dc_server::Server::start(dc_server::ServerConfig {
+            workers: jobs,
+            queue_cap: 256,
+            recorder: Recorder::disabled(),
+        });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("bound address");
+        {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve_listener(&listener));
         }
-    });
-    push(
-        "server_throughput",
-        served,
-        (SERVER_CLIENTS * SERVER_ROUNDS) as f64,
-        SERVER_CLIENTS,
-    );
-    server.begin_shutdown();
-    server.wait();
+        server_client(addr, 0, 1); // cold warm-up: the one simulated round
+        const SERVER_CLIENTS: usize = 4;
+        const SERVER_ROUNDS: usize = 8;
+        let served = time_ms(|| {
+            let handles: Vec<_> = (1..=SERVER_CLIENTS)
+                .map(|c| std::thread::spawn(move || server_client(addr, c, SERVER_ROUNDS)))
+                .collect();
+            for h in handles {
+                h.join().expect("bench client thread");
+            }
+        });
+        push(
+            "server_throughput",
+            served,
+            (SERVER_CLIENTS * SERVER_ROUNDS) as f64,
+            SERVER_CLIENTS,
+        );
+        server.begin_shutdown();
+        server.wait();
+    }
 
     entries
 }
@@ -485,7 +583,14 @@ fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f6
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let entries = run_entries(opts.quick);
+    let entries = run_entries(opts.quick, opts.only.as_deref());
+    if entries.is_empty() {
+        eprintln!(
+            "dc-bench: --only '{}' matched no entries",
+            opts.only.as_deref().unwrap_or("")
+        );
+        return ExitCode::from(2);
+    }
     let json = render_json(&opts.label, opts.quick, &entries);
 
     let path = format!("{}/BENCH_{}.json", opts.out_dir, opts.label);
@@ -664,6 +769,7 @@ mod tests {
             baseline: None,
             tolerance: 0.25,
             out_dir: dir.to_string_lossy().into_owned(),
+            only: None,
         };
         let entries = vec![BenchEntry {
             name: "full_matrix_sequential",
@@ -676,6 +782,26 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         assert_eq!(dc_benches::schema::validate_stream(&text), Ok(3));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn only_prefix_filter_selects_by_name_prefix() {
+        // No filter: everything runs.
+        assert!(selected("full_matrix_sequential", None));
+        assert!(selected("server_throughput", None));
+        // Exact name and shared prefixes both match.
+        assert!(selected(
+            "full_matrix_sequential",
+            Some("full_matrix_sequential")
+        ));
+        assert!(selected("full_matrix_sequential", Some("full_matrix")));
+        assert!(selected("full_matrix_parallel", Some("full_matrix")));
+        assert!(selected("sweep_l3_store_warm", Some("sweep_")));
+        // Non-matching prefixes exclude.
+        assert!(!selected("server_throughput", Some("full_matrix")));
+        assert!(!selected("full_matrix_cached", Some("full_matrix_seq")));
+        // The empty prefix matches everything (same as no filter).
+        assert!(selected("chip_corun_sort_x4", Some("")));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`Metrics`]: dc_perfmon::Metrics
 
 use crate::registry::BenchmarkId;
-use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts};
+use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts, SamplePlan};
 use dc_obs::{Recorder, Value};
 use dc_store::{CompactStats, Record, Store, StoreKey};
 use std::collections::{HashMap, HashSet};
@@ -46,6 +46,12 @@ pub struct CacheKey {
     /// (1 = the classic solo measurement). Part of the key because the
     /// same entry under contention produces different counters.
     pub corun: u32,
+    /// The SMARTS sampling plan the window ran under, `None` for exact
+    /// cycle-accurate simulation. Part of the key because sampled
+    /// counters are extrapolations: a sampled block must never satisfy
+    /// an exact lookup (or vice versa), and two different plans
+    /// extrapolate differently.
+    pub sample: Option<SamplePlan>,
 }
 
 impl CacheKey {
@@ -58,6 +64,7 @@ impl CacheKey {
             warmup_ops: opts.warmup_ops,
             seed,
             corun: 1,
+            sample: opts.sample,
         }
     }
 
@@ -136,6 +143,7 @@ fn to_store_key(key: &CacheKey) -> StoreKey {
         warmup_ops: key.warmup_ops,
         seed: key.seed,
         corun: key.corun,
+        sample: key.sample.map(|p| (p.detail_ops, p.ffwd_ops)),
     }
 }
 
@@ -150,6 +158,10 @@ fn from_store_key(key: &StoreKey) -> Option<CacheKey> {
         warmup_ops: key.warmup_ops,
         seed: key.seed,
         corun: key.corun,
+        sample: key.sample.map(|(detail_ops, ffwd_ops)| SamplePlan {
+            detail_ops,
+            ffwd_ops,
+        }),
     })
 }
 
@@ -530,10 +542,7 @@ mod tests {
         let longer = CacheKey::new(
             BenchmarkId::Sort,
             &CpuConfig::westmere_e5645(),
-            &SimOptions {
-                max_ops: 1,
-                warmup_ops: 0,
-            },
+            &SimOptions::exact(1, 0),
             1,
         );
         assert_ne!(base, longer);
@@ -544,6 +553,23 @@ mod tests {
         assert_ne!(base, other_entry);
         assert_ne!(base, base.with_corun(4), "co-run width is part of the key");
         assert_eq!(base, base.with_corun(1), "width 1 is the solo key");
+        let sampled = CacheKey::new(
+            BenchmarkId::Sort,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions::quick().with_sampling(25_000, 75_000),
+            1,
+        );
+        assert_ne!(
+            base, sampled,
+            "a sampled extrapolation must never satisfy an exact lookup"
+        );
+        let other_plan = CacheKey::new(
+            BenchmarkId::Sort,
+            &CpuConfig::westmere_e5645(),
+            &SimOptions::quick().with_sampling(10_000, 90_000),
+            1,
+        );
+        assert_ne!(sampled, other_plan, "the plan itself is part of the key");
     }
 
     #[test]

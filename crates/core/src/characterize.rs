@@ -74,10 +74,7 @@ impl Characterizer {
     pub fn quick() -> Self {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions {
-                max_ops: 500_000,
-                warmup_ops: 300_000,
-            },
+            SimOptions::exact(500_000, 300_000),
             2013,
         )
     }
@@ -86,10 +83,7 @@ impl Characterizer {
     pub fn full() -> Self {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions {
-                max_ops: 1_200_000,
-                warmup_ops: 2_000_000,
-            },
+            SimOptions::exact(1_200_000, 2_000_000),
             2013,
         )
     }
@@ -106,6 +100,32 @@ impl Characterizer {
     pub fn with_config(mut self, cfg: CpuConfig) -> Self {
         self.cfg = cfg;
         self
+    }
+
+    /// The same harness with SMARTS-style systematic sampling enabled:
+    /// every measurement window alternates `detail_ops` µops of full
+    /// pipeline detail with `ffwd_ops` µops of functional fast-forward
+    /// (caches/TLBs/predictor stay warm, no timing), and the counters
+    /// are extrapolated to the whole window. Sampled blocks are keyed
+    /// separately in the memo/store — they never satisfy an exact
+    /// lookup — and flow through every driver ([`Characterizer::run`],
+    /// [`Characterizer::corun`], [`Characterizer::run_many`], …)
+    /// unchanged.
+    pub fn with_sampling(mut self, detail_ops: u64, ffwd_ops: u64) -> Self {
+        self.opts = self.opts.with_sampling(detail_ops, ffwd_ops);
+        self
+    }
+
+    /// [`Characterizer::quick`] with the default SMARTS plan enabled.
+    pub fn quick_sampled() -> Self {
+        let plan = dc_cpu::SamplePlan::DEFAULT;
+        Characterizer::quick().with_sampling(plan.detail_ops, plan.ffwd_ops)
+    }
+
+    /// [`Characterizer::full`] with the default SMARTS plan enabled.
+    pub fn full_sampled() -> Self {
+        let plan = dc_cpu::SamplePlan::DEFAULT;
+        Characterizer::full().with_sampling(plan.detail_ops, plan.ffwd_ops)
     }
 
     /// The master seed entry seeds are derived from.
@@ -359,10 +379,7 @@ mod tests {
         // bit-for-bit.
         let c = Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions {
-                max_ops: 80_000,
-                warmup_ops: 20_000,
-            },
+            SimOptions::exact(80_000, 20_000),
             0x00C0_9013,
         );
         let co = c.corun(BenchmarkId::KMeans, 1);
@@ -387,6 +404,49 @@ mod tests {
             "warm co-run lookup must not re-simulate"
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_harness_is_keyed_separately_from_exact() {
+        let exact = Characterizer::quick();
+        let sampled = Characterizer::quick_sampled();
+        let a = exact.raw_counts(BenchmarkId::Sort);
+        let b = sampled.raw_counts(BenchmarkId::Sort);
+        // Both modes stop within one retire group of `max_ops`, but on
+        // different cycle boundaries, so the counts can differ by up to
+        // the retire width — never more.
+        assert!(
+            a.instructions.abs_diff(b.instructions) <= 8,
+            "instruction counts diverged: exact {} vs sampled {}",
+            a.instructions,
+            b.instructions
+        );
+        assert_ne!(
+            a.cycles, b.cycles,
+            "a sampled block is an extrapolation, not the exact block"
+        );
+        // Warm lookups on both keys hit without re-simulating — and
+        // each returns its own block, not the other mode's.
+        let before = cache::sim_invocations();
+        assert_eq!(exact.raw_counts(BenchmarkId::Sort), a);
+        assert_eq!(sampled.raw_counts(BenchmarkId::Sort), b);
+        assert_eq!(cache::sim_invocations(), before);
+    }
+
+    #[test]
+    fn sampled_corun_width_one_equals_sampled_solo() {
+        // The chip lockstep and the single-core loop must agree in
+        // sampled mode exactly as they do in exact mode. Seed unique to
+        // this test so the cache cannot cross-satisfy the two paths.
+        let c = Characterizer::new(
+            CpuConfig::westmere_e5645(),
+            SimOptions::exact(80_000, 20_000).with_sampling(10_000, 30_000),
+            0x5A3D_9013,
+        );
+        assert_eq!(
+            c.corun(BenchmarkId::KMeans, 1),
+            c.run_uncached(BenchmarkId::KMeans)
+        );
     }
 
     #[test]

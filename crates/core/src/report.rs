@@ -567,10 +567,7 @@ mod tests {
     fn sweep_exhibit_unfolds_axes_into_metric_figures() {
         let bench = Characterizer::new(
             dc_cpu::CpuConfig::westmere_e5645(),
-            dc_cpu::SimOptions {
-                max_ops: 30_000,
-                warmup_ops: 10_000,
-            },
+            dc_cpu::SimOptions::exact(30_000, 10_000),
             0xE4_81B1,
         );
         let axes = [crate::sweep::SweepAxis::prefetch()];

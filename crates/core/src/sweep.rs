@@ -349,10 +349,7 @@ mod tests {
     fn harness() -> Characterizer {
         Characterizer::new(
             CpuConfig::westmere_e5645(),
-            SimOptions {
-                max_ops: 30_000,
-                warmup_ops: 10_000,
-            },
+            SimOptions::exact(30_000, 10_000),
             0x53EE_2013,
         )
     }
@@ -412,6 +409,66 @@ mod tests {
             // plain (unswept) run of the same harness.
             assert_eq!(curve.counts[1], bench.raw_counts(id), "{id:?}");
         }
+    }
+
+    #[test]
+    fn rob_32_sweep_point_runs_on_exact_capacity_rings() {
+        // The SoA backend rings are allocated at exactly the configured
+        // capacity (no pow2 rounding, no slack slot), so the smallest
+        // grid point in the default ROB axis exercises a 32-entry ring
+        // end to end. Regression test for the flat-array refactor: the
+        // window must still complete, with the shrunken ROB visible as
+        // added stall pressure, and the baseline point bit-identical to
+        // the unswept machine.
+        let bench = harness();
+        let sweeps = run(
+            &bench,
+            &[BenchmarkId::Sort],
+            &[SweepAxis::rob_entries(vec![32, 128])],
+        )
+        .expect("valid grid");
+        let curve = &sweeps[0].curves[0];
+        let (small, base) = (&curve.counts[0], &curve.counts[1]);
+        assert!(
+            small.instructions >= 30_000,
+            "the measured window must complete at ROB=32"
+        );
+        assert!(
+            small.cycles > base.cycles,
+            "a quarter-size ROB cannot be as fast as the full one"
+        );
+        assert!(
+            small.rob_full_stall_cycles > base.rob_full_stall_cycles,
+            "the shrunken ring must surface as ROB-full stalls"
+        );
+        assert_eq!(
+            *base,
+            bench.raw_counts(BenchmarkId::Sort),
+            "the 128-entry point is the paper's machine"
+        );
+    }
+
+    #[test]
+    fn sampled_sweeps_flow_through_the_grid() {
+        // A sampled harness sweeps exactly like an exact one — same
+        // grid shape, same baseline identity — with every point keyed
+        // separately from its exact twin in the shared cache.
+        let exact = harness();
+        let sampled = harness().with_sampling(5_000, 10_000);
+        let axes = [SweepAxis::l3_bytes(vec![6 << 20, 12 << 20])];
+        let s = run(&sampled, &[BenchmarkId::Grep], &axes).expect("valid grid");
+        let e = run(&exact, &[BenchmarkId::Grep], &axes).expect("valid grid");
+        let (sc, ec) = (&s[0].curves[0], &e[0].curves[0]);
+        assert_eq!(sc.counts.len(), 2);
+        assert_eq!(
+            sc.counts[1],
+            sampled.raw_counts(BenchmarkId::Grep),
+            "baseline point matches the unswept sampled run"
+        );
+        assert_ne!(
+            sc.counts[1], ec.counts[1],
+            "sampled and exact grids must not share cache entries"
+        );
     }
 
     #[test]

@@ -9,14 +9,7 @@ use dc_trace::synth::SyntheticTrace;
 fn show(name: &str, p: &WorkloadProfile) {
     let cfg = CpuConfig::westmere_e5645();
     let t = SyntheticTrace::new(p, 1);
-    let c = simulate(
-        t,
-        &cfg,
-        &SimOptions {
-            max_ops: 1_000_000,
-            warmup_ops: 200_000,
-        },
-    );
+    let c = simulate(t, &cfg, &SimOptions::exact(1_000_000, 200_000));
     let b = c.stall_breakdown();
     println!("{name:16} ipc={:.2} l1iMPKI={:5.1} itlbW={:.3} l2MPKI={:5.1} l3r={:.2} dtlbW={:.3} br={:.3} kern={:.2} stalls[f={:.2} rat={:.2} ld={:.2} rs={:.2} st={:.2} rob={:.2}]",
         c.ipc(), c.l1i_mpki(), c.itlb_walk_pki(), c.l2_mpki(), c.l3_hit_ratio_of_l2_misses(),

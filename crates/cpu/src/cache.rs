@@ -22,6 +22,11 @@ pub struct Cache {
     sets: usize,
     assoc: usize,
     line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// case); lets the hot set-index computation be a mask instead of
+    /// a 64-bit modulo. The L3's 12288 sets take the modulo path.
+    set_mask: u64,
+    sets_pow2: bool,
     /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
     tags: Vec<u64>,
     /// LRU stamps parallel to `tags`.
@@ -42,6 +47,8 @@ impl Cache {
             sets,
             assoc,
             line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            sets_pow2: sets.is_power_of_two(),
             tags: vec![u64::MAX; sets * assoc],
             stamps: vec![0; sets * assoc],
             clock: 0,
@@ -52,11 +59,16 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets as u64) as usize
+        if self.sets_pow2 {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
     }
 
     /// Demand access to byte address `addr`; returns `true` on hit.
     /// Misses allocate the line (LRU victim).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         let hit = self.touch_line(addr >> self.line_shift);
@@ -80,6 +92,7 @@ impl Cache {
         self.tags[base..base + self.assoc].contains(&line)
     }
 
+    #[inline]
     fn touch_line(&mut self, line: u64) -> bool {
         self.clock += 1;
         let set = self.set_of(line);
@@ -273,6 +286,28 @@ impl SharedL3 {
         let horizon = now + 6 * self.mem_line_gap;
         self.next_mem_slot = (self.next_mem_slot.max(now) + self.mem_line_gap).min(horizon);
         delay
+    }
+
+    /// The earliest cycle at which the channel backlog has drained
+    /// below the saturation threshold. Fast-forward paces its synthetic
+    /// clock past this point before each op: on the detailed machine a
+    /// saturated channel stalls retire, which advances time — without
+    /// mirroring that feedback, the synthetic clock would sit inside a
+    /// permanently-saturated channel and drop prefetches the detailed
+    /// run would have issued.
+    pub(crate) fn channel_relief(&self) -> u64 {
+        self.next_mem_slot.saturating_sub(4 * self.mem_line_gap)
+    }
+
+    /// Re-anchor the channel backlog after a functional fast-forward
+    /// burst advanced a synthetic clock to `virtual_now` while the
+    /// global clock stayed at `now`: the backlog (bounded by the
+    /// controller horizon) is preserved relative to the real clock, so
+    /// resumed detailed execution sees neither a phantom idle channel
+    /// nor bookings stranded far in the future.
+    pub(crate) fn rewind_channel(&mut self, virtual_now: u64, now: u64) {
+        let backlog = self.next_mem_slot.saturating_sub(virtual_now);
+        self.next_mem_slot = self.next_mem_slot.min(now + backlog);
     }
 
     /// Reset the embedded cache's chip-wide counters, keeping contents.

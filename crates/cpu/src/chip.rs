@@ -41,7 +41,7 @@ use dc_trace::TraceSource;
 use crate::branch::BranchPredictor;
 use crate::cache::{PrivateHierarchy, SharedL3};
 use crate::config::CpuConfig;
-use crate::core::{Pipeline, SimOptions};
+use crate::core::{Block, Pipeline, SimOptions};
 use crate::counters::PerfCounts;
 use crate::sampling::{SampledRun, Sampler};
 use crate::tlb::Mmu;
@@ -129,6 +129,7 @@ impl Chip {
         let mut done = vec![false; n];
         let mut remaining = n;
         let mut cycle: u64 = 0;
+        let mut idle: Vec<(usize, Block)> = Vec::with_capacity(n);
         while remaining > 0 {
             cycle += 1;
             for i in 0..n {
@@ -149,6 +150,47 @@ impl Chip {
                     done[i] = true;
                     remaining -= 1;
                 }
+            }
+            if remaining == 0 {
+                break;
+            }
+            // Global idle skip: only when *every* active core agrees
+            // nothing can happen before `bound`. No core touches the
+            // shared level during the skipped span, so the lockstep
+            // interleave — and every counter — is bit-identical to
+            // stepping each cycle. A core that just made progress may
+            // act next cycle, so don't even probe in that case.
+            if pipes
+                .iter()
+                .zip(&done)
+                .any(|(p, &d)| !d && p.made_progress())
+            {
+                continue;
+            }
+            idle.clear();
+            let mut bound = u64::MAX;
+            let mut skippable = true;
+            for (i, pipe) in pipes.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                match pipe.next_event(cycle) {
+                    Some((b, blk)) => {
+                        bound = bound.min(b);
+                        idle.push((i, blk));
+                    }
+                    None => {
+                        skippable = false;
+                        break;
+                    }
+                }
+            }
+            if skippable && bound > cycle + 1 {
+                let skipped = bound - 1 - cycle;
+                for &(i, blk) in &idle {
+                    pipes[i].charge_idle(blk, skipped);
+                }
+                cycle = bound - 1;
             }
         }
         pipes
@@ -175,6 +217,10 @@ impl Chip {
         opts: &SimOptions,
         every_cycles: u64,
     ) -> Vec<SampledRun> {
+        assert!(
+            opts.sample.is_none(),
+            "interval-PMU sampling requires an exact (non-SMARTS) run"
+        );
         assert_eq!(
             traces.len(),
             self.cores.len(),
@@ -188,6 +234,7 @@ impl Chip {
         let mut done = vec![false; n];
         let mut remaining = n;
         let mut cycle: u64 = 0;
+        let mut idle: Vec<(usize, Block)> = Vec::with_capacity(n);
         while remaining > 0 {
             cycle += 1;
             for i in 0..n {
@@ -216,6 +263,45 @@ impl Chip {
                 let core = &self.cores[i];
                 samplers[i].observe(cycle, &pipes[i], &core.hier, &core.mmu, &core.bp);
             }
+            if remaining == 0 {
+                break;
+            }
+            // Same global idle skip as `run`, additionally fenced at
+            // each active core's next sample boundary so every interval
+            // snapshot is taken at exactly the cycle it would be taken
+            // by the per-cycle loop.
+            if pipes
+                .iter()
+                .zip(&done)
+                .any(|(p, &d)| !d && p.made_progress())
+            {
+                continue;
+            }
+            idle.clear();
+            let mut bound = u64::MAX;
+            let mut skippable = true;
+            for (i, pipe) in pipes.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                match pipe.next_event(cycle) {
+                    Some((b, blk)) => {
+                        bound = bound.min(b).min(samplers[i].next_at());
+                        idle.push((i, blk));
+                    }
+                    None => {
+                        skippable = false;
+                        break;
+                    }
+                }
+            }
+            if skippable && bound > cycle + 1 {
+                let skipped = bound - 1 - cycle;
+                for &(i, blk) in &idle {
+                    pipes[i].charge_idle(blk, skipped);
+                }
+                cycle = bound - 1;
+            }
         }
         pipes
             .iter()
@@ -241,10 +327,7 @@ mod tests {
     use dc_trace::{SyntheticTrace, WorkloadProfile};
 
     fn opts() -> SimOptions {
-        SimOptions {
-            max_ops: 60_000,
-            warmup_ops: 10_000,
-        }
+        SimOptions::exact(60_000, 10_000)
     }
 
     /// A profile whose working set fits the L3 alone but thrashes it

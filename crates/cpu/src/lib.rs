@@ -48,6 +48,6 @@ pub mod tlb;
 
 pub use crate::chip::Chip;
 pub use crate::config::{ConfigError, CpuConfig};
-pub use crate::core::{simulate, Core, SimOptions};
+pub use crate::core::{simulate, Core, SamplePlan, SimOptions};
 pub use crate::counters::PerfCounts;
 pub use crate::sampling::{IntervalSample, SampledRun};

@@ -95,6 +95,13 @@ impl Sampler {
         }
     }
 
+    /// Next global cycle at which a snapshot fires; idle skipping is
+    /// fenced here so every interval closes at exactly the cycle the
+    /// per-cycle loop would close it.
+    pub(crate) fn next_at(&self) -> u64 {
+        self.next_at
+    }
+
     /// The pipeline crossed its warm-up boundary at global cycle
     /// `cycle_base` and reset its statistics: drop warm-up samples and
     /// restart the interval clock at the boundary.
@@ -159,10 +166,7 @@ mod tests {
     }
 
     fn opts() -> SimOptions {
-        SimOptions {
-            max_ops: 60_000,
-            warmup_ops: 10_000,
-        }
+        SimOptions::exact(60_000, 10_000)
     }
 
     #[test]
@@ -225,10 +229,7 @@ mod tests {
     #[test]
     fn trace_draining_inside_warmup_still_telescopes() {
         let cfg = CpuConfig::westmere_e5645();
-        let short = SimOptions {
-            max_ops: 1_000_000,
-            warmup_ops: 1_000_000,
-        };
+        let short = SimOptions::exact(1_000_000, 1_000_000);
         let run = Core::new(cfg.clone()).run_sampled(
             SyntheticTrace::new(&profile(), 9).take(20_000),
             &short,

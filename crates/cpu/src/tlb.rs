@@ -12,6 +12,10 @@ use crate::config::{CpuConfig, TlbConfig};
 pub struct TlbLevel {
     sets: usize,
     assoc: usize,
+    /// `sets - 1` when the set count is a power of two: the set index
+    /// becomes a mask instead of a 64-bit modulo on the hot path.
+    set_mask: u64,
+    sets_pow2: bool,
     tags: Vec<u64>,
     stamps: Vec<u64>,
     clock: u64,
@@ -25,6 +29,8 @@ impl TlbLevel {
         TlbLevel {
             sets,
             assoc,
+            set_mask: sets as u64 - 1,
+            sets_pow2: sets.is_power_of_two(),
             tags: vec![u64::MAX; sets * assoc],
             stamps: vec![0; sets * assoc],
             clock: 0,
@@ -32,9 +38,14 @@ impl TlbLevel {
     }
 
     /// Access a page number; `true` on hit. Misses allocate.
+    #[inline]
     pub fn access(&mut self, page: u64) -> bool {
         self.clock += 1;
-        let set = (page % self.sets as u64) as usize;
+        let set = if self.sets_pow2 {
+            (page & self.set_mask) as usize
+        } else {
+            (page % self.sets as u64) as usize
+        };
         let base = set * self.assoc;
         if let Some(w) = self.tags[base..base + self.assoc]
             .iter()

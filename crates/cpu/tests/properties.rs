@@ -41,7 +41,7 @@ proptest! {
         let counts = simulate(
             ops,
             &CpuConfig::westmere_e5645(),
-            &SimOptions { max_ops: n as u64, warmup_ops: 0 },
+            &SimOptions::exact(n as u64, 0),
         );
         prop_assert_eq!(counts.instructions, n as u64);
         prop_assert!(counts.cycles * 4 >= counts.instructions);
@@ -63,7 +63,7 @@ proptest! {
         let counts = simulate(
             ops,
             &CpuConfig::westmere_e5645(),
-            &SimOptions { max_ops: 25_000, warmup_ops: 2_000 },
+            &SimOptions::exact(25_000, 2_000),
         );
         prop_assert!(counts.total_stall_cycles() <= counts.cycles);
         let b = counts.stall_breakdown();

@@ -199,6 +199,7 @@ impl Job {
             ("window", Value::str(self.spec.window.as_str())),
             ("seed", Value::U64(self.spec.seed)),
             ("corun", Value::U64(u64::from(self.spec.corun))),
+            ("sampled", Value::Bool(self.spec.sampled)),
         ]
     }
 
@@ -264,7 +265,9 @@ impl Job {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let base = Characterizer::new(
                 CpuConfig::westmere_e5645(),
-                spec.window.sim_options(),
+                // Folds in the SMARTS plan when the job asked for it;
+                // sampled runs memoize under their own cache key.
+                spec.sim_options(),
                 spec.seed,
             );
             // Fan entries across the shared worker pool, capturing each
@@ -369,10 +372,11 @@ fn render_output<'a>(
     }
     let _ = write!(
         out,
-        "],\"window\":\"{}\",\"seed\":{},\"corun\":{},\"rows\":[",
+        "],\"window\":\"{}\",\"seed\":{},\"corun\":{},\"sampled\":{},\"rows\":[",
         spec.window.as_str(),
         spec.seed,
-        spec.corun
+        spec.corun,
+        spec.sampled
     );
     for (i, m) in rows.enumerate() {
         if i > 0 {
@@ -419,6 +423,7 @@ mod tests {
             window: Window::Quick,
             seed,
             corun: 1,
+            sampled: false,
         }
     }
 
@@ -473,6 +478,27 @@ mod tests {
         // entries — visible in the envelope, invisible in the output.
         assert!(a.status_result().contains("\"simulations\":2"));
         assert!(b.status_result().contains("\"simulations\":0"));
+    }
+
+    #[test]
+    fn sampled_jobs_run_to_done_with_their_own_output() {
+        // Seed unique to this test so both jobs start cold.
+        let mut spec = tiny_spec(vec![BenchmarkId::Sort], 0x5EE074);
+        let rec = Recorder::disabled();
+        let exact = Job::new("job-e".into(), spec.clone());
+        assert!(exact.try_start());
+        exact.run(&rec);
+        spec.sampled = true;
+        let sampled = Job::new("job-s".into(), spec);
+        assert!(sampled.try_start());
+        sampled.run(&rec);
+        assert_eq!(sampled.state(), JobState::Done);
+        let s = sampled.status_result();
+        assert!(s.contains("\"sampled\":true"));
+        // The sampled job re-simulated (its own cache key) and its
+        // extrapolated rows differ from the exact ones.
+        assert!(s.contains("\"simulations\":1"));
+        assert_ne!(s, exact.status_result());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! every response; reusing an id on one connection is a
 //! [`code::DUPLICATE_ID`] error. `entries` is either an array of figure
 //! labels or a group name (`"all"`, `"data_analysis"`, `"services"`,
-//! `"hpcc"`).
+//! `"hpcc"`). An optional `"sampled":true` runs the job under
+//! SMARTS-style systematic sampling (default validated plan) instead of
+//! exact simulation.
 //!
 //! # Responses
 //!
@@ -137,14 +139,8 @@ impl Window {
     /// The simulation window this maps to.
     pub fn sim_options(&self) -> dc_cpu::core::SimOptions {
         match self {
-            Window::Quick => dc_cpu::core::SimOptions {
-                max_ops: 500_000,
-                warmup_ops: 300_000,
-            },
-            Window::Full => dc_cpu::core::SimOptions {
-                max_ops: 1_200_000,
-                warmup_ops: 2_000_000,
-            },
+            Window::Quick => dc_cpu::core::SimOptions::exact(500_000, 300_000),
+            Window::Full => dc_cpu::core::SimOptions::exact(1_200_000, 2_000_000),
         }
     }
 }
@@ -163,6 +159,13 @@ pub struct JobSpec {
     /// Co-run width: 1 is the classic solo measurement; wider runs
     /// return the observed core-0 row under shared-L3 contention.
     pub corun: u32,
+    /// Run the window under SMARTS-style systematic sampling (the
+    /// default validated plan) instead of exact simulation: ~1.7×
+    /// faster wall-clock (functional warming still touches every
+    /// cache/TLB/predictor), counters extrapolated, cached under a
+    /// distinct key. Defaults to `false` — exact — when the field is
+    /// absent.
+    pub sampled: bool,
 }
 
 /// Largest integer the hardened JSON parser carries exactly (its
@@ -249,12 +252,31 @@ impl JobSpec {
                 }
             },
         };
+        let sampled = match doc.get("sampled") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(bad("\"sampled\" must be a boolean".into())),
+        };
         Ok(JobSpec {
             entries,
             window,
             seed,
             corun,
+            sampled,
         })
+    }
+
+    /// The simulation window this job runs at: the named [`Window`],
+    /// with the default SMARTS plan folded in when the job asked to be
+    /// sampled.
+    pub fn sim_options(&self) -> dc_cpu::core::SimOptions {
+        let opts = self.window.sim_options();
+        if self.sampled {
+            let plan = dc_cpu::SamplePlan::DEFAULT;
+            opts.with_sampling(plan.detail_ops, plan.ffwd_ops)
+        } else {
+            opts
+        }
     }
 }
 
@@ -441,6 +463,27 @@ mod tests {
         assert_eq!(spec.window, Window::Quick);
         assert_eq!(spec.seed, 2013);
         assert_eq!(spec.corun, 1);
+        assert!(!spec.sampled, "exact is the default");
+    }
+
+    #[test]
+    fn sampled_jobs_parse_and_map_to_the_default_plan() {
+        let req = parse_request(
+            r#"{"id":"s1","verb":"submit","job":{"entries":["Sort"],"sampled":true}}"#,
+        )
+        .expect("parses");
+        let Action::Submit(spec) = req.action else {
+            panic!("expected submit");
+        };
+        assert!(spec.sampled);
+        let opts = spec.sim_options();
+        assert!(opts.is_sampled());
+        assert_eq!(opts.max_ops, Window::Quick.sim_options().max_ops);
+        let exact = JobSpec {
+            sampled: false,
+            ..spec
+        };
+        assert!(!exact.sim_options().is_sampled());
     }
 
     #[test]
@@ -479,6 +522,10 @@ mod tests {
             ),
             (
                 r#"{"id":1,"verb":"submit","job":{"entries":["Sort"],"window":"slow"}}"#,
+                code::BAD_REQUEST,
+            ),
+            (
+                r#"{"id":1,"verb":"submit","job":{"entries":["Sort"],"sampled":1}}"#,
                 code::BAD_REQUEST,
             ),
             (

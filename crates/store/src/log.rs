@@ -488,6 +488,7 @@ mod tests {
                 warmup_ops: 200_000,
                 seed,
                 corun: 1,
+                sample: None,
             },
             counts: vec![counts_from_array(&a)],
         }

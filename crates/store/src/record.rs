@@ -34,6 +34,11 @@ pub struct StoreKey {
     pub seed: u64,
     /// Co-run width (1 = solo).
     pub corun: u32,
+    /// SMARTS sampling plan as `(detail_ops, ffwd_ops)`, `None` for
+    /// exact simulation. Serialized only when present, so records
+    /// written before sampling existed decode as exact — and exact
+    /// records keep their historical bytes.
+    pub sample: Option<(u64, u64)>,
 }
 
 /// One recoverable unit: a key plus its per-core counter blocks.
@@ -176,6 +181,13 @@ pub fn encode_payload(record: &Record) -> String {
     push_u64_str(&mut out, record.key.seed);
     out.push_str(",\"corun\":");
     push_u64_str(&mut out, u64::from(record.key.corun));
+    if let Some((detail, ffwd)) = record.key.sample {
+        out.push_str(",\"sample\":[");
+        push_u64_str(&mut out, detail);
+        out.push(',');
+        push_u64_str(&mut out, ffwd);
+        out.push(']');
+    }
     out.push_str(",\"counts\":[");
     for (i, block) in record.counts.iter().enumerate() {
         if i > 0 {
@@ -219,6 +231,20 @@ pub fn decode_payload(payload: &str) -> Result<Record, String> {
     if corun == 0 {
         return Err("\"corun\" must be at least 1".into());
     }
+    // Absent before sampled simulation existed; such records are exact.
+    let sample = match doc.get("sample") {
+        None => None,
+        Some(Json::Arr(pair)) if pair.len() == 2 => {
+            let part = |v: &Json| match v {
+                Json::Str(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| "\"sample\" value is not a u64 decimal string".to_string()),
+                _ => Err("\"sample\" values must be decimal strings".into()),
+            };
+            Some((part(&pair[0])?, part(&pair[1])?))
+        }
+        Some(_) => return Err("\"sample\" must be a two-element array".into()),
+    };
     let key = StoreKey {
         entry,
         cfg_hash: get_u64(&doc, "cfg")?,
@@ -226,6 +252,7 @@ pub fn decode_payload(payload: &str) -> Result<Record, String> {
         warmup_ops: get_u64(&doc, "warmup_ops")?,
         seed: get_u64(&doc, "seed")?,
         corun,
+        sample,
     };
     let blocks = match doc.get("counts") {
         Some(Json::Arr(blocks)) => blocks,
@@ -277,6 +304,7 @@ mod tests {
                 warmup_ops: 200_000,
                 seed: 0xDEAD_BEEF_0BAD_F00D,
                 corun: 4,
+                sample: None,
             },
             counts: vec![counts_from_array(&a), PerfCounts::default()],
         }
@@ -286,6 +314,27 @@ mod tests {
     fn round_trip_is_identity() {
         let r = sample();
         assert_eq!(decode_payload(&encode_payload(&r)).expect("decodes"), r);
+    }
+
+    #[test]
+    fn sampled_records_round_trip_and_exact_ones_omit_the_field() {
+        let mut r = sample();
+        assert!(
+            !encode_payload(&r).contains("sample"),
+            "exact records keep their historical bytes"
+        );
+        r.key.sample = Some((25_000, 75_000));
+        let line = encode_payload(&r);
+        assert!(line.contains(r#""sample":["25000","75000"]"#));
+        assert_eq!(decode_payload(&line).expect("decodes"), r);
+    }
+
+    #[test]
+    fn records_without_a_sample_field_decode_as_exact() {
+        // A pre-sampling record, byte for byte.
+        let line = r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[["1","2","3","4","5","6","7","8","9","10","11","12","13","14","15","16","17","18","19","20","21","22","23","24","25","26","27","28","29"]]}"#;
+        let record = decode_payload(line).expect("old records stay readable");
+        assert_eq!(record.key.sample, None);
     }
 
     #[test]
@@ -331,6 +380,10 @@ mod tests {
             r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[]}"#,
             // wrong counter arity
             r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","counts":[["1","2"]]}"#,
+            // sample as a bare flag instead of a plan pair
+            r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","sample":true,"counts":[["1"]]}"#,
+            // sample pair with a bare number
+            r#"{"entry":"Sort","cfg":"1","max_ops":"1","warmup_ops":"0","seed":"1","corun":"1","sample":[25000,"75000"],"counts":[["1"]]}"#,
         ] {
             assert!(decode_payload(bad).is_err(), "accepted: {bad}");
         }

@@ -23,6 +23,7 @@ impl SplitMix64 {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -32,15 +33,27 @@ impl SplitMix64 {
     }
 
     /// Uniform value in `[0, 1)`.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The 53-bit uniform underlying [`SplitMix64::next_f64`], as an
+    /// integer. Consumes exactly one `next_u64`, so mixing this with
+    /// `next_f64` keeps the stream position identical; comparing it
+    /// against [`lt_threshold`]/[`le_threshold`] replicates float
+    /// comparisons bit-for-bit without the int→float conversion.
+    #[inline]
+    pub fn next_u53(&mut self) -> u64 {
+        self.next_u64() >> 11
     }
 
     /// Uniform integer in `[0, bound)`.
     ///
     /// # Panics
     /// Panics if `bound == 0`.
+    #[inline]
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         // Multiply-shift reduction; bias is negligible for our bounds.
@@ -48,6 +61,7 @@ impl SplitMix64 {
     }
 
     /// Bernoulli draw with probability `p`.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
@@ -56,6 +70,34 @@ impl SplitMix64 {
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+}
+
+/// Scale between `next_f64` and its integer mantissa: `next_f64() ==
+/// next_u53() / 2^53`.
+const TWO53: f64 = (1u64 << 53) as f64;
+
+/// Integer threshold such that `rng.next_u53() < lt_threshold(p)` is
+/// **bit-identical** to `rng.next_f64() < p`.
+///
+/// Proof sketch: with `x = next_u53()` (an integer `< 2^53`, exactly
+/// representable), `next_f64() = x·2⁻⁵³` exactly, so the float
+/// comparison is `x·2⁻⁵³ < p ⇔ x < p·2⁵³`. The product `p·2⁵³` is a
+/// pure exponent shift and therefore *exact* in f64, and for an integer
+/// `x`, `x < v ⇔ x < ⌈v⌉`. Edge cases: `p ≤ 0` (or NaN) maps to 0
+/// (never), `p ≥ 1` maps past the maximum mantissa (always) — matching
+/// the float comparison in every case.
+pub fn lt_threshold(p: f64) -> u64 {
+    (p * TWO53).ceil() as u64
+}
+
+/// Integer threshold such that `rng.next_u53() <= le_threshold(w)` is
+/// **bit-identical** to `rng.next_f64() <= w` for `w ≥ 0` (same
+/// argument as [`lt_threshold`], with `x ≤ v ⇔ x ≤ ⌊v⌋` for integer
+/// `x`). `w < 0` is rejected: `x ≤ t` over unsigned `t` cannot express
+/// "never".
+pub fn le_threshold(w: f64) -> u64 {
+    assert!(w >= 0.0, "le_threshold requires a non-negative operand");
+    (w * TWO53).floor() as u64
 }
 
 /// Zipf-distributed sampler over ranks `0..n` with exponent `theta`.
@@ -114,6 +156,10 @@ impl Zipf {
 #[derive(Debug, Clone, Copy)]
 pub struct Geometric {
     p: f64,
+    /// `ln(1 - p)`, precomputed: the transcendental per draw is the
+    /// numerator's `ln` alone. (Same division, same operand values, so
+    /// samples are bit-identical to recomputing the denominator.)
+    ln_q: f64,
 }
 
 impl Geometric {
@@ -123,7 +169,10 @@ impl Geometric {
     /// Panics if `p` is outside `(0, 1]`.
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
-        Geometric { p }
+        Geometric {
+            p,
+            ln_q: (1.0 - p).ln(),
+        }
     }
 
     /// Create a sampler with the given mean (`mean >= 0`).
@@ -133,12 +182,13 @@ impl Geometric {
     }
 
     /// Draw a sample.
+    #[inline]
     pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
         if self.p >= 1.0 {
             return 0;
         }
         let u = rng.next_f64().max(f64::MIN_POSITIVE);
-        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+        (u.ln() / self.ln_q).floor() as u64
     }
 }
 
@@ -184,6 +234,56 @@ mod tests {
         let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
         let frac = hits as f64 / 100_000.0;
         assert!((frac - 0.25).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn integer_thresholds_replicate_float_comparisons_exactly() {
+        // For a spread of probabilities (including awkward ones) and a
+        // long uniform stream, the integer comparisons must agree with
+        // the float comparisons on every single draw.
+        let ps = [
+            0.0,
+            1e-18,
+            f64::MIN_POSITIVE,
+            0.001,
+            0.015,
+            0.25,
+            1.0 / 3.0,
+            0.5,
+            0.975,
+            0.999,
+            1.0,
+            1.5,
+        ];
+        for &p in &ps {
+            let lt = lt_threshold(p);
+            let le = le_threshold(p);
+            let mut a = SplitMix64::new(0xC0FFEE);
+            let mut b = a.clone();
+            for _ in 0..20_000 {
+                let f = a.next_f64();
+                let x = b.next_u53();
+                assert_eq!(f < p, x < lt, "lt mismatch at p={p} x={x}");
+                assert_eq!(f <= p, x <= le, "le mismatch at p={p} x={x}");
+            }
+        }
+        // Boundary mantissas, exhaustively against boundary thresholds.
+        for x in [0u64, 1, 2, (1 << 53) - 2, (1 << 53) - 1] {
+            let f = x as f64 * (1.0 / TWO53);
+            for &p in &ps {
+                assert_eq!(f < p, x < lt_threshold(p), "lt boundary p={p} x={x}");
+                assert_eq!(f <= p, x <= le_threshold(p), "le boundary p={p} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_u53_consumes_one_draw_like_next_f64() {
+        let mut a = SplitMix64::new(31);
+        let mut b = SplitMix64::new(31);
+        a.next_f64();
+        b.next_u53();
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::op::{MicroOp, Mode, OpKind};
 use crate::profile::{AccessPattern, CodeModel, DataRegion, WorkloadProfile, BYTES_PER_OP};
-use crate::rng::{Geometric, SplitMix64, Zipf};
+use crate::rng::{le_threshold, lt_threshold, Geometric, SplitMix64, Zipf};
 
 /// Base virtual address of user code.
 pub const USER_CODE_BASE: u64 = 0x0000_0000_0040_0000;
@@ -49,7 +49,10 @@ struct RegionState {
     bytes: u64,
     pattern: AccessPattern,
     cursor: u64,
-    cum_weight: f64,
+    /// Integer image of the cumulative weight: region selection
+    /// compares the raw 53-bit uniform against this
+    /// ([`le_threshold`]), bit-identical to the float comparison.
+    cum_le: u64,
 }
 
 /// One synthetic code image (user or kernel).
@@ -63,7 +66,10 @@ struct CodeImage {
     /// Per-block dominant direction: `true` = usually taken.
     taken_biased: Vec<bool>,
     popularity: Zipf,
-    model: CodeModel,
+    /// Integer Bernoulli thresholds for the per-branch draws
+    /// ([`lt_threshold`] of `branch_noise` / `regularity`).
+    noise_lt: u64,
+    regularity_lt: u64,
     current: usize,
     op_in_block: u32,
 }
@@ -89,7 +95,8 @@ impl CodeImage {
             preferred,
             taken_biased,
             popularity,
-            model: model.clone(),
+            noise_lt: lt_threshold(model.branch_noise),
+            regularity_lt: lt_threshold(model.regularity),
             current: 0,
             op_in_block: 0,
         }
@@ -115,14 +122,14 @@ impl CodeImage {
         // Dominant direction for this block, with a per-branch noise
         // floor so the stream is mostly predictable like real code.
         let dominant_taken = self.taken_biased[self.current];
-        let taken = if rng.chance(self.model.branch_noise) {
+        let taken = if rng.next_u53() < self.noise_lt {
             !dominant_taken
         } else {
             dominant_taken
         };
         let next = if !taken {
             (self.current + 1) % self.num_blocks
-        } else if rng.chance(self.model.regularity) {
+        } else if rng.next_u53() < self.regularity_lt {
             self.preferred[self.current] as usize
         } else {
             self.popularity.sample(rng)
@@ -153,7 +160,7 @@ impl AddressStream {
                 bytes: r.bytes,
                 pattern: r.pattern,
                 cursor: 0,
-                cum_weight: acc,
+                cum_le: le_threshold(acc),
             });
             addr += r.bytes.max(REGION_GAP).next_power_of_two().max(REGION_GAP);
         }
@@ -161,11 +168,11 @@ impl AddressStream {
     }
 
     fn next_addr(&mut self, rng: &mut SplitMix64) -> u64 {
-        let u = rng.next_f64();
+        let u = rng.next_u53();
         let idx = self
             .regions
             .iter()
-            .position(|r| u <= r.cum_weight)
+            .position(|r| u <= r.cum_le)
             .unwrap_or(self.regions.len() - 1);
         let r = &mut self.regions[idx];
         let off = match r.pattern {
@@ -209,17 +216,21 @@ impl AddressStream {
 #[derive(Debug, Clone)]
 pub struct SyntheticTrace {
     rng: SplitMix64,
-    mix_cdf: [f64; 6],
+    /// Instruction-class CDF as [`lt_threshold`] images — the class
+    /// draw compares one raw 53-bit uniform against these, bit-
+    /// identical to the float CDF walk.
+    mix_cdf: [u64; 6],
     user_code: CodeImage,
     user_data: AddressStream,
     kernel: Option<KernelState>,
-    dep_present: f64,
-    dep_on_load: f64,
-    serial_chain: f64,
+    /// Bernoulli thresholds ([`lt_threshold`]) for the per-op draws.
+    dep_present_lt: u64,
+    dep_on_load_lt: u64,
+    serial_chain_lt: u64,
     ops_since_load: u64,
     ops_since_chain: u64,
     dep_geo: Geometric,
-    rat_rate: f64,
+    rat_lt: u64,
     mode: Mode,
     burst_left: u64,
     emitted: u64,
@@ -257,12 +268,12 @@ impl SyntheticTrace {
         }
 
         let m = profile.mix;
-        let mut cdf = [0.0; 6];
+        let mut cdf = [0u64; 6];
         let fracs = [m.load, m.store, m.branch, m.fp, m.mul, m.div];
         let mut acc = 0.0;
         for (i, f) in fracs.iter().enumerate() {
             acc += f;
-            cdf[i] = acc;
+            cdf[i] = lt_threshold(acc);
         }
         let user_burst = kernel.as_ref().map(|k| k.user_burst).unwrap_or(u64::MAX);
         SyntheticTrace {
@@ -271,13 +282,13 @@ impl SyntheticTrace {
             user_code,
             user_data,
             kernel,
-            dep_present: profile.dep.dep_fraction,
-            dep_on_load: profile.dep.on_load,
-            serial_chain: profile.dep.serial_chain,
+            dep_present_lt: lt_threshold(profile.dep.dep_fraction),
+            dep_on_load_lt: lt_threshold(profile.dep.on_load),
+            serial_chain_lt: lt_threshold(profile.dep.serial_chain),
             ops_since_load: u64::MAX,
             ops_since_chain: u64::MAX,
             dep_geo: Geometric::with_mean((profile.dep.mean_dist - 1.0).max(0.0)),
-            rat_rate: profile.rat_hazard_rate,
+            rat_lt: lt_threshold(profile.rat_hazard_rate),
             mode: Mode::User,
             burst_left: user_burst,
             emitted: 0,
@@ -310,7 +321,7 @@ impl SyntheticTrace {
     fn dep_dist(&mut self) -> u16 {
         // Loop-carried serial chain: members always link to the previous
         // member (bounded by the dependence window).
-        if self.rng.chance(self.serial_chain) {
+        if self.rng.next_u53() < self.serial_chain_lt {
             let dist = self.ops_since_chain.saturating_add(1);
             self.ops_since_chain = 0;
             if dist <= MAX_DEP_DIST {
@@ -319,12 +330,12 @@ impl SyntheticTrace {
             return 0; // window exceeded: start a fresh chain head
         }
         self.ops_since_chain = self.ops_since_chain.saturating_add(1);
-        if !self.rng.chance(self.dep_present) {
+        if self.rng.next_u53() >= self.dep_present_lt {
             return 0;
         }
         // Chain on the most recent load when one is in window: this is
         // what holds consumers in the RS while a miss is outstanding.
-        if self.ops_since_load < MAX_DEP_DIST && self.rng.chance(self.dep_on_load) {
+        if self.ops_since_load < MAX_DEP_DIST && self.rng.next_u53() < self.dep_on_load_lt {
             return (self.ops_since_load + 1) as u16;
         }
         (1 + self.dep_geo.sample(&mut self.rng)).min(MAX_DEP_DIST) as u16
@@ -337,7 +348,7 @@ impl Iterator for SyntheticTrace {
     fn next(&mut self) -> Option<MicroOp> {
         self.maybe_switch_mode();
         let mode = self.mode;
-        let rat_hazard = self.rng.chance(self.rat_rate);
+        let rat_hazard = self.rng.next_u53() < self.rat_lt;
         let dep_dist = self.dep_dist();
 
         // Split borrows: pick the active code image and data stream.
@@ -353,7 +364,7 @@ impl Iterator for SyntheticTrace {
             OpKind::Branch { taken, target }
         } else {
             code.op_in_block += 1;
-            let u = self.rng.next_f64();
+            let u = self.rng.next_u53();
             // Skip the branch slot in the mix; block structure provides
             // branches. Re-scale the remaining classes is unnecessary —
             // mix validation keeps totals sane and branch ops drawn here

@@ -26,10 +26,7 @@ use std::sync::Barrier;
 fn harness(seed: u64) -> Characterizer {
     Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 2_000,
-            warmup_ops: 0,
-        },
+        SimOptions::exact(2_000, 0),
         0xA77A_C400_0000_0000 | seed,
     )
 }

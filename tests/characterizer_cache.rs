@@ -26,10 +26,7 @@ fn clear_resets_telemetry_counters_with_the_memo() {
     let _guard = serial();
     let c = Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 50_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(50_000, 20_000),
         0xC1EA_4000,
     );
     let _ = c.run(BenchmarkId::Sort); // miss
@@ -56,10 +53,7 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
     let _guard = serial();
     let c = Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 50_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(50_000, 20_000),
         0xCAFE_2013,
     );
 
@@ -90,10 +84,7 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
     // A different window is a different key: it simulates again.
     let longer = Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 60_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(60_000, 20_000),
         0xCAFE_2013,
     );
     let _ = longer.run(BenchmarkId::Sort);
@@ -102,10 +93,7 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
     // So is a different machine config, even at the same window.
     let fatter_l3 = Characterizer::new(
         CpuConfig::westmere_e5645().with_l3_bytes(24 << 20),
-        SimOptions {
-            max_ops: 50_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(50_000, 20_000),
         0xCAFE_2013,
     );
     let _ = fatter_l3.run(BenchmarkId::Sort);
@@ -135,10 +123,7 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
     let (recorder, ring) = Recorder::ring(1024);
     let observed = Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 50_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(50_000, 20_000),
         0x0BCA_FE01, // a seed no other test uses: all-cold keys
     )
     .with_recorder(recorder);

@@ -14,10 +14,7 @@ use dcbench::{cache, Characterizer};
 fn harness() -> Characterizer {
     Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 75_000,
-            warmup_ops: 75_000,
-        },
+        SimOptions::exact(75_000, 75_000),
         2013,
     )
 }

@@ -39,18 +39,12 @@ fn ablation_llc_capacity_hurts_data_analysis() {
     // so shrinking the LLC must increase memory traffic.
     let full = Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 400_000,
-            warmup_ops: 120_000,
-        },
+        SimOptions::exact(400_000, 120_000),
         7,
     );
     let small = Characterizer::new(
         CpuConfig::westmere_e5645().with_l3_bytes(1 << 20),
-        SimOptions {
-            max_ops: 400_000,
-            warmup_ops: 120_000,
-        },
+        SimOptions::exact(400_000, 120_000),
         7,
     );
     let big = full.run(BenchmarkId::PageRank);
@@ -69,10 +63,7 @@ fn ablation_simpler_predictor_is_enough_for_da() {
     // Paper: "A simpler branch predictor may be preferred" for DA. A
     // short-history predictor should cost DA little IPC relative to
     // what it costs SPECINT.
-    let opts = SimOptions {
-        max_ops: 300_000,
-        warmup_ops: 500_000,
-    };
+    let opts = SimOptions::exact(300_000, 500_000);
     let westmere = Characterizer::new(CpuConfig::westmere_e5645(), opts, 2013);
     let simple = Characterizer::new(
         CpuConfig::westmere_e5645().with_predictor_bits(4),

@@ -11,10 +11,7 @@ use dcbench::{BenchmarkId, Characterizer};
 fn harness(seed: u64) -> Characterizer {
     Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 40_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(40_000, 20_000),
         seed,
     )
 }

@@ -52,6 +52,8 @@ fn record_from(label: u64) -> Record {
             warmup_ops: (h >> 12) % 400_000,
             seed: splitmix64(h ^ 0x5EED),
             corun: 1 + (h % 4) as u32,
+            // Every fourth key is a sampled measurement.
+            sample: (h % 4 == 3).then(|| (1 + (h >> 24) % 100_000, 1 + (h >> 32) % 300_000)),
         },
         counts: (0..blocks)
             .map(|b| {

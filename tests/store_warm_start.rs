@@ -38,10 +38,7 @@ fn tmp(name: &str) -> PathBuf {
 fn harness(recorder: Recorder) -> Characterizer {
     Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 50_000,
-            warmup_ops: 20_000,
-        },
+        SimOptions::exact(50_000, 20_000),
         0x57_0123,
     )
     .with_recorder(recorder)
@@ -242,6 +239,7 @@ fn compaction_drops_damage_and_emits_store_compacted() {
         warmup_ops: 0,
         seed: 0xD0_0D,
         corun: 1,
+        sample: None,
     };
     let (mut store, _) = Store::open(&path).expect("open");
     store
@@ -339,6 +337,7 @@ fn unknown_entries_in_a_foreign_store_are_skipped_not_fatal() {
                 warmup_ops: 0,
                 seed: 1,
                 corun: 1,
+                sample: None,
             },
             counts: vec![PerfCounts::default()],
         })

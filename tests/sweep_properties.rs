@@ -29,10 +29,7 @@ const SEED: u64 = 0x5EED_5EED;
 fn harness() -> Characterizer {
     Characterizer::new(
         CpuConfig::westmere_e5645(),
-        SimOptions {
-            max_ops: 120_000,
-            warmup_ops: 40_000,
-        },
+        SimOptions::exact(120_000, 40_000),
         SEED,
     )
 }
