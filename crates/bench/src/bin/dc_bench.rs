@@ -12,9 +12,10 @@
 //! ```
 //!
 //! With `--baseline`, every `full_matrix_*`, `chip_*`, `sweep_*`,
-//! `server_*`, and `obs_disabled*` entry is compared against the same-named entry in
-//! the baseline file; any wall-clock more than `tolerance` above
-//! baseline fails the run (exit 1). `DCBENCH_JOBS` caps the parallel
+//! `server_*`, `obs_disabled*`, and `metrics_disabled*` entry is
+//! compared against the same-named entry in the baseline file; any
+//! wall-clock more than `tolerance` above baseline fails the run
+//! (exit 1). `DCBENCH_JOBS` caps the parallel
 //! phase's worker count, as everywhere else.
 //!
 //! Besides `BENCH_<label>.json`, the run writes
@@ -282,6 +283,31 @@ fn run_entries(quick: bool, only: Option<&str>) -> Vec<BenchEntry> {
         push("obs_recorder_sampled_matrix", recorded, sample_uops, 1);
     }
 
+    // Metrics-registry overhead: the cold parallel matrix with the
+    // global registry switched off (must cost nothing — gates against
+    // its baseline) and on (the default — informational). The matrix
+    // crosses every instrumented path: cache counters per lookup, pool
+    // gauges per parallel_map, simulator phase counters per run.
+    if want("metrics_disabled") || want("metrics_enabled_matrix") {
+        eprintln!("dc-bench: metrics-registry overhead (cold parallel matrix)");
+    }
+    if want("metrics_disabled") {
+        dc_obs::metrics::global().set_enabled(false);
+        cache::clear();
+        let off = time_ms(|| {
+            bench.run_all();
+        });
+        dc_obs::metrics::global().set_enabled(true);
+        push("metrics_disabled", off, uops, jobs);
+    }
+    if want("metrics_enabled_matrix") {
+        cache::clear();
+        let on = time_ms(|| {
+            bench.run_all();
+        });
+        push("metrics_enabled_matrix", on, uops, jobs);
+    }
+
     // Sensitivity-sweep path: the eleven DA workloads along a two-point
     // L3 axis (half / paper-size), cold and then from the warm counter
     // cache. The cold pass is the per-axis cost unit EXPERIMENTS.md
@@ -363,6 +389,7 @@ fn run_entries(quick: bool, only: Option<&str>) -> Vec<BenchEntry> {
             workers: jobs,
             queue_cap: 256,
             recorder: Recorder::disabled(),
+            ..dc_server::ServerConfig::default()
         });
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
         let addr = listener.local_addr().expect("bound address");
@@ -546,11 +573,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// (the warm-cache pass) cannot trip on scheduler noise.
 const GATE_SLACK_MS: f64 = 50.0;
 
-/// Compare the full-matrix, chip, sweep, server, and recorder-disabled
-/// entries against the baseline; returns the list of human-readable
-/// regression descriptions. `obs_recorder_*` entries are informational
-/// only — the contract is that the *disabled* path stays free, not that
-/// streaming JSONL is.
+/// Compare the full-matrix, chip, sweep, server, recorder-disabled and
+/// metrics-disabled entries against the baseline; returns the list of
+/// human-readable regression descriptions. `obs_recorder_*` and
+/// `metrics_enabled_*` entries are informational only — the contract
+/// is that the *disabled* paths stay free, not that instrumentation is.
 fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
     let mut bad = Vec::new();
     for e in current.iter().filter(|e| {
@@ -559,6 +586,7 @@ fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f6
             || e.name.starts_with("sweep_")
             || e.name.starts_with("server_")
             || e.name.starts_with("obs_disabled")
+            || e.name.starts_with("metrics_disabled")
     }) {
         let Some((_, base_ms)) = baseline.iter().find(|(n, _)| n == e.name) else {
             eprintln!(
@@ -757,6 +785,29 @@ mod tests {
         let bad = regressions(&obs, &obs_base, 0.25);
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("obs_disabled_sampled_matrix"));
+        // Same split for the metrics registry: the disabled path gates,
+        // the enabled path is informational.
+        let metrics = vec![
+            BenchEntry {
+                name: "metrics_disabled",
+                wall_ms: 2000.0,
+                uops_per_s: 0.0,
+                threads: 4,
+            },
+            BenchEntry {
+                name: "metrics_enabled_matrix",
+                wall_ms: 9000.0,
+                uops_per_s: 0.0,
+                threads: 4,
+            },
+        ];
+        let metrics_base = vec![
+            ("metrics_disabled".to_string(), 1000.0),
+            ("metrics_enabled_matrix".to_string(), 1000.0),
+        ];
+        let bad = regressions(&metrics, &metrics_base, 0.25);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("metrics_disabled"));
     }
 
     #[test]

@@ -1,37 +1,50 @@
-//! `obs-schema-check` — validate `dc-obs` JSONL artifacts against the
-//! documented event schema.
+//! `obs-schema-check` — validate `dc-obs` observability artifacts
+//! against their documented schemas.
 //!
 //! ```text
 //! obs-schema-check <file.jsonl> [more.jsonl ...]
 //! obs-schema-check --lines <file.jsonl> ...   # per-line only, no seq check
+//! obs-schema-check --metrics <metrics.txt> ... # text exposition files
 //! ```
 //!
 //! Default mode treats each file as one single-recorder artifact
 //! (`seq` must be gapless from zero); `--lines` relaxes that for files
 //! that concatenate several recorders' output (e.g. the engine and
 //! cluster rings that `job_timeline --jsonl` chains into one file).
-//! Exit 0 when every file validates, 1 on the first schema violation,
-//! 2 on usage or I/O errors.
+//! `--metrics` switches schemas entirely: each file must be a
+//! Prometheus-style text exposition as produced by the metrics
+//! registry (`dc-top --text` captures one from a live daemon), checked
+//! for sorted `# TYPE` families, cumulative histogram buckets and
+//! matching `_count` tails. Exit 0 when every file validates, 1 on the
+//! first schema violation, 2 on usage or I/O errors.
 
-use dc_benches::schema;
+use dc_benches::{metrics_text, schema};
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Stream,
+    Lines,
+    Metrics,
+}
+
 fn main() -> ExitCode {
-    let mut per_line_only = false;
+    let mut mode = Mode::Stream;
     let mut paths = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--lines" => per_line_only = true,
+            "--lines" => mode = Mode::Lines,
+            "--metrics" => mode = Mode::Metrics,
             other if other.starts_with('-') => {
                 eprintln!("obs-schema-check: unknown flag {other}");
-                eprintln!("usage: obs-schema-check [--lines] <file.jsonl> ...");
+                eprintln!("usage: obs-schema-check [--lines | --metrics] <file> ...");
                 return ExitCode::from(2);
             }
             path => paths.push(path.to_string()),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: obs-schema-check [--lines] <file.jsonl> ...");
+        eprintln!("usage: obs-schema-check [--lines | --metrics] <file> ...");
         return ExitCode::from(2);
     }
 
@@ -43,25 +56,30 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let result = if per_line_only {
-            let mut n = 0usize;
-            let mut err = None;
-            for (i, line) in text.lines().enumerate() {
-                if let Err(e) = schema::validate_line(line) {
-                    err = Some(format!("line {}: {e}", i + 1));
-                    break;
+        let (result, unit) = match mode {
+            Mode::Stream => (schema::validate_stream(&text), "event"),
+            Mode::Lines => {
+                let mut n = 0usize;
+                let mut err = None;
+                for (i, line) in text.lines().enumerate() {
+                    if let Err(e) = schema::validate_line(line) {
+                        err = Some(format!("line {}: {e}", i + 1));
+                        break;
+                    }
+                    n += 1;
                 }
-                n += 1;
+                (
+                    match err {
+                        Some(e) => Err(e),
+                        None => Ok(n),
+                    },
+                    "event",
+                )
             }
-            match err {
-                Some(e) => Err(e),
-                None => Ok(n),
-            }
-        } else {
-            schema::validate_stream(&text)
+            Mode::Metrics => (metrics_text::validate_metrics_text(&text), "sample"),
         };
         match result {
-            Ok(n) => eprintln!("obs-schema-check: {path}: {n} event(s) OK"),
+            Ok(n) => eprintln!("obs-schema-check: {path}: {n} {unit}(s) OK"),
             Err(e) => {
                 eprintln!("obs-schema-check: {path}: {e}");
                 return ExitCode::FAILURE;

@@ -9,6 +9,7 @@
 //! the regeneration, so `cargo bench` doubles as the reproduction run;
 //! EXPERIMENTS.md records the printed series against the paper's.
 
+pub mod metrics_text;
 pub mod schema;
 
 /// Shared quick-characterizer constructor so every bench measures the

@@ -1,0 +1,342 @@
+//! Validator for the Prometheus-style text exposition produced by
+//! [`dc_obs::metrics::MetricsSnapshot::render_text`].
+//!
+//! The exposition is one of the three public surfaces of the metrics
+//! subsystem (JSON `stats`, text exposition, `dc-top`), and CI gates
+//! the daemon's live output through this checker
+//! (`obs-schema-check --metrics`). The rules mirror what the renderer
+//! promises:
+//!
+//! - every sample belongs to a family announced by a `# TYPE name kind`
+//!   header, `kind` one of `counter` | `gauge` | `histogram`;
+//! - family names are strictly ascending (snapshots are sorted, one
+//!   header per family);
+//! - scalar samples are named exactly after their family; histogram
+//!   samples are `name_bucket` / `name_sum` / `name_count`;
+//! - every histogram series has ascending `le` edges with cumulative
+//!   non-decreasing counts, ends in `le="+Inf"`, and its `_count`
+//!   equals the `+Inf` bucket;
+//! - all values are integers (the registry is integer arithmetic end
+//!   to end — a float anywhere means corruption), and only gauges may
+//!   go negative.
+
+/// Metric family kinds the exposition may announce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One parsed sample line: base name, label pairs, value. The value is
+/// signed because gauges may legitimately go negative; every other use
+/// re-checks the sign.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: i64,
+}
+
+impl Sample {
+    fn unsigned(&self) -> Result<u64, String> {
+        u64::try_from(self.value)
+            .map_err(|_| format!("negative value {} on a non-gauge sample", self.value))
+    }
+}
+
+/// Split `name{k="v",…} 42` into its parts. Label values are quoted
+/// strings without embedded quotes (the renderer never escapes because
+/// the registry never needs to).
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (key, value) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            if close < brace {
+                return Err("mismatched braces".into());
+            }
+            let mut labels = Vec::new();
+            let body = &line[brace + 1..close];
+            for pair in body.split(',') {
+                let (k, v) = pair.split_once('=').ok_or("label without '='")?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or("label value not quoted")?;
+                if k.is_empty() || !is_ident(k) {
+                    return Err(format!("bad label name {k:?}"));
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+            let rest = line[close + 1..]
+                .strip_prefix(' ')
+                .ok_or("missing space before value")?;
+            (
+                Sample {
+                    name: line[..brace].to_string(),
+                    labels,
+                    value: 0,
+                },
+                rest,
+            )
+        }
+        None => {
+            let (name, rest) = line.split_once(' ').ok_or("sample without value")?;
+            (
+                Sample {
+                    name: name.to_string(),
+                    labels: Vec::new(),
+                    value: 0,
+                },
+                rest,
+            )
+        }
+    };
+    if key.name.is_empty() || !is_ident(&key.name) {
+        return Err(format!("bad metric name {:?}", key.name));
+    }
+    let value: i64 = value
+        .parse()
+        .map_err(|_| format!("value {value:?} is not an integer"))?;
+    Ok(Sample { value, ..key })
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// In-flight histogram series state: one `(base labels)` block of
+/// `_bucket` lines awaiting its `_sum` and `_count`.
+struct HistSeries {
+    base_labels: Vec<(String, String)>,
+    last_edge: Option<u64>,
+    last_cum: u64,
+    inf_count: Option<u64>,
+    sum_seen: bool,
+}
+
+/// Validate a full text exposition. Returns the number of sample lines
+/// on success; the first violation (with its 1-based line number)
+/// otherwise.
+pub fn validate_metrics_text(text: &str) -> Result<usize, String> {
+    let mut family: Option<(String, Kind)> = None;
+    let mut series: Option<HistSeries> = None;
+    let mut samples = 0usize;
+
+    let close_series = |series: &mut Option<HistSeries>| -> Result<(), String> {
+        if let Some(s) = series.take() {
+            if !s.sum_seen || s.inf_count.is_none() {
+                return Err("histogram series is missing its _sum/_count tail".into());
+            }
+        }
+        Ok(())
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        if let Some(header) = line.strip_prefix("# TYPE ") {
+            close_series(&mut series).map_err(at)?;
+            let (name, kind) = header
+                .split_once(' ')
+                .ok_or_else(|| at("malformed TYPE header".into()))?;
+            if !is_ident(name) {
+                return Err(at(format!("bad family name {name:?}")));
+            }
+            let kind = match kind {
+                "counter" => Kind::Counter,
+                "gauge" => Kind::Gauge,
+                "histogram" => Kind::Histogram,
+                other => return Err(at(format!("unknown family kind {other:?}"))),
+            };
+            if let Some((prev, _)) = &family {
+                if name <= prev.as_str() {
+                    return Err(at(format!(
+                        "family {name:?} is not strictly after {prev:?} (snapshots are sorted)"
+                    )));
+                }
+            }
+            family = Some((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment: tolerated, never required.
+        }
+        if line.is_empty() {
+            return Err(at("blank line inside exposition".into()));
+        }
+
+        let sample = parse_sample(line).map_err(at)?;
+        samples += 1;
+        let Some((fam_name, kind)) = &family else {
+            return Err(at(format!(
+                "sample {:?} before any TYPE header",
+                sample.name
+            )));
+        };
+        match kind {
+            Kind::Counter | Kind::Gauge => {
+                if &sample.name != fam_name {
+                    return Err(at(format!(
+                        "sample {:?} does not belong to family {fam_name:?}",
+                        sample.name
+                    )));
+                }
+                if *kind == Kind::Counter {
+                    sample.unsigned().map_err(at)?;
+                }
+            }
+            Kind::Histogram => {
+                let value = sample.unsigned().map_err(at)?;
+                let suffix = sample.name.strip_prefix(fam_name.as_str()).ok_or_else(|| {
+                    at(format!(
+                        "sample {:?} does not belong to family {fam_name:?}",
+                        sample.name
+                    ))
+                })?;
+                match suffix {
+                    "_bucket" => {
+                        let mut base = sample.labels.clone();
+                        let le = match base.pop() {
+                            Some((k, v)) if k == "le" => v,
+                            _ => return Err(at("bucket line without trailing le label".into())),
+                        };
+                        let s = series.get_or_insert_with(|| HistSeries {
+                            base_labels: base.clone(),
+                            last_edge: None,
+                            last_cum: 0,
+                            inf_count: None,
+                            sum_seen: false,
+                        });
+                        if s.base_labels != base {
+                            return Err(
+                                at("bucket labels changed before the series closed".into()),
+                            );
+                        }
+                        if s.inf_count.is_some() {
+                            return Err(at("bucket after le=\"+Inf\"".into()));
+                        }
+                        if value < s.last_cum {
+                            return Err(at(format!(
+                                "cumulative bucket count went backwards ({} -> {})",
+                                s.last_cum, value
+                            )));
+                        }
+                        s.last_cum = value;
+                        if le == "+Inf" {
+                            s.inf_count = Some(value);
+                        } else {
+                            let edge: u64 =
+                                le.parse().map_err(|_| at(format!("bad le edge {le:?}")))?;
+                            if s.last_edge.is_some_and(|prev| edge <= prev) {
+                                return Err(at(format!("le edges not ascending at {edge}")));
+                            }
+                            s.last_edge = Some(edge);
+                        }
+                    }
+                    "_sum" => {
+                        let s = series
+                            .as_mut()
+                            .ok_or_else(|| at("_sum before any bucket".into()))?;
+                        if s.inf_count.is_none() {
+                            return Err(at("_sum before the le=\"+Inf\" bucket".into()));
+                        }
+                        if s.base_labels != sample.labels {
+                            return Err(at("_sum labels do not match the series".into()));
+                        }
+                        s.sum_seen = true;
+                    }
+                    "_count" => {
+                        let s = series
+                            .as_mut()
+                            .ok_or_else(|| at("_count before any bucket".into()))?;
+                        if !s.sum_seen {
+                            return Err(at("_count before _sum".into()));
+                        }
+                        if s.base_labels != sample.labels {
+                            return Err(at("_count labels do not match the series".into()));
+                        }
+                        if Some(value) != s.inf_count {
+                            return Err(at(format!(
+                                "_count {} disagrees with the +Inf bucket {:?}",
+                                value, s.inf_count
+                            )));
+                        }
+                        series = None;
+                    }
+                    other => return Err(at(format!("unknown histogram sample suffix {other:?}"))),
+                }
+            }
+        }
+    }
+    close_series(&mut series).map_err(|e| format!("end of input: {e}"))?;
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_obs::metrics::Registry;
+
+    fn real_exposition() -> String {
+        let reg = Registry::new();
+        reg.counter("dc_requests_total", &[("verb", "submit")])
+            .add(4);
+        reg.counter("dc_requests_total", &[("verb", "stats")]).inc();
+        reg.gauge("dc_queue_depth", &[]).set(2);
+        let h = reg.histogram("dc_wait_us", &[]);
+        for v in [0u64, 0, 3, 900] {
+            h.observe(v);
+        }
+        reg.snapshot().render_text()
+    }
+
+    #[test]
+    fn accepts_the_real_renderer_output() {
+        let text = real_exposition();
+        let n = validate_metrics_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // 1 gauge + 2 counters + (3 finite buckets + Inf + sum + count).
+        assert_eq!(n, 9);
+        assert_eq!(validate_metrics_text(""), Ok(0));
+    }
+
+    #[test]
+    fn rejects_unsorted_families_and_bad_kinds() {
+        let text = "# TYPE b counter\nb 1\n# TYPE a counter\na 1\n";
+        assert!(validate_metrics_text(text).unwrap_err().contains("sorted"));
+        let text = "# TYPE a summary\na 1\n";
+        assert!(validate_metrics_text(text).unwrap_err().contains("kind"));
+        let text = "orphan 3\n";
+        assert!(validate_metrics_text(text)
+            .unwrap_err()
+            .contains("before any TYPE"));
+    }
+
+    #[test]
+    fn rejects_broken_histograms() {
+        // Cumulative counts must not go backwards.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 4\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_metrics_text(text)
+            .unwrap_err()
+            .contains("backwards"));
+        // _count must equal the +Inf bucket.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 6\n";
+        assert!(validate_metrics_text(text)
+            .unwrap_err()
+            .contains("disagrees"));
+        // A series must close before the file ends.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n";
+        assert!(validate_metrics_text(text)
+            .unwrap_err()
+            .contains("_sum/_count"));
+        // Non-integer values are corruption.
+        let text = "# TYPE g gauge\ng 1.5\n";
+        assert!(validate_metrics_text(text).unwrap_err().contains("integer"));
+    }
+}

@@ -22,11 +22,11 @@
 
 use crate::registry::BenchmarkId;
 use dc_cpu::{core::SimOptions, CpuConfig, PerfCounts, SamplePlan};
+use dc_obs::metrics::{self, Counter};
 use dc_obs::{Recorder, Value};
 use dc_store::{CompactStats, Record, Store, StoreKey};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Complete identity of one characterization measurement.
@@ -75,20 +75,48 @@ impl CacheKey {
     }
 }
 
-/// Simulations actually executed (cache misses + uncached runs).
-static SIM_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
-/// Lookups satisfied without simulating.
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-/// Lookups satisfied by records preloaded from a persistent store.
-static STORE_HITS: AtomicU64 = AtomicU64::new(0);
-/// Simulated misses that happened while a store was attached (each one
-/// became a write-through append).
-static STORE_MISSES: AtomicU64 = AtomicU64::new(0);
-/// Write-through appends that failed at the I/O layer. The store is an
-/// amortization layer, not a system of record, so append errors degrade
-/// to "this record won't warm the next run" rather than failing the
-/// measurement — but they are counted, never swallowed invisibly.
-static STORE_WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
+/// The cache's lifetime counters, registered once in the process-wide
+/// metrics registry ([`dc_obs::metrics::global`]).
+///
+/// These used to be private `AtomicU64` statics mirrored into telemetry
+/// events by hand; promoting them to registry counters means the
+/// `stats` verb, the text exposition and the [`sim_invocations`]-style
+/// accessors all read the *same cells* the hot path increments — event
+/// counts and metric counters cannot disagree, because there is exactly
+/// one increment site for both (`emit_lookup` and friends).
+struct CacheMetrics {
+    /// Simulations actually executed (cache misses + uncached runs):
+    /// `dcbench_sim_runs_total`.
+    sims: Counter,
+    /// Lookups satisfied without simulating: `dcbench_cache_hits_total`.
+    hits: Counter,
+    /// Lookups satisfied by records preloaded from a persistent store:
+    /// `dcbench_store_hits_total`.
+    store_hits: Counter,
+    /// Simulated misses that happened while a store was attached (each
+    /// one became a write-through append): `dcbench_store_misses_total`.
+    store_misses: Counter,
+    /// Write-through appends that failed at the I/O layer. The store is
+    /// an amortization layer, not a system of record, so append errors
+    /// degrade to "this record won't warm the next run" rather than
+    /// failing the measurement — but they are counted, never swallowed
+    /// invisibly: `dcbench_store_write_errors_total`.
+    write_errors: Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = metrics::global();
+        CacheMetrics {
+            sims: reg.counter("dcbench_sim_runs_total", &[]),
+            hits: reg.counter("dcbench_cache_hits_total", &[]),
+            store_hits: reg.counter("dcbench_store_hits_total", &[]),
+            store_misses: reg.counter("dcbench_store_misses_total", &[]),
+            write_errors: reg.counter("dcbench_store_write_errors_total", &[]),
+        }
+    })
+}
 
 /// All mutable cache state, under **one** mutex.
 ///
@@ -168,7 +196,7 @@ fn from_store_key(key: &StoreKey) -> Option<CacheKey> {
 /// Record that one real simulation ran (also called by uncached paths,
 /// so the "zero simulation work" test can observe both).
 pub(crate) fn note_simulation() {
-    SIM_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    cache_metrics().sims.inc();
 }
 
 /// Emit the cache-telemetry event for one lookup. `ts` is 0 for every
@@ -219,9 +247,9 @@ pub(crate) fn counts_vec_for(
         if let Some(hit) = st.memo.get(&key).cloned() {
             let preloaded = st.from_store.contains(&key);
             drop(st);
-            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.inc();
             if preloaded {
-                STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().store_hits.inc();
                 emit_lookup(recorder, "store_hit", &key);
             } else {
                 emit_lookup(recorder, "cache_hit", &key);
@@ -248,7 +276,7 @@ pub(crate) fn counts_vec_for(
     // a cold record next run (counted, not fatal).
     let append_failed = match st.store.as_mut() {
         Some(store) => {
-            STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().store_misses.inc();
             let record = Record {
                 key: to_store_key(&key),
                 counts: counts.clone(),
@@ -261,7 +289,7 @@ pub(crate) fn counts_vec_for(
     if let Some(failed) = append_failed {
         emit_lookup(recorder, "store_miss", &key);
         if failed {
-            STORE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().write_errors.inc();
         }
     }
     counts
@@ -269,27 +297,27 @@ pub(crate) fn counts_vec_for(
 
 /// Total simulations executed by this process (misses + uncached runs).
 pub fn sim_invocations() -> u64 {
-    SIM_INVOCATIONS.load(Ordering::Relaxed)
+    cache_metrics().sims.value()
 }
 
 /// Total lookups satisfied from the cache.
 pub fn cache_hits() -> u64 {
-    CACHE_HITS.load(Ordering::Relaxed)
+    cache_metrics().hits.value()
 }
 
 /// Lookups satisfied by records preloaded from a persistent store.
 pub fn store_hits() -> u64 {
-    STORE_HITS.load(Ordering::Relaxed)
+    cache_metrics().store_hits.value()
 }
 
 /// Simulated misses that were written through to an attached store.
 pub fn store_misses() -> u64 {
-    STORE_MISSES.load(Ordering::Relaxed)
+    cache_metrics().store_misses.value()
 }
 
 /// Write-through appends that failed at the I/O layer.
 pub fn store_write_errors() -> u64 {
-    STORE_WRITE_ERRORS.load(Ordering::Relaxed)
+    cache_metrics().write_errors.value()
 }
 
 /// Number of distinct measurements currently cached.
@@ -315,11 +343,12 @@ pub fn clear() {
     st.memo.clear();
     st.from_store.clear();
     drop(st);
-    SIM_INVOCATIONS.store(0, Ordering::Relaxed);
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    STORE_HITS.store(0, Ordering::Relaxed);
-    STORE_MISSES.store(0, Ordering::Relaxed);
-    STORE_WRITE_ERRORS.store(0, Ordering::Relaxed);
+    let m = cache_metrics();
+    m.sims.reset();
+    m.hits.reset();
+    m.store_hits.reset();
+    m.store_misses.reset();
+    m.write_errors.reset();
 }
 
 /// What attaching or loading a persistent store found.
@@ -427,7 +456,7 @@ pub fn attach_store(path: impl AsRef<Path>, recorder: &Recorder) -> std::io::Res
             counts: counts.clone(),
         };
         if store.append(&record).is_err() {
-            STORE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().write_errors.inc();
         } else {
             report.caught_up += 1;
         }

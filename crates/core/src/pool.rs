@@ -20,7 +20,10 @@
 //! collected in input order and are **bit-identical** at any width —
 //! enforced by `tests/parallel_determinism.rs`.
 
+use dc_obs::metrics;
+use std::cell::Cell;
 use std::env;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker count.
 pub const JOBS_ENV: &str = "DCBENCH_JOBS";
@@ -49,13 +52,75 @@ fn default_jobs() -> usize {
 
 /// Fan `items` out across [`jobs`] workers, returning results in input
 /// order (bit-identical to the sequential run of the same closure).
+///
+/// The fan-out is instrumented into the process-wide metrics registry:
+///
+/// * `dc_pool_queue_depth` (gauge) — jobs not yet started;
+/// * `dc_pool_workers_busy` (gauge) — jobs currently executing;
+/// * `dc_pool_worker_busy{worker="N"}` (gauge, 0/1) — per-worker
+///   busy/idle, `N` being a compact per-call slot index;
+/// * `dc_pool_worker_jobs_total{worker="N"}` (counter) — jobs each
+///   slot completed (scheduling-dependent; the *sum* is deterministic);
+/// * `dc_pool_jobs_total` (counter) — total jobs completed.
+///
+/// All gauges return to zero when the call completes, so quiescent
+/// snapshots stay deterministic. The per-job cost is a handful of
+/// relaxed atomics — noise next to a multi-ms simulation job.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    dc_mapreduce::pool::parallel_map(items, jobs(), f)
+    let width = jobs();
+    let slots = width.min(items.len()).max(1);
+    let reg = metrics::global();
+    let depth = reg.gauge("dc_pool_queue_depth", &[]);
+    let busy = reg.gauge("dc_pool_workers_busy", &[]);
+    let jobs_total = reg.counter("dc_pool_jobs_total", &[]);
+    let slot_names: Vec<String> = (0..slots).map(|w| w.to_string()).collect();
+    let worker_busy: Vec<metrics::Gauge> = slot_names
+        .iter()
+        .map(|w| reg.gauge("dc_pool_worker_busy", &[("worker", w)]))
+        .collect();
+    let worker_jobs: Vec<metrics::Counter> = slot_names
+        .iter()
+        .map(|w| reg.counter("dc_pool_worker_jobs_total", &[("worker", w)]))
+        .collect();
+    depth.set(items.len() as i64);
+
+    // Workers are fresh scoped threads each call, so a per-call counter
+    // hands each one a compact slot id on its first job. The inline
+    // (width 1) path runs on the caller thread, which keeps slot 0 for
+    // the life of the process.
+    let next_slot = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    let out = dc_mapreduce::pool::parallel_map(items, width, |i, item| {
+        let slot = SLOT.with(|s| match s.get() {
+            Some(v) => v,
+            None => {
+                let v = next_slot.fetch_add(1, Ordering::Relaxed);
+                s.set(Some(v));
+                v
+            }
+        });
+        let slot = slot.min(slots - 1);
+        depth.dec();
+        busy.inc();
+        worker_busy[slot].set(1);
+        let r = f(i, item);
+        worker_busy[slot].set(0);
+        worker_jobs[slot].inc();
+        jobs_total.inc();
+        busy.dec();
+        r
+    });
+    // A closed queue leaves nothing pending by construction; pin the
+    // gauge there rather than trusting dec() arithmetic under races.
+    depth.set(0);
+    out
 }
 
 #[cfg(test)]

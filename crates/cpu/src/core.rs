@@ -542,6 +542,13 @@ pub(crate) struct Pipeline {
     span_start_cycle: u64,
     span_start_instr: u64,
     span_start_stalls: [u64; 6],
+    /// Post-warm-up instructions retired per sampling phase, in the
+    /// order ramp / detail / fast-forward. Wind-down drain retirements
+    /// belong to none of the three (they are excluded from the
+    /// extrapolation exactly like ramp cycles). Not part of
+    /// [`PerfCounts`] — the store format must not change — these feed
+    /// the `dc_sim_phase_instructions_total` metrics at finalize.
+    phase_instr: [u64; 3],
 }
 
 impl Pipeline {
@@ -607,6 +614,7 @@ impl Pipeline {
             span_start_cycle: 0,
             span_start_instr: 0,
             span_start_stalls: [0; 6],
+            phase_instr: [0; 3],
         }
     }
 
@@ -710,7 +718,15 @@ impl Pipeline {
                 self.counts.user_instructions += 1;
             }
             match &mut self.phase {
-                SamplePhase::Ramp { left } | SamplePhase::Detail { left } => {
+                SamplePhase::Ramp { left } => {
+                    self.phase_instr[0] += 1;
+                    *left -= 1;
+                    if *left == 0 {
+                        self.sample_interval_done(cycle);
+                    }
+                }
+                SamplePhase::Detail { left } => {
+                    self.phase_instr[1] += 1;
                     *left -= 1;
                     if *left == 0 {
                         self.sample_interval_done(cycle);
@@ -735,6 +751,7 @@ impl Pipeline {
             self.clean_cycles = 0;
             self.clean_instr = 0;
             self.clean_stalls = [0; 6];
+            self.phase_instr = [0; 3];
             if matches!(self.phase, SamplePhase::Detail { .. }) {
                 // Mid-span boundary: the span restarts on the fresh
                 // (all-zero) counter baselines.
@@ -999,6 +1016,7 @@ impl Pipeline {
             now = (now + cpi).max(shared.channel_relief());
             self.ffwd_done += 1;
             self.ffwd_in_counts += 1;
+            self.phase_instr[2] += 1;
             self.counts.instructions += 1;
             match op.mode {
                 Mode::User => self.counts.user_instructions += 1,
@@ -1038,6 +1056,7 @@ impl Pipeline {
                 self.clean_cycles = 0;
                 self.clean_instr = 0;
                 self.clean_stalls = [0; 6];
+                self.phase_instr = [0; 3];
             }
             if self.processed() >= self.target {
                 break;
@@ -1165,12 +1184,39 @@ impl Pipeline {
     /// pipeline refill and drain tail — so they enter neither the
     /// numerator nor the denominator (SMARTS detailed warming). Event
     /// counts stay as measured: every op touched the real structures.
+    /// Post-warm-up instructions retired per sampling phase:
+    /// `(ramp, detail, ffwd)`. All zero in exact mode.
+    #[cfg(test)]
+    pub(crate) fn phase_instructions(&self) -> (u64, u64, u64) {
+        (
+            self.phase_instr[0],
+            self.phase_instr[1],
+            self.phase_instr[2],
+        )
+    }
+
+    /// Publish the per-phase instruction split into the process-wide
+    /// metrics registry (`dc_sim_phase_instructions_total{phase=…}`).
+    /// Called once per finalized sampled window — three counter adds,
+    /// nothing on the cycle loop's hot path.
+    fn publish_phase_metrics(&self) {
+        if self.plan.is_none() {
+            return;
+        }
+        let reg = dc_obs::metrics::global();
+        for (phase, n) in [("ramp", 0usize), ("detail", 1), ("ffwd", 2)] {
+            reg.counter("dc_sim_phase_instructions_total", &[("phase", phase)])
+                .add(self.phase_instr[n]);
+        }
+    }
+
     pub(crate) fn finalize(
         &self,
         hier: &PrivateHierarchy,
         mmu: &Mmu,
         bp: &BranchPredictor,
     ) -> PerfCounts {
+        self.publish_phase_metrics();
         let mut counts = self.snapshot(self.final_cycle, hier, mmu, bp);
         if self.plan.is_some() && self.ffwd_in_counts > 0 {
             let mut span_cycles = self.clean_cycles;
@@ -1862,5 +1908,60 @@ mod tests {
         let cfg = CpuConfig::westmere_e5645();
         let opts = SimOptions::quick().with_sampling(0, 1_000);
         simulate(alu_stream(100), &cfg, &opts);
+    }
+
+    /// Drive a pipeline to completion and return `(counts, pipeline)`
+    /// so tests can inspect sampling-internal state after the run.
+    fn run_keeping_pipeline<T: TraceSource>(
+        mut trace: T,
+        cfg: &CpuConfig,
+        opts: &SimOptions,
+    ) -> (PerfCounts, Pipeline) {
+        let mut core = Core::new(cfg.clone());
+        let mut pipe = Pipeline::new(cfg, opts);
+        let mut cycle: u64 = 0;
+        loop {
+            cycle += 1;
+            if pipe.step(
+                cycle,
+                cfg,
+                &mut core.hier.private,
+                &mut core.hier.shared,
+                &mut core.mmu,
+                &mut core.bp,
+                &mut trace,
+            ) {
+                break;
+            }
+        }
+        let counts = pipe.finalize(&core.hier.private, &core.mmu, &core.bp);
+        (counts, pipe)
+    }
+
+    #[test]
+    fn sampled_mode_splits_instructions_by_phase() {
+        let cfg = CpuConfig::westmere_e5645();
+        let profile = WorkloadProfile::builder("smarts-phases")
+            .build()
+            .expect("valid");
+        let opts = SimOptions::exact(200_000, 30_000).with_sampling(10_000, 30_000);
+        let (counts, pipe) = run_keeping_pipeline(SyntheticTrace::new(&profile, 7), &cfg, &opts);
+        let (ramp, detail, ffwd) = pipe.phase_instructions();
+        assert!(ramp > 0, "post-warm-up window must include ramp prefixes");
+        assert!(detail > 0, "measured spans retire in detail");
+        assert!(ffwd > 0, "fast-forward bursts dominate the window");
+        // Wind-down drain retirements belong to no phase, so the three
+        // never exceed the measured window's instruction total — and
+        // fast-forwarded µops must account for most of it.
+        assert!(ramp + detail + ffwd <= counts.instructions);
+        assert!(ffwd > detail, "ffwd_ops=3×detail_ops plans skip most µops");
+
+        // Exact mode reports an all-zero split.
+        let (_, exact) = run_keeping_pipeline(
+            alu_stream(100_000),
+            &cfg,
+            &SimOptions::exact(50_000, 10_000),
+        );
+        assert_eq!(exact.phase_instructions(), (0, 0, 0));
     }
 }

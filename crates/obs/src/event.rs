@@ -65,7 +65,10 @@ fn push_display(out: &mut String, v: &impl std::fmt::Display) {
     let _ = write!(out, "{v}");
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+/// Shared by the event encoder and the metrics snapshot encoder so
+/// every JSON surface in the crate escapes identically.
+pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {

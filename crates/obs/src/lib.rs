@@ -38,6 +38,7 @@
 
 pub mod event;
 pub mod gantt;
+pub mod metrics;
 pub mod sink;
 
 pub use event::{Event, Value};

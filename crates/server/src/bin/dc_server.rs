@@ -120,6 +120,7 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_cap: args.queue,
         recorder,
+        ..ServerConfig::default()
     });
 
     if args.stdio {

@@ -18,6 +18,7 @@
 //! status $A                # one status request
 //! stream $A                # replay+follow events (appended to --events)
 //! cancel $A
+//! stats                    # snapshot the daemon's metrics registry
 //! shutdown
 //! send <raw line>          # arbitrary bytes on the wire, read one reply
 //! send-bytes N             # a garbage line of N bytes, read one reply
@@ -27,6 +28,12 @@
 //! expect-state STATE       # last response result.state == STATE
 //! expect-sims N            # last response result.simulations == N
 //! expect-sims-gt N
+//! expect-metric KEY OP N   # assert against the last stats snapshot:
+//!                          # KEY is the canonical metric key, e.g.
+//!                          # dc_server_requests_total{verb="submit"},
+//!                          # with an optional histogram field suffix
+//!                          # (.count .sum .min .max .p50 .p90 .p99);
+//!                          # OP is one of == != < <= > >=
 //! save-output PATH         # write result.output of the last response,
 //!                          # byte-exact, to PATH
 //! ```
@@ -153,6 +160,54 @@ fn extract_output(raw: &str) -> Option<&str> {
     None
 }
 
+/// Histogram field suffixes `expect-metric` accepts after the key.
+const HIST_FIELDS: [&str; 7] = ["count", "sum", "min", "max", "p50", "p90", "p99"];
+
+/// Look a metric up in the last `stats` response by canonical key
+/// (`name` or `name{k="v",…}`, labels sorted), with an optional
+/// histogram field suffix (`.p99` etc.). Counters and gauges read
+/// their `value` field.
+fn metric_value(doc: &Json, key: &str) -> Result<f64, String> {
+    // Split a trailing `.field` off the key; metric names are
+    // snake_case (no dots), so any dot after the last `}` (or at all,
+    // for label-less keys) is a field separator.
+    let (key, field) = match key.rsplit_once('.') {
+        Some((k, f)) if HIST_FIELDS.contains(&f) && !f.contains('}') => (k, Some(f)),
+        _ => (key, None),
+    };
+    let Some(Json::Arr(metrics)) = doc.get("result").and_then(|r| r.get("metrics")) else {
+        return Err("last response is not a stats snapshot".into());
+    };
+    for m in metrics {
+        let Some(Json::Str(name)) = m.get("name") else {
+            continue;
+        };
+        let mut canonical = name.clone();
+        if let Some(Json::Obj(labels)) = m.get("labels") {
+            if !labels.is_empty() {
+                canonical.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        canonical.push(',');
+                    }
+                    let Json::Str(v) = v else { continue };
+                    canonical.push_str(&format!("{k}=\"{v}\""));
+                }
+                canonical.push('}');
+            }
+        }
+        if canonical != key {
+            continue;
+        }
+        let field = field.unwrap_or("value");
+        return match m.get(field) {
+            Some(Json::Num(n)) => Ok(*n),
+            _ => Err(format!("metric has no numeric field {field:?}")),
+        };
+    }
+    Err("no such metric in the snapshot".into())
+}
+
 /// The inner `dc-obs` event of a stream frame `{"id":…,"event":{…}}`,
 /// byte-exact (the frame renderer appends the event last, so stripping
 /// the final `}` recovers it).
@@ -241,6 +296,9 @@ fn run_script(client: &mut Client, script: &str) {
                     break;
                 }
             }
+            "stats" => {
+                client.request(line_no, "\"verb\":\"stats\"");
+            }
             "shutdown" => {
                 client.request(line_no, "\"verb\":\"shutdown\"");
             }
@@ -317,6 +375,34 @@ fn run_script(client: &mut Client, script: &str) {
                 };
                 if !pass {
                     fail(line_no, &format!("{cmd} {want}: got {got}"));
+                }
+            }
+            "expect-metric" => {
+                let mut parts = rest.split_whitespace();
+                let (key, op, want) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(k), Some(o), Some(v)) => (k, o, v),
+                    _ => fail(line_no, "usage: expect-metric KEY OP N"),
+                };
+                let want: f64 = want
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, "expect-metric: N must be a number"));
+                let doc = client.last_doc(line_no);
+                let got = metric_value(&doc, key)
+                    .unwrap_or_else(|e| fail(line_no, &format!("expect-metric {key}: {e}")));
+                let pass = match op {
+                    "==" => got == want,
+                    "!=" => got != want,
+                    "<" => got < want,
+                    "<=" => got <= want,
+                    ">" => got > want,
+                    ">=" => got >= want,
+                    _ => fail(line_no, &format!("expect-metric: unknown op {op:?}")),
+                };
+                if !pass {
+                    fail(
+                        line_no,
+                        &format!("expect-metric {key} {op} {want}: got {got}"),
+                    );
                 }
             }
             "save-output" => {

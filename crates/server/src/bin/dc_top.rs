@@ -1,0 +1,407 @@
+//! `dc-top`: a terminal dashboard over a live daemon's `stats` verb.
+//!
+//! ```text
+//! dc-top --connect HOST:PORT [--once | --interval-ms N [--samples N]]
+//! dc-top --connect HOST:PORT --text   # raw Prometheus-style exposition
+//! ```
+//!
+//! Each sample sends one `stats` request, parses the snapshot and
+//! renders three aligned tables — counters, gauges, histograms — with a
+//! log2-bucket sparkline per histogram (the same width-compression
+//! idiom `dc-obs`'s Gantt renderer uses for timelines). `--once` (the
+//! default) prints a single sample and exits, which is what CI
+//! artifacts want; `--interval-ms` keeps sampling on one connection
+//! until `--samples` runs out or the daemon goes away.
+//!
+//! Output is plain text, one sample per block, log-friendly: no ANSI,
+//! no cursor games. For a given snapshot the rendering is
+//! byte-deterministic.
+//!
+//! `--text` skips the dashboard entirely: it fetches one snapshot,
+//! rebuilds the [`MetricsSnapshot`] from the wire JSON and prints the
+//! registry's own text exposition — the bytes `obs-schema-check
+//! --metrics` validates in CI.
+
+use dc_obs::metrics::{
+    bucket_index, sparkline, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsSnapshot,
+    BUCKETS,
+};
+use dc_store::json::{parse_json, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+/// Sparkline column budget per histogram row.
+const SPARK_WIDTH: usize = 16;
+
+fn die(msg: &str) -> ! {
+    eprintln!("dc-top: {msg}");
+    std::process::exit(1);
+}
+
+/// Render a JSON number the way the registry produced it: integer
+/// counters/levels print without a trailing `.0`.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Canonical key of one snapshot entry (`name` or `name{k="v",…}` —
+/// labels already arrive sorted).
+fn canonical_key(m: &Json) -> Option<String> {
+    let Some(Json::Str(name)) = m.get("name") else {
+        return None;
+    };
+    let mut key = name.clone();
+    if let Some(Json::Obj(labels)) = m.get("labels") {
+        if !labels.is_empty() {
+            key.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    key.push(',');
+                }
+                let Json::Str(v) = v else { return None };
+                key.push_str(&format!("{k}=\"{v}\""));
+            }
+            key.push('}');
+        }
+    }
+    Some(key)
+}
+
+fn num_field(m: &Json, field: &str) -> f64 {
+    match m.get(field) {
+        Some(Json::Num(n)) => *n,
+        _ => 0.0,
+    }
+}
+
+/// Dense per-bucket counts for the sparkline, from the sparse
+/// `[[upper,count],…]` pairs in the snapshot.
+fn dense_buckets(m: &Json) -> Vec<u64> {
+    let mut dense = vec![0u64; BUCKETS];
+    if let Some(Json::Arr(pairs)) = m.get("buckets") {
+        for pair in pairs {
+            if let Json::Arr(p) = pair {
+                if let (Some(Json::Num(upper)), Some(Json::Num(count))) = (p.first(), p.get(1)) {
+                    dense[bucket_index(*upper as u64)] = *count as u64;
+                }
+            }
+        }
+    }
+    dense
+}
+
+/// Rebuild the typed snapshot from a stats response so `--text` can
+/// reuse the registry's own exposition renderer byte for byte.
+fn snapshot_from_doc(doc: &Json) -> Result<MetricsSnapshot, String> {
+    let Some(Json::Arr(metrics)) = doc.get("result").and_then(|r| r.get("metrics")) else {
+        return Err("response carries no metrics snapshot".into());
+    };
+    let mut out = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let Some(Json::Str(name)) = m.get("name") else {
+            return Err("metric without a name".into());
+        };
+        let mut labels = Vec::new();
+        if let Some(Json::Obj(pairs)) = m.get("labels") {
+            for (k, v) in pairs {
+                let Json::Str(v) = v else {
+                    return Err(format!("{name}: non-string label value"));
+                };
+                labels.push((k.clone(), v.clone()));
+            }
+        }
+        let value = match m.get("type") {
+            Some(Json::Str(t)) if t == "counter" => {
+                MetricValue::Counter(num_field(m, "value") as u64)
+            }
+            Some(Json::Str(t)) if t == "gauge" => MetricValue::Gauge(num_field(m, "value") as i64),
+            Some(Json::Str(t)) if t == "histogram" => {
+                let mut buckets = Vec::new();
+                if let Some(Json::Arr(pairs)) = m.get("buckets") {
+                    for pair in pairs {
+                        if let Json::Arr(p) = pair {
+                            if let (Some(Json::Num(u)), Some(Json::Num(n))) = (p.first(), p.get(1))
+                            {
+                                buckets.push((*u as u64, *n as u64));
+                            }
+                        }
+                    }
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    count: num_field(m, "count") as u64,
+                    sum: num_field(m, "sum") as u64,
+                    min: num_field(m, "min") as u64,
+                    max: num_field(m, "max") as u64,
+                    buckets,
+                })
+            }
+            _ => return Err(format!("{name}: unknown metric type")),
+        };
+        out.push(MetricSnapshot {
+            name: name.clone(),
+            labels,
+            value,
+        });
+    }
+    Ok(MetricsSnapshot { metrics: out })
+}
+
+/// Render one stats response document as the dashboard block.
+fn render(doc: &Json) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let Some(Json::Arr(metrics)) = doc.get("result").and_then(|r| r.get("metrics")) else {
+        return Err("response carries no metrics snapshot".into());
+    };
+    let mut counters: Vec<(String, String)> = Vec::new();
+    let mut gauges: Vec<(String, String)> = Vec::new();
+    // key, spark, count, p50, p90, p99, max
+    let mut hists: Vec<(String, String, [String; 5])> = Vec::new();
+    for m in metrics {
+        let Some(key) = canonical_key(m) else {
+            continue;
+        };
+        match m.get("type") {
+            Some(Json::Str(t)) if t == "counter" => {
+                counters.push((key, fmt_num(num_field(m, "value"))));
+            }
+            Some(Json::Str(t)) if t == "gauge" => {
+                gauges.push((key, fmt_num(num_field(m, "value"))));
+            }
+            Some(Json::Str(t)) if t == "histogram" => {
+                let cols = ["count", "p50", "p90", "p99", "max"].map(|f| fmt_num(num_field(m, f)));
+                hists.push((key, sparkline(&dense_buckets(m), SPARK_WIDTH), cols));
+            }
+            _ => {}
+        }
+    }
+
+    let key_width = counters
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain(gauges.iter().map(|(k, _)| k.len()))
+        .chain(hists.iter().map(|(k, _, _)| k.len()))
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let scalar_table = |out: &mut String, title: &str, rows: &[(String, String)]| {
+        if rows.is_empty() {
+            return;
+        }
+        let vw = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let _ = writeln!(out, "{title}");
+        for (k, v) in rows {
+            let _ = writeln!(out, "  {k:<key_width$}  {v:>vw$}");
+        }
+    };
+    scalar_table(&mut out, "counters", &counters);
+    scalar_table(&mut out, "gauges", &gauges);
+    if !hists.is_empty() {
+        let headers = ["count", "p50", "p90", "p99", "max"];
+        let mut widths = headers.map(str::len);
+        for (_, _, cols) in &hists {
+            for (w, c) in widths.iter_mut().zip(cols) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let _ = write!(
+            out,
+            "histograms {:spark$}",
+            "",
+            spark = (key_width + SPARK_WIDTH + 4).saturating_sub("histograms".len())
+        );
+        for (h, w) in headers.iter().zip(widths) {
+            let _ = write!(out, "  {h:>w$}");
+        }
+        out.push('\n');
+        for (key, spark, cols) in &hists {
+            let _ = write!(out, "  {key:<key_width$}  [{spark}]");
+            for (c, w) in cols.iter().zip(widths) {
+                let _ = write!(out, "  {c:>w$}");
+            }
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics registered)\n");
+    }
+    Ok(out)
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream =
+            TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .unwrap_or_else(|e| die(&format!("clone stream: {e}"))),
+        );
+        Conn {
+            reader,
+            writer: stream,
+            next_id: 1,
+        }
+    }
+
+    fn stats(&mut self) -> Json {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = format!("{{\"id\":\"top{id}\",\"verb\":\"stats\"}}\n");
+        self.writer
+            .write_all(line.as_bytes())
+            .unwrap_or_else(|e| die(&format!("send failed: {e}")));
+        let mut buf = String::new();
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => die("daemon closed the connection"),
+            Ok(_) => {}
+            Err(e) => die(&format!("read failed: {e}")),
+        }
+        parse_json(buf.trim_end_matches('\n'))
+            .unwrap_or_else(|e| die(&format!("bad response: {e}")))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut connect = None;
+    let mut interval_ms: Option<u64> = None;
+    let mut samples: Option<u64> = None;
+    let mut text = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")),
+            "--once" => interval_ms = None,
+            "--text" => text = true,
+            "--interval-ms" => {
+                interval_ms = Some(
+                    value("--interval-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("--interval-ms needs an integer")),
+                )
+            }
+            "--samples" => {
+                samples = Some(
+                    value("--samples")
+                        .parse()
+                        .unwrap_or_else(|_| die("--samples needs an integer")),
+                )
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!(
+            "usage: dc-top --connect HOST:PORT [--text | --once | --interval-ms N [--samples N]]"
+        );
+        return ExitCode::from(2);
+    };
+    let mut conn = Conn::open(&addr);
+    if text {
+        match snapshot_from_doc(&conn.stats()) {
+            Ok(snap) => print!("{}", snap.render_text()),
+            Err(e) => die(&e),
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut sample = 0u64;
+    loop {
+        sample += 1;
+        let doc = conn.stats();
+        println!("dc-top — {addr} — sample {sample}");
+        match render(&doc) {
+            Ok(block) => print!("{block}"),
+            Err(e) => die(&e),
+        }
+        let Some(ms) = interval_ms else { break };
+        if samples.is_some_and(|n| sample >= n) {
+            break;
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_obs::metrics::Registry;
+
+    fn sample_doc() -> Json {
+        let reg = Registry::new();
+        reg.counter("dc_server_requests_total", &[("verb", "submit")])
+            .add(12);
+        reg.gauge("dc_pool_queue_depth", &[]).set(3);
+        let h = reg.histogram("dc_server_queue_wait_us", &[]);
+        for v in [0u64, 5, 5, 120, 4000] {
+            h.observe(v);
+        }
+        let response = format!(
+            "{{\"id\":\"top1\",\"ok\":true,\"result\":{}}}",
+            reg.snapshot().to_json()
+        );
+        parse_json(&response).expect("well-formed")
+    }
+
+    #[test]
+    fn renders_aligned_tables_with_sparklines() {
+        let out = render(&sample_doc()).expect("renders");
+        assert!(out.contains("counters\n"));
+        assert!(out.contains("dc_server_requests_total{verb=\"submit\"}"));
+        assert!(out.contains("gauges\n"));
+        assert!(out.contains("histograms"));
+        // Histogram row: count and the p50 upper bound (bucket [4,7]).
+        let hist_line = out
+            .lines()
+            .find(|l| l.contains("dc_server_queue_wait_us"))
+            .expect("histogram row");
+        assert!(hist_line.contains('['));
+        assert!(hist_line.contains("  5  "), "count column: {hist_line}");
+        // Rendering is deterministic.
+        assert_eq!(out, render(&sample_doc()).expect("renders"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let doc = parse_json("{\"id\":1,\"ok\":true,\"result\":{\"metrics\":[]}}").unwrap();
+        assert_eq!(render(&doc).unwrap(), "(no metrics registered)\n");
+    }
+
+    #[test]
+    fn text_mode_round_trips_the_exposition() {
+        // The wire JSON carries everything the renderer needs: the
+        // rebuilt snapshot's exposition matches the source registry's
+        // byte for byte.
+        let reg = Registry::new();
+        reg.counter("dc_server_requests_total", &[("verb", "submit")])
+            .add(12);
+        reg.gauge("dc_pool_queue_depth", &[]).set(3);
+        let h = reg.histogram("dc_server_queue_wait_us", &[]);
+        for v in [0u64, 5, 5, 120, 4000] {
+            h.observe(v);
+        }
+        let snap = snapshot_from_doc(&sample_doc()).expect("round-trips");
+        assert_eq!(snap.render_text(), reg.snapshot().render_text());
+    }
+
+    #[test]
+    fn non_stats_response_is_an_error() {
+        let doc = parse_json("{\"id\":1,\"ok\":true,\"result\":{\"job\":\"job-1\"}}").unwrap();
+        assert!(render(&doc).is_err());
+    }
+}

@@ -26,6 +26,7 @@ use dc_cpu::CpuConfig;
 use dc_obs::{Event, Recorder, Sink, Value};
 use dc_store::json::write_json_string;
 use dcbench::{pool, Characterizer};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Per-entry telemetry ring capacity. An entry lookup emits at most two
@@ -163,6 +164,10 @@ pub struct Job {
     pub log: Arc<EventLog>,
     recorder: Recorder,
     status: Mutex<JobStatus>,
+    /// Accept time on the server's injected clock (µs), stamped at
+    /// submit so the executor can observe queue wait when it pops the
+    /// job. Zero until stamped.
+    enqueued_at_us: AtomicU64,
 }
 
 impl Job {
@@ -181,7 +186,18 @@ impl Job {
                 output: None,
                 error: None,
             }),
+            enqueued_at_us: AtomicU64::new(0),
         })
+    }
+
+    /// Stamp the accept time (server clock, µs).
+    pub fn set_enqueued_at(&self, t_us: u64) {
+        self.enqueued_at_us.store(t_us, Ordering::Relaxed);
+    }
+
+    /// The accept time stamped by [`Job::set_enqueued_at`].
+    pub fn enqueued_at(&self) -> u64 {
+        self.enqueued_at_us.load(Ordering::Relaxed)
     }
 
     /// Current state.

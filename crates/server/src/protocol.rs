@@ -18,7 +18,8 @@
 //! {"id":"c2","verb":"status","job":"job-1"}
 //! {"id":"c3","verb":"stream","job":"job-1"}
 //! {"id":"c4","verb":"cancel","job":"job-1"}
-//! {"id":"c5","verb":"shutdown"}
+//! {"id":"c5","verb":"stats"}
+//! {"id":"c6","verb":"shutdown"}
 //! ```
 //!
 //! `id` is a client-chosen string or non-negative integer, echoed on
@@ -35,7 +36,10 @@
 //! `{"id":…,"ok":false,"error":{"code":"…","message":"…"}}` (the id is
 //! `null` when the faulty line did not yield one). A `stream` request
 //! additionally emits zero or more `{"id":…,"event":{…}}` frames — one
-//! per `dc-obs` event in the job's log — before its final response.
+//! per `dc-obs` event in the job's log — before its final response. A
+//! `stats` request's `result` is the daemon's metrics snapshot in the
+//! canonical `dc_obs::metrics` JSON encoding (sorted metrics, integer
+//! values, quantile upper bounds from bucket edges).
 //!
 //! # Determinism
 //!
@@ -64,7 +68,7 @@ pub mod code {
     pub const LINE_TOO_LONG: &str = "line_too_long";
     /// The object parsed but a field is missing or invalid.
     pub const BAD_REQUEST: &str = "bad_request";
-    /// The `verb` is not one of the five documented verbs.
+    /// The `verb` is not one of the six documented verbs.
     pub const UNKNOWN_VERB: &str = "unknown_verb";
     /// The named job does not exist on this daemon.
     pub const UNKNOWN_JOB: &str = "unknown_job";
@@ -291,6 +295,9 @@ pub enum Action {
     Cancel(String),
     /// Replay-and-follow a job's event log.
     Stream(String),
+    /// Snapshot the daemon's metrics registry (counters, gauges,
+    /// latency histograms) as a deterministic JSON object.
+    Stats,
     /// Stop the daemon: finish running jobs, cancel queued ones, exit.
     Shutdown,
 }
@@ -312,6 +319,7 @@ impl Request {
             Action::Status(_) => "status",
             Action::Cancel(_) => "cancel",
             Action::Stream(_) => "stream",
+            Action::Stats => "stats",
             Action::Shutdown => "shutdown",
         }
     }
@@ -380,6 +388,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<RequestId>, ProtoErr
         "stream" => {
             Action::Stream(parse_job_name(&doc, "stream").map_err(|e| (Some(id.clone()), e))?)
         }
+        "stats" => Action::Stats,
         "shutdown" => Action::Shutdown,
         other => {
             return Err((
@@ -541,6 +550,15 @@ mod tests {
             let (_, err) = parse_request(line).expect_err(line);
             assert_eq!(err.code, want, "line: {line}");
         }
+    }
+
+    #[test]
+    fn stats_and_shutdown_take_no_payload() {
+        let req = parse_request(r#"{"id":"m1","verb":"stats"}"#).expect("parses");
+        assert_eq!(req.action, Action::Stats);
+        assert_eq!(req.verb(), "stats");
+        let req = parse_request(r#"{"id":"m2","verb":"shutdown"}"#).expect("parses");
+        assert_eq!(req.action, Action::Shutdown);
     }
 
     #[test]

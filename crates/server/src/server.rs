@@ -21,6 +21,7 @@ use crate::protocol::{
     MAX_LINE_BYTES,
 };
 use dc_mapreduce::pool::SpmcQueue;
+use dc_obs::metrics::{self, Clock, Counter, Histogram, MonotonicClock, Registry};
 use dc_obs::{Recorder, Value};
 use dc_store::json::write_json_string;
 use std::collections::{HashMap, HashSet};
@@ -43,6 +44,16 @@ pub struct ServerConfig {
     /// `request_rejected`, `job_queued`, `job_done`). Disabled by
     /// default; the `--events` flag points it at a JSONL file.
     pub recorder: Recorder,
+    /// The metrics registry the daemon records into and `stats`
+    /// snapshots. Defaults to the process-wide [`metrics::global`]
+    /// registry (so cache/pool/simulator metrics appear alongside the
+    /// server's own); tests inject a fresh one for isolation.
+    pub registry: Arc<Registry>,
+    /// Time source for the queue-wait and service-time histograms.
+    /// [`MonotonicClock`] in the daemon; tests inject a
+    /// [`dc_obs::metrics::FakeClock`] so latency snapshots are
+    /// byte-reproducible.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServerConfig {
@@ -51,7 +62,66 @@ impl Default for ServerConfig {
             workers: 2,
             queue_cap: 64,
             recorder: Recorder::disabled(),
+            registry: Arc::clone(metrics::global()),
+            clock: Arc::new(MonotonicClock::new()),
         }
+    }
+}
+
+/// Wire verbs, in protocol documentation order. Request counters are
+/// pre-registered for every verb so a `stats` snapshot always carries
+/// the full family (zeros included) — the snapshot's *shape* never
+/// depends on which verbs a session happened to use.
+const VERBS: [&str; 6] = ["submit", "status", "cancel", "stream", "stats", "shutdown"];
+
+/// Every structured error code, likewise pre-registered.
+const ERROR_CODES: [&str; 8] = [
+    code::PARSE_ERROR,
+    code::LINE_TOO_LONG,
+    code::BAD_REQUEST,
+    code::UNKNOWN_VERB,
+    code::UNKNOWN_JOB,
+    code::DUPLICATE_ID,
+    code::QUEUE_FULL,
+    code::SHUTTING_DOWN,
+];
+
+/// The daemon's handles into its metrics registry.
+struct ServerMetrics {
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    /// `dc_server_queue_wait_us`: accept → executor pop, µs.
+    queue_wait: Histogram,
+    /// `dc_server_service_time_us`: executor pop → job done, µs.
+    service_time: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<Registry>, clock: Arc<dyn Clock>) -> ServerMetrics {
+        for verb in VERBS {
+            registry.counter("dc_server_requests_total", &[("verb", verb)]);
+        }
+        for code in ERROR_CODES {
+            registry.counter("dc_server_errors_total", &[("code", code)]);
+        }
+        let queue_wait = registry.histogram("dc_server_queue_wait_us", &[]);
+        let service_time = registry.histogram("dc_server_service_time_us", &[]);
+        ServerMetrics {
+            registry,
+            clock,
+            queue_wait,
+            service_time,
+        }
+    }
+
+    fn requests(&self, verb: &str) -> Counter {
+        self.registry
+            .counter("dc_server_requests_total", &[("verb", verb)])
+    }
+
+    fn errors(&self, code: &str) -> Counter {
+        self.registry
+            .counter("dc_server_errors_total", &[("code", code)])
     }
 }
 
@@ -64,6 +134,7 @@ struct Inner {
     next_job: AtomicU64,
     shutdown: AtomicBool,
     recorder: Recorder,
+    metrics: ServerMetrics,
 }
 
 /// A handle to one running daemon. Cheap to clone; the last handle
@@ -87,6 +158,7 @@ impl Server {
             next_job: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             recorder: cfg.recorder,
+            metrics: ServerMetrics::new(cfg.registry, cfg.clock),
         });
         let mut executors = Vec::with_capacity(cfg.workers.max(1));
         for _ in 0..cfg.workers.max(1) {
@@ -207,6 +279,7 @@ impl Server {
     }
 
     fn emit_accepted(&self, verb: &'static str) {
+        self.inner.metrics.requests(verb).inc();
         if self.inner.recorder.is_enabled() {
             self.inner
                 .recorder
@@ -215,6 +288,7 @@ impl Server {
     }
 
     fn reject(&self, code: &'static str) {
+        self.inner.metrics.errors(code).inc();
         if self.inner.recorder.is_enabled() {
             self.inner
                 .recorder
@@ -291,6 +365,7 @@ impl Server {
                 }
                 let n = self.inner.next_job.fetch_add(1, Ordering::SeqCst);
                 let job = Job::new(format!("job-{n}"), spec.clone());
+                job.set_enqueued_at(self.inner.metrics.clock.now_micros());
                 self.inner
                     .jobs
                     .lock()
@@ -355,6 +430,12 @@ impl Server {
                 write_line(writer, &ok_response(&req.id, &result))?;
                 Ok(false)
             }
+            Action::Stats => {
+                self.emit_accepted("stats");
+                let snap = self.inner.metrics.registry.snapshot();
+                write_line(writer, &ok_response(&req.id, &snap.to_json()))?;
+                Ok(false)
+            }
             Action::Shutdown => {
                 self.emit_accepted("shutdown");
                 self.begin_shutdown();
@@ -399,7 +480,21 @@ fn executor_loop(inner: &Inner) {
             continue;
         }
         if job.try_start() {
+            // Queue wait ends the moment the executor claims the job;
+            // service time brackets the characterization itself. Both
+            // clocks are the injected one, so under a fake clock these
+            // histograms are byte-reproducible.
+            let started = inner.metrics.clock.now_micros();
+            inner
+                .metrics
+                .queue_wait
+                .observe(started.saturating_sub(job.enqueued_at()));
             job.run(&inner.recorder);
+            let finished = inner.metrics.clock.now_micros();
+            inner
+                .metrics
+                .service_time
+                .observe(finished.saturating_sub(started));
         }
     }
 }
@@ -565,7 +660,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_cap: 1,
-            recorder: Recorder::disabled(),
+            ..ServerConfig::default()
         });
         let submit = |id: u32, seed: u64| {
             format!("{{\"id\":{id},\"verb\":\"submit\",\"job\":{{\"entries\":[\"Sort\"],\"seed\":{seed}}}}}\n")
@@ -587,11 +682,46 @@ mod tests {
     }
 
     #[test]
+    fn stats_snapshots_the_injected_registry() {
+        use dc_obs::metrics::FakeClock;
+        let registry = Arc::new(Registry::new());
+        let server = Server::start(ServerConfig {
+            registry: Arc::clone(&registry),
+            clock: Arc::new(FakeClock::at(0)),
+            ..ServerConfig::default()
+        });
+        let lines = session(
+            &server,
+            "{\"id\":1,\"verb\":\"stats\"}\n{\"id\":2,\"verb\":\"nope\"}\n{\"id\":3,\"verb\":\"stats\"}\n",
+        );
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[0].contains("{\"metrics\":["));
+        // The snapshot carries the full pre-registered families, so the
+        // first stats already shows itself counted and every verb
+        // present (zeros included).
+        assert!(lines[0]
+            .contains("{\"name\":\"dc_server_requests_total\",\"labels\":{\"verb\":\"stats\"},\"type\":\"counter\",\"value\":1}"));
+        assert!(lines[0]
+            .contains("{\"name\":\"dc_server_requests_total\",\"labels\":{\"verb\":\"submit\"},\"type\":\"counter\",\"value\":0}"));
+        assert!(lines[0].contains("\"name\":\"dc_server_queue_wait_us\""));
+        assert!(lines[0].contains("\"name\":\"dc_server_service_time_us\""));
+        // The unknown verb lands in the error-code family.
+        assert!(lines[2]
+            .contains("{\"name\":\"dc_server_errors_total\",\"labels\":{\"code\":\"unknown_verb\"},\"type\":\"counter\",\"value\":1}"));
+        // Only daemon metrics live in the injected registry — none of
+        // the process-global cache/pool families leak in.
+        assert!(!lines[2].contains("dcbench_"));
+        server.begin_shutdown();
+        server.wait();
+    }
+
+    #[test]
     fn shutdown_acknowledges_cancels_queued_and_ends_the_connection() {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_cap: 8,
-            recorder: Recorder::disabled(),
+            ..ServerConfig::default()
         });
         let lines = session(
             &server,

@@ -153,3 +153,56 @@ fn second_run_of_same_entry_does_zero_simulation_work() {
     );
     assert_eq!(ring.dropped(), 0, "ring was sized for the whole stream");
 }
+
+#[test]
+fn registry_metrics_and_accessors_are_one_source_of_truth() {
+    // Regression for the metrics promotion: the cache's telemetry
+    // accessors used to be private atomics that could (in principle)
+    // drift from whatever a metrics exporter reported. They now *are*
+    // the `dcbench_*_total` counters in the process-wide registry, so
+    // the accessor view, the registry snapshot and the event stream
+    // must agree after any cold-then-warm sequence.
+    let _guard = serial();
+    cache::clear();
+    let reg = dc_obs::metrics::global();
+    let lookup = |name: &str| -> u64 {
+        match reg.snapshot().get(name).map(|m| m.value.clone()) {
+            Some(dc_obs::metrics::MetricValue::Counter(v)) => v,
+            other => panic!("{name}: expected a counter, got {other:?}"),
+        }
+    };
+
+    let (recorder, ring) = Recorder::ring(1024);
+    let c = Characterizer::new(
+        CpuConfig::westmere_e5645(),
+        SimOptions::exact(50_000, 20_000),
+        0x0BCA_FE02, // a seed no other test uses: all-cold keys
+    )
+    .with_recorder(recorder);
+    let _ = c.run(BenchmarkId::Sort); // cold: simulates
+    let _ = c.run(BenchmarkId::Grep); // cold: simulates
+    let _ = c.run(BenchmarkId::Sort); // warm: pure hit
+    let _ = c.run(BenchmarkId::Grep); // warm: pure hit
+
+    // Accessors == registry counters, name for name.
+    assert_eq!(cache::sim_invocations(), lookup("dcbench_sim_runs_total"));
+    assert_eq!(cache::cache_hits(), lookup("dcbench_cache_hits_total"));
+    assert_eq!(cache::store_hits(), lookup("dcbench_store_hits_total"));
+    assert_eq!(cache::store_misses(), lookup("dcbench_store_misses_total"));
+    assert_eq!(
+        cache::store_write_errors(),
+        lookup("dcbench_store_write_errors_total")
+    );
+    // Registry counters == event stream (cleared above, so absolute).
+    assert_eq!(lookup("dcbench_sim_runs_total"), 2);
+    assert_eq!(lookup("dcbench_cache_hits_total"), 2);
+    assert_eq!(ring.count_kind("cache_miss") as u64, 2);
+    assert_eq!(ring.count_kind("cache_hit") as u64, 2);
+
+    // clear() zeroes the registry values too — phase boundaries reset
+    // every view at once.
+    cache::clear();
+    assert_eq!(lookup("dcbench_sim_runs_total"), 0);
+    assert_eq!(lookup("dcbench_cache_hits_total"), 0);
+    assert_eq!(cache::sim_invocations(), 0);
+}

@@ -21,6 +21,7 @@ impl TestDaemon {
             workers,
             queue_cap,
             recorder: dc_obs::Recorder::disabled(),
+            ..ServerConfig::default()
         });
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
         let addr = listener.local_addr().expect("bound");

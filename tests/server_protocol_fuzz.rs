@@ -24,6 +24,7 @@ fn daemon_addr() -> std::net::SocketAddr {
             workers: 2,
             queue_cap: 64,
             recorder: dc_obs::Recorder::disabled(),
+            ..ServerConfig::default()
         });
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
         let addr = listener.local_addr().expect("bound");

@@ -1,0 +1,135 @@
+//! The `stats` determinism contract, end to end: a daemon driven by a
+//! fake clock produces **byte-identical** stats snapshots across two
+//! full replays of the same session — concurrent submissions, real
+//! simulations, latency histograms and all.
+//!
+//! The replay script leans on the injected [`FakeClock`]: time only
+//! moves when the test moves it, and the test only moves it at points
+//! it has *observed* to be deterministic (via the injected registry's
+//! own histogram counts), so every queue-wait and service-time
+//! observation is an exact, replayable integer.
+
+use dc_obs::metrics::{FakeClock, Registry};
+use dc_server::server::{Server, ServerConfig};
+use std::io::BufReader;
+use std::sync::Arc;
+
+fn session(server: &Server, input: &str) -> Vec<String> {
+    let mut reader = BufReader::new(input.as_bytes());
+    let mut out: Vec<u8> = Vec::new();
+    server.serve_connection(&mut reader, &mut out);
+    String::from_utf8(out)
+        .expect("responses are utf-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn spin_until(mut ready: impl FnMut() -> bool, what: &str) {
+    for _ in 0..200_000 {
+        if ready() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// One full replay: boot a daemon on a fresh registry and fake clock,
+/// run the scripted session, return the raw bytes of the final stats
+/// response. `seed` varies per replay so both replays really simulate
+/// (the process-wide result cache would otherwise turn replay two into
+/// a no-op and change its wall-clock shape — while proving, by being
+/// excluded, that the *injected* registry sees none of it).
+fn replay(seed: u64) -> String {
+    let registry = Arc::new(Registry::new());
+    let clock = FakeClock::at(100);
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        registry: Arc::clone(&registry),
+        clock: Arc::new(clock.clone()),
+        ..ServerConfig::default()
+    });
+
+    // Two submissions back to back on one connection: the single
+    // executor pops L (queue wait 0) and is busy for hundreds of
+    // milliseconds of real simulation; M sits in the queue. One junk
+    // verb exercises the error-code family.
+    let lines = session(
+        &server,
+        &format!(
+            "{{\"id\":1,\"verb\":\"submit\",\"job\":{{\"entries\":\"data_analysis\",\"seed\":{seed}}}}}\n\
+             {{\"id\":2,\"verb\":\"submit\",\"job\":{{\"entries\":[\"Sort\"],\"seed\":{seed}}}}}\n\
+             {{\"id\":3,\"verb\":\"nope\"}}\n"
+        ),
+    );
+    assert!(lines[0].contains("\"ok\":true"), "submit L: {lines:?}");
+    assert!(lines[1].contains("\"ok\":true"), "submit M: {lines:?}");
+    assert!(lines[2].contains("\"unknown_verb\""), "junk: {lines:?}");
+
+    // Advance time only once L is observably started (queue-wait
+    // histogram count hits 1) — L is mid-simulation, M still queued, so
+    // the jump lands entirely inside L's service and M's wait.
+    let queue_wait = registry.histogram("dc_server_queue_wait_us", &[]);
+    let service_time = registry.histogram("dc_server_service_time_us", &[]);
+    spin_until(|| queue_wait.count() == 1, "executor to pop L");
+    clock.advance(250);
+    spin_until(|| service_time.count() == 2, "both jobs to finish");
+
+    let stats = session(&server, "{\"id\":4,\"verb\":\"stats\"}\n");
+    server.begin_shutdown();
+    server.wait();
+    assert_eq!(stats.len(), 1);
+    stats.into_iter().next().expect("one stats line")
+}
+
+#[test]
+fn stats_snapshot_is_byte_identical_across_replays() {
+    let first = replay(0x57A7_0001);
+    let second = replay(0x57A7_0002);
+    assert_eq!(first, second, "replays must agree byte for byte");
+
+    // The frozen-time latency split is exact: L waited 0 and served
+    // 250 µs (the advance landed inside its run); M waited 250 and
+    // served 0. 250 lands in the log2 bucket [128, 255].
+    assert!(
+        first.contains(
+            "{\"name\":\"dc_server_queue_wait_us\",\"labels\":{},\"type\":\"histogram\",\
+         \"count\":2,\"sum\":250,\"min\":0,\"max\":250,\"p50\":0,\"p90\":250,\"p99\":250,\
+         \"buckets\":[[0,1],[255,1]]}"
+        ),
+        "queue-wait histogram: {first}"
+    );
+    assert!(
+        first.contains(
+            "{\"name\":\"dc_server_service_time_us\",\"labels\":{},\"type\":\"histogram\",\
+         \"count\":2,\"sum\":250,\"min\":0,\"max\":250,\"p50\":0,\"p90\":250,\"p99\":250,\
+         \"buckets\":[[0,1],[255,1]]}"
+        ),
+        "service-time histogram: {first}"
+    );
+    // Request and error counters, pre-registered families included.
+    assert!(first.contains(
+        "{\"name\":\"dc_server_requests_total\",\"labels\":{\"verb\":\"submit\"},\"type\":\"counter\",\"value\":2}"
+    ));
+    assert!(first.contains(
+        "{\"name\":\"dc_server_requests_total\",\"labels\":{\"verb\":\"stats\"},\"type\":\"counter\",\"value\":1}"
+    ));
+    assert!(first.contains(
+        "{\"name\":\"dc_server_requests_total\",\"labels\":{\"verb\":\"cancel\"},\"type\":\"counter\",\"value\":0}"
+    ));
+    assert!(first.contains(
+        "{\"name\":\"dc_server_errors_total\",\"labels\":{\"code\":\"unknown_verb\"},\"type\":\"counter\",\"value\":1}"
+    ));
+    // Process-global families (cache, pool, simulator) stay out of the
+    // injected registry.
+    assert!(
+        !first.contains("dcbench_"),
+        "global metrics leaked: {first}"
+    );
+    assert!(
+        !first.contains("dc_pool_"),
+        "global metrics leaked: {first}"
+    );
+}
