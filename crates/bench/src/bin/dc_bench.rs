@@ -12,7 +12,7 @@
 //! ```
 //!
 //! With `--baseline`, every `full_matrix_*`, `chip_*`, `sweep_*`,
-//! `server_*`, `obs_disabled*`, and `metrics_disabled*` entry is
+//! `subset_*`, `server_*`, `obs_disabled*`, and `metrics_disabled*` entry is
 //! compared against the same-named entry in the baseline file; any
 //! wall-clock more than `tolerance` above baseline fails the run
 //! (exit 1). `DCBENCH_JOBS` caps the parallel
@@ -377,6 +377,41 @@ fn run_entries(quick: bool, only: Option<&str>) -> Vec<BenchEntry> {
         let _ = std::fs::remove_dir_all(&store_dir);
     }
 
+    // Workload-subsetting pipeline (Exhibit SS): the eleven DA
+    // workloads characterized, z-scored, PCA'd, clustered and rendered
+    // — cold, then from the warm memo cache. The warm pass must
+    // simulate nothing: it is the pure linear-algebra + render cost a
+    // warm daemon pays per `subset` request.
+    let window_name = if quick { "quick" } else { "full" };
+    let mut subset_warm_ready = false;
+    if want("subset_cold") {
+        eprintln!("dc-bench: workload subsetting (Exhibit SS, 11 DA workloads)");
+        cache::clear();
+        let cold = time_ms(|| {
+            let sub = dcbench::report::subset_exhibit(&bench, 4, dcbench::stats::Linkage::Complete);
+            let _ = sub.to_json(window_name, bench.seed());
+        });
+        push("subset_cold", cold, sample_uops, jobs);
+        subset_warm_ready = true;
+    }
+    if want("subset_warm") {
+        if !subset_warm_ready {
+            cache::clear();
+            dcbench::report::subset_exhibit(&bench, 4, dcbench::stats::Linkage::Complete);
+        }
+        let sims_before = cache::sim_invocations();
+        let warm = time_ms(|| {
+            let sub = dcbench::report::subset_exhibit(&bench, 4, dcbench::stats::Linkage::Complete);
+            let _ = sub.to_json(window_name, bench.seed());
+        });
+        assert_eq!(
+            cache::sim_invocations(),
+            sims_before,
+            "a warm memo cache must regenerate the subset without simulating"
+        );
+        push("subset_warm", warm, sample_uops, jobs);
+    }
+
     // Daemon request throughput: an in-process `dc-server` on an
     // ephemeral TCP port, four concurrent clients each pushing warm
     // submit+stream rounds end to end (accept → parse → queue →
@@ -584,6 +619,7 @@ fn regressions(current: &[BenchEntry], baseline: &[(String, f64)], tolerance: f6
         e.name.starts_with("full_matrix")
             || e.name.starts_with("chip_")
             || e.name.starts_with("sweep_")
+            || e.name.starts_with("subset_")
             || e.name.starts_with("server_")
             || e.name.starts_with("obs_disabled")
             || e.name.starts_with("metrics_disabled")
@@ -752,6 +788,16 @@ mod tests {
         let swept_base = vec![("sweep_l3_axis".to_string(), 1000.0)];
         assert_eq!(regressions(&swept, &swept_base, 0.25).len(), 1);
         assert!(regressions(&swept, &swept_base, 2.5).is_empty());
+        // Subsetting entries gate like the matrix ones.
+        let subsetting = vec![BenchEntry {
+            name: "subset_cold",
+            wall_ms: 3000.0,
+            uops_per_s: 0.0,
+            threads: 4,
+        }];
+        let subsetting_base = vec![("subset_cold".to_string(), 1000.0)];
+        assert_eq!(regressions(&subsetting, &subsetting_base, 0.25).len(), 1);
+        assert!(regressions(&subsetting, &subsetting_base, 2.5).is_empty());
         // Daemon throughput gates like the matrix ones.
         let daemon = vec![BenchEntry {
             name: "server_throughput",

@@ -18,6 +18,9 @@
 //!   `dc-mapreduce` worker pool;
 //! * [`cache`] — the process-wide memoizing result cache keyed by
 //!   `(entry, machine-config hash, window, seed)`;
+//! * [`stats`] — std-only statistics for workload subsetting: z-score
+//!   → Jacobi PCA → agglomerative clustering → medoid representatives
+//!   (Exhibit SS);
 //! * [`sweep`] — microarchitectural sensitivity sweeps: axes over the
 //!   machine-description knobs expanded into a sharded
 //!   (workload × config-point) grid (Exhibit SW);
@@ -46,6 +49,7 @@ pub mod pool;
 pub mod profiles;
 pub mod registry;
 pub mod report;
+pub mod stats;
 pub mod sweep;
 pub mod topsites;
 

@@ -512,6 +512,26 @@ pub fn sweep_exhibit(
     Ok(figures)
 }
 
+/// Exhibit SS: PCA + hierarchical subsetting of the 11 data-analysis
+/// workloads. Characterizes the registry's data-analysis entries (via
+/// the cached parallel pipeline — a warm [`crate::cache`] store serves
+/// every row with zero simulations), then runs the full
+/// [`crate::stats`] pipeline: z-score → Jacobi PCA (retained to
+/// [`crate::stats::VARIANCE_TARGET`]) → agglomerative clustering of
+/// the PC scores under `linkage` → the `k`-cluster cut with one medoid
+/// representative per cluster. Render with
+/// [`crate::stats::Subset::render_text`] /
+/// [`crate::stats::Subset::to_json`]; both are byte-identical across
+/// processes, worker counts, and cold-vs-warm store runs.
+pub fn subset_exhibit(
+    bench: &Characterizer,
+    k: usize,
+    linkage: crate::stats::Linkage,
+) -> crate::stats::Subset {
+    let rows = bench.run_many(BenchmarkId::data_analysis());
+    crate::stats::subset_of_metrics(&rows, k, linkage)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,8 @@
 //!   string patterns, and [`collection::vec`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
 //!
-//! Each test runs `PROPTEST_CASES` (default 64) deterministic cases; a
+//! Each test runs `PROPTEST_CASES` (default 64) deterministic cases —
+//! a block-level `#![cases(N)]` header raises that to at least `N` — a
 //! failing case re-panics with the sampled inputs so failures are
 //! reproducible and debuggable. Shrinking is not implemented — cases are
 //! drawn smallest-bias-free, and the deterministic seed makes any
@@ -200,6 +201,11 @@ pub mod prelude {
 
 /// Define deterministic property tests.
 ///
+/// An optional `#![cases(N)]` header raises the case count for the
+/// block to at least `N` — `PROPTEST_CASES` still wins when it asks for
+/// more, so suites that pin a floor (e.g. 256 cases for numeric laws)
+/// stay cheap to raise globally but never silently run fewer.
+///
 /// ```ignore
 /// proptest! {
 ///     #[test]
@@ -210,11 +216,17 @@ pub mod prelude {
 /// ```
 #[macro_export]
 macro_rules! proptest {
+    (#![cases($min:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest!(@min ($min) $($(#[$meta])* fn $name($($arg in $strat),+) $body)+);
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest!(@min (0u64) $($(#[$meta])* fn $name($($arg in $strat),+) $body)+);
+    };
+    (@min ($min:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let cases = $crate::cases();
+                let cases = $crate::cases().max($min);
                 for case in 0..cases {
                     // Distinct deterministic seed per (test, case).
                     let mut seed: u64 = 0xDCB0_0000 ^ case;

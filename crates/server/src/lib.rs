@@ -22,6 +22,9 @@
 //!   deterministic at any worker count.
 //! * [`server`] — the bounded queue, the executor pool, and the
 //!   connection loop shared by the TCP and stdio transports.
+//! * [`subset`] — the synchronous `subset` verb: Exhibit SS (PCA +
+//!   hierarchical subsetting) computed daemon-side from the shared
+//!   cache.
 //!
 //! The `dc-server` binary is the daemon; `dc-server-client` is the
 //! scripted client the CI smoke job (and the README examples) drive
@@ -32,7 +35,8 @@
 pub mod jobs;
 pub mod protocol;
 pub mod server;
+pub mod subset;
 
 pub use jobs::{EventLog, Job, JobState};
-pub use protocol::{JobSpec, ProtoError, Request, RequestId, Window};
+pub use protocol::{JobSpec, ProtoError, Request, RequestId, SubsetSpec, Window};
 pub use server::{Server, ServerConfig};

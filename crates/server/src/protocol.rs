@@ -19,7 +19,8 @@
 //! {"id":"c3","verb":"stream","job":"job-1"}
 //! {"id":"c4","verb":"cancel","job":"job-1"}
 //! {"id":"c5","verb":"stats"}
-//! {"id":"c6","verb":"shutdown"}
+//! {"id":"c6","verb":"subset","k":4,"linkage":"complete","window":"quick","seed":2013}
+//! {"id":"c7","verb":"shutdown"}
 //! ```
 //!
 //! `id` is a client-chosen string or non-negative integer, echoed on
@@ -29,6 +30,14 @@
 //! `"hpcc"`). An optional `"sampled":true` runs the job under
 //! SMARTS-style systematic sampling (default validated plan) instead of
 //! exact simulation.
+//!
+//! A `subset` request runs Exhibit SS synchronously: characterize the
+//! eleven data-analysis workloads (through the shared in-process
+//! cache), PCA the metric matrix, hierarchically cluster the
+//! PC scores, and answer with the `k` medoid representatives. All four
+//! fields are optional: `k` defaults to 4 (must be in `[1, 11]`),
+//! `linkage` to `"complete"` (or `"single"`/`"average"`), `window` to
+//! `"quick"`, `seed` to 2013.
 //!
 //! # Responses
 //!
@@ -68,7 +77,7 @@ pub mod code {
     pub const LINE_TOO_LONG: &str = "line_too_long";
     /// The object parsed but a field is missing or invalid.
     pub const BAD_REQUEST: &str = "bad_request";
-    /// The `verb` is not one of the six documented verbs.
+    /// The `verb` is not one of the seven documented verbs.
     pub const UNKNOWN_VERB: &str = "unknown_verb";
     /// The named job does not exist on this daemon.
     pub const UNKNOWN_JOB: &str = "unknown_job";
@@ -284,6 +293,66 @@ impl JobSpec {
     }
 }
 
+/// A validated `subset` request: which Exhibit SS to compute. Every
+/// field is part of the determinism contract — two specs that compare
+/// equal produce byte-identical `output` objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubsetSpec {
+    /// Cluster count (and therefore subset size), in `[1, 11]`.
+    pub k: u32,
+    /// Linkage the merge tree is built with.
+    pub linkage: dcbench::stats::Linkage,
+    /// Measurement window for the eleven underlying characterizations.
+    pub window: Window,
+    /// Master trace seed.
+    pub seed: u64,
+}
+
+impl SubsetSpec {
+    /// Parse and validate a `subset` request's top-level fields (all
+    /// optional, all defaulted).
+    pub fn parse(doc: &Json) -> Result<SubsetSpec, ProtoError> {
+        let bad = |m: String| ProtoError::new(code::BAD_REQUEST, m);
+        let max_k = BenchmarkId::data_analysis().len() as u64;
+        let k = match doc.get("k") {
+            None => 4,
+            Some(v) => match exact_u64(v) {
+                Some(n) if (1..=max_k).contains(&n) => n as u32,
+                _ => return Err(bad(format!("\"k\" must be an integer in [1, {max_k}]"))),
+            },
+        };
+        let linkage = match doc.get("linkage") {
+            None => dcbench::stats::Linkage::Complete,
+            Some(Json::Str(name)) => match dcbench::stats::Linkage::from_name(name) {
+                Some(linkage) => linkage,
+                None => return Err(bad(format!("unknown linkage {name:?}"))),
+            },
+            _ => {
+                return Err(bad(
+                    "\"linkage\" must be \"single\", \"complete\" or \"average\"".into(),
+                ))
+            }
+        };
+        let window = match doc.get("window") {
+            None => Window::Quick,
+            Some(Json::Str(w)) if w == "quick" => Window::Quick,
+            Some(Json::Str(w)) if w == "full" => Window::Full,
+            _ => return Err(bad("\"window\" must be \"quick\" or \"full\"".into())),
+        };
+        let seed = match doc.get("seed") {
+            None => 2013,
+            Some(v) => exact_u64(v)
+                .ok_or_else(|| bad("\"seed\" must be an integer in [0, 2^53]".into()))?,
+        };
+        Ok(SubsetSpec {
+            k,
+            linkage,
+            window,
+            seed,
+        })
+    }
+}
+
 /// What a request asks the daemon to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -298,6 +367,9 @@ pub enum Action {
     /// Snapshot the daemon's metrics registry (counters, gauges,
     /// latency histograms) as a deterministic JSON object.
     Stats,
+    /// Compute Exhibit SS synchronously: which `k` workloads represent
+    /// the data-analysis space.
+    Subset(SubsetSpec),
     /// Stop the daemon: finish running jobs, cancel queued ones, exit.
     Shutdown,
 }
@@ -320,6 +392,7 @@ impl Request {
             Action::Cancel(_) => "cancel",
             Action::Stream(_) => "stream",
             Action::Stats => "stats",
+            Action::Subset(_) => "subset",
             Action::Shutdown => "shutdown",
         }
     }
@@ -389,6 +462,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<RequestId>, ProtoErr
             Action::Stream(parse_job_name(&doc, "stream").map_err(|e| (Some(id.clone()), e))?)
         }
         "stats" => Action::Stats,
+        "subset" => Action::Subset(SubsetSpec::parse(&doc).map_err(|e| (Some(id.clone()), e))?),
         "shutdown" => Action::Shutdown,
         other => {
             return Err((
@@ -559,6 +633,49 @@ mod tests {
         assert_eq!(req.verb(), "stats");
         let req = parse_request(r#"{"id":"m2","verb":"shutdown"}"#).expect("parses");
         assert_eq!(req.action, Action::Shutdown);
+    }
+
+    #[test]
+    fn subset_parses_with_defaults_and_overrides() {
+        let req = parse_request(r#"{"id":"ss1","verb":"subset"}"#).expect("parses");
+        assert_eq!(req.verb(), "subset");
+        let Action::Subset(spec) = req.action else {
+            panic!("expected subset");
+        };
+        assert_eq!(spec.k, 4);
+        assert_eq!(spec.linkage, dcbench::stats::Linkage::Complete);
+        assert_eq!(spec.window, Window::Quick);
+        assert_eq!(spec.seed, 2013);
+
+        let req = parse_request(
+            r#"{"id":"ss2","verb":"subset","k":3,"linkage":"average","window":"full","seed":7}"#,
+        )
+        .expect("parses");
+        let Action::Subset(spec) = req.action else {
+            panic!("expected subset");
+        };
+        assert_eq!(spec.k, 3);
+        assert_eq!(spec.linkage, dcbench::stats::Linkage::Average);
+        assert_eq!(spec.window, Window::Full);
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn invalid_subsets_are_structured_errors() {
+        for line in [
+            r#"{"id":1,"verb":"subset","k":0}"#,
+            r#"{"id":1,"verb":"subset","k":12}"#,
+            r#"{"id":1,"verb":"subset","k":2.5}"#,
+            r#"{"id":1,"verb":"subset","k":"four"}"#,
+            r#"{"id":1,"verb":"subset","linkage":"ward"}"#,
+            r#"{"id":1,"verb":"subset","linkage":7}"#,
+            r#"{"id":1,"verb":"subset","window":"slow"}"#,
+            r#"{"id":1,"verb":"subset","seed":-1}"#,
+        ] {
+            let (id, err) = parse_request(line).expect_err(line);
+            assert_eq!(err.code, code::BAD_REQUEST, "line: {line}");
+            assert_eq!(id, Some(RequestId::Num(1)), "line: {line}");
+        }
     }
 
     #[test]

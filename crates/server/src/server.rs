@@ -72,7 +72,9 @@ impl Default for ServerConfig {
 /// pre-registered for every verb so a `stats` snapshot always carries
 /// the full family (zeros included) — the snapshot's *shape* never
 /// depends on which verbs a session happened to use.
-const VERBS: [&str; 6] = ["submit", "status", "cancel", "stream", "stats", "shutdown"];
+const VERBS: [&str; 7] = [
+    "submit", "status", "cancel", "stream", "stats", "subset", "shutdown",
+];
 
 /// Every structured error code, likewise pre-registered.
 const ERROR_CODES: [&str; 8] = [
@@ -434,6 +436,14 @@ impl Server {
                 self.emit_accepted("stats");
                 let snap = self.inner.metrics.registry.snapshot();
                 write_line(writer, &ok_response(&req.id, &snap.to_json()))?;
+                Ok(false)
+            }
+            Action::Subset(spec) => {
+                // Synchronous like `stats`: the exhibit is a pure
+                // function of the spec and sub-second on a warm cache.
+                let result = crate::subset::run(spec)?;
+                self.emit_accepted("subset");
+                write_line(writer, &ok_response(&req.id, &result))?;
                 Ok(false)
             }
             Action::Shutdown => {

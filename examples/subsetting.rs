@@ -1,0 +1,107 @@
+//! Exhibit SS: PCA + hierarchical subsetting of the eleven
+//! data-analysis workloads.
+//!
+//! ```text
+//! cargo run --release --example subsetting                      # full windows
+//! cargo run --release --example subsetting -- --quick           # quick windows (CI smoke)
+//! cargo run --release --example subsetting -- --jsonl ss.jsonl  # canonical JSON artifact
+//! cargo run --release --example subsetting -- --k 3 --linkage average
+//! ```
+//!
+//! The eleven workloads are characterized through the cached parallel
+//! pipeline, their metric matrix is z-scored and PCA-reduced (Jacobi
+//! eigensolve, components retained to >=85% cumulative variance), the
+//! PC scores are hierarchically clustered, and each cluster's medoid
+//! becomes the representative subset. Both the exhibit text on stdout
+//! and the `--jsonl` artifact (one canonical JSON line) are
+//! **byte-identical** across runs, processes, and `DCBENCH_JOBS`
+//! settings.
+//!
+//! Set `DCBENCH_STORE=path/to/store.log` to warm-start from (and write
+//! new measurements through to) a persistent result store; a run
+//! against a fully populated store does **zero** simulations and still
+//! renders byte-identical exhibits.
+
+use dc_obs::Recorder;
+use dcbench::stats::Linkage;
+use dcbench::{cache, report, Characterizer};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut jsonl: Option<String> = None;
+    let mut k = 4usize;
+    let mut linkage = Linkage::Complete;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jsonl" => jsonl = Some(it.next().expect("--jsonl takes a path")),
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--k takes a cluster count")
+            }
+            "--linkage" => {
+                let name = it.next().expect("--linkage takes a name");
+                linkage = Linkage::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown linkage: {name} (try single|complete|average)");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: subsetting [--quick] [--jsonl PATH] [--k N] [--linkage NAME]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(1..=11).contains(&k) {
+        eprintln!("--k must be in [1, 11]");
+        std::process::exit(2);
+    }
+
+    // Store recovery telemetry goes to stderr so cold and warm runs
+    // stay byte-identical on stdout and in the --jsonl artifact.
+    let store = cache::attach_from_env(&Recorder::disabled()).unwrap_or_else(|e| {
+        eprintln!("dc-store: cannot open DCBENCH_STORE: {e}");
+        std::process::exit(1);
+    });
+    if let Some(report) = &store {
+        eprintln!(
+            "dc-store: loaded {} record(s) \
+             (corrupt {}, stale {}, torn {} byte(s), unknown {})",
+            report.loaded,
+            report.corrupt_skipped,
+            report.stale_skipped,
+            report.truncated_bytes,
+            report.unknown_entries
+        );
+    }
+
+    let (bench, window) = if quick {
+        (Characterizer::quick(), "quick")
+    } else {
+        (Characterizer::full(), "full")
+    };
+    let subset = report::subset_exhibit(&bench, k, linkage);
+    print!("{}", subset.render_text(window, bench.seed()));
+    if let Some(path) = jsonl {
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        writeln!(file, "{}", subset.to_json(window, bench.seed()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("subset artifact written to {path}");
+    }
+    if store.is_some() {
+        eprintln!(
+            "dc-store: simulations: {} (store hits {}, store misses {}, write errors {})",
+            cache::sim_invocations(),
+            cache::store_hits(),
+            cache::store_misses(),
+            cache::store_write_errors()
+        );
+    }
+}

@@ -355,6 +355,69 @@ fn garbage_never_takes_the_connection_down() {
 }
 
 #[test]
+fn subset_verb_round_trips_warm_and_byte_matches_the_offline_exhibit() {
+    let daemon = TestDaemon::start(2, 16);
+    let spec =
+        "\"verb\":\"subset\",\"k\":4,\"linkage\":\"complete\",\"window\":\"quick\",\"seed\":619";
+
+    // Cold daemon: each of the 11 data-analysis workloads simulates.
+    let mut cold = daemon.connect();
+    let cold_response = cold.request(spec);
+    assert!(
+        cold_response.contains("\"ok\":true"),
+        "cold: {cold_response}"
+    );
+    assert_eq!(simulations(&cold_response), 11, "eleven cold entries");
+    let cold_output = extract_output(&cold_response).to_string();
+    assert!(cold_output.contains("\"kind\":\"subset\""));
+    assert!(cold_output.contains("\"subset\":["));
+
+    // A different client, same spec, warm daemon: zero simulations and
+    // byte-identical output.
+    let mut warm = daemon.connect();
+    let warm_response = warm.request(spec);
+    assert_eq!(
+        simulations(&warm_response),
+        0,
+        "warm subset: {warm_response}"
+    );
+    assert_eq!(extract_output(&warm_response), cold_output);
+
+    // The daemon's output byte-matches the offline exhibit pipeline
+    // for the same (k, linkage, window, seed).
+    let bench = dcbench::Characterizer::new(
+        dc_cpu::CpuConfig::westmere_e5645(),
+        dc_server::Window::Quick.sim_options(),
+        619,
+    );
+    let offline = dcbench::report::subset_exhibit(&bench, 4, dcbench::stats::Linkage::Complete)
+        .to_json("quick", 619);
+    assert_eq!(cold_output, offline, "daemon vs offline bytes");
+
+    // Malformed specs: structured bad_request, never a dropped
+    // connection, never a panic.
+    for bad in [
+        "\"verb\":\"subset\",\"k\":0",
+        "\"verb\":\"subset\",\"k\":99",
+        "\"verb\":\"subset\",\"k\":2.5",
+        "\"verb\":\"subset\",\"linkage\":\"ward\"",
+        "\"verb\":\"subset\",\"linkage\":4",
+        "\"verb\":\"subset\",\"window\":\"slow\"",
+        "\"verb\":\"subset\",\"seed\":-2",
+    ] {
+        let response = warm.request(bad);
+        assert!(
+            response.contains("\"bad_request\""),
+            "spec {bad}: {response}"
+        );
+    }
+    // After the abuse the same connection still answers subsets.
+    let again = warm.request(spec);
+    assert_eq!(simulations(&again), 0);
+    assert_eq!(extract_output(&again), cold_output);
+}
+
+#[test]
 fn stdio_transport_round_trips_through_the_real_binary() {
     use std::process::{Command, Stdio};
     let mut child = Command::new(env!("CARGO_BIN_EXE_dc-server"))

@@ -191,6 +191,52 @@ proptest! {
         conn.assert_alive("alive-dup");
     }
 
+    /// Subset-shaped garbage: a `subset` verb whose `k`/`linkage`/
+    /// `window`/`seed` fields are arbitrary JSON scalars either
+    /// validates (and computes nothing unsafe) or comes back as a
+    /// structured `bad_request` — never a panic, never a dropped
+    /// connection. Values are drawn adversarially around the valid
+    /// ranges (0, fractions, negatives, huge, wrong types).
+    #[test]
+    fn subset_shaped_garbage_gets_structured_errors(
+        k_pick in 0usize..12,
+        linkage_pick in 0usize..9,
+        seed_pick in 0usize..6,
+    ) {
+        const K_RAW: [&str; 12] = [
+            "0", "1", "4", "11", "12", "99", "2.5", "-1", "1e99", "\"four\"", "null", "[]",
+        ];
+        const LINKAGE_RAW: [&str; 9] = [
+            "\"single\"", "\"complete\"", "\"average\"", "\"ward\"", "\"COMPLETE\"", "\"\"",
+            "7", "null", "[]",
+        ];
+        const SEED_RAW: [&str; 6] = ["0", "2013", "-7", "0.5", "\"x\"", "null"];
+        let line = format!(
+            "{{\"id\":\"ssfz\",\"verb\":\"subset\",\"k\":{},\"linkage\":{},\"window\":\"quick\",\"seed\":{}}}\n",
+            K_RAW[k_pick], LINKAGE_RAW[linkage_pick], SEED_RAW[seed_pick],
+        );
+        // Pure parser layer first: total, never panics.
+        match protocol::parse_request(line.trim_end()) {
+            Ok(req) => prop_assert_eq!(req.verb(), "subset"),
+            Err((id, err)) => {
+                prop_assert_eq!(err.code, "bad_request");
+                let _ = protocol::error_response(id.as_ref(), &err);
+            }
+        }
+        // Then the live daemon: one line in, one envelope out. Valid
+        // combinations answer ok (the matrix is cached after the first
+        // hit); invalid ones answer bad_request.
+        let mut conn = FuzzConn::connect();
+        conn.send_bytes(line.as_bytes());
+        let response = conn.recv();
+        assert_response_envelope(&response);
+        prop_assert!(
+            response.contains("\"ok\":true") || response.contains("\"bad_request\""),
+            "subset-shaped garbage: {response}"
+        );
+        conn.assert_alive("alive-subset");
+    }
+
     /// Oversized lines are consumed and rejected with `line_too_long`;
     /// framing — and the connection — survive.
     #[test]

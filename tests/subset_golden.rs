@@ -1,0 +1,117 @@
+//! Golden pins for Exhibit SS (ISSUE 10): the quick-window exhibit of
+//! the full 11-workload matrix is pinned **byte for byte** — text
+//! (`golden_exhibit_ss_quick.txt`, the example's stdout) and canonical
+//! JSON (`golden_exhibit_ss_quick.jsonl`, the `--jsonl` artifact) —
+//! plus hand-computed fixtures with analytically known eigenpairs.
+//!
+//! If an intentional change shifts these bytes, regenerate with:
+//!
+//! ```text
+//! cargo run --release --example subsetting -- --quick \
+//!     --jsonl tests/golden_exhibit_ss_quick.jsonl \
+//!     > tests/golden_exhibit_ss_quick.txt
+//! ```
+
+use dcbench::stats::{jacobi_eigen, subset_of_metrics, Linkage, Pca, VARIANCE_TARGET};
+use dcbench::{report, Characterizer};
+
+const GOLDEN_TEXT: &str = include_str!("golden_exhibit_ss_quick.txt");
+const GOLDEN_JSONL: &str = include_str!("golden_exhibit_ss_quick.jsonl");
+
+#[test]
+fn exhibit_ss_text_and_jsonl_match_golden_bytes() {
+    let bench = Characterizer::quick();
+    let subset = report::subset_exhibit(&bench, 4, Linkage::Complete);
+    assert_eq!(
+        subset.render_text("quick", bench.seed()),
+        GOLDEN_TEXT,
+        "Exhibit SS text drifted from the golden pin"
+    );
+    assert_eq!(
+        format!("{}\n", subset.to_json("quick", bench.seed())),
+        GOLDEN_JSONL,
+        "Exhibit SS JSON drifted from the golden pin"
+    );
+}
+
+#[test]
+fn exhibit_ss_retains_at_least_85_percent_variance() {
+    let bench = Characterizer::quick();
+    let subset = report::subset_exhibit(&bench, 4, Linkage::Complete);
+    let covered = subset.pca.cumulative(subset.pca.retained);
+    assert!(
+        covered >= VARIANCE_TARGET,
+        "retained components cover {covered}, need >= {VARIANCE_TARGET}"
+    );
+    assert_eq!(subset.clusters.len(), 4);
+    assert_eq!(subset.chosen().len(), 4);
+    // The subset is drawn from the 11 DA workloads, one medoid each.
+    assert_eq!(subset.labels.len(), 11);
+}
+
+#[test]
+fn exhibit_ss_rebuilt_from_rows_matches_report_path() {
+    // The server verb builds the exhibit from characterized rows; the
+    // report path from the Characterizer. Same rows → same bytes.
+    let bench = Characterizer::quick();
+    let rows = bench.run_many(dcbench::BenchmarkId::data_analysis());
+    let a = report::subset_exhibit(&bench, 3, Linkage::Average);
+    let b = subset_of_metrics(&rows, 3, Linkage::Average);
+    assert_eq!(a.to_json("quick", 2013), b.to_json("quick", 2013));
+    assert_eq!(a.render_text("quick", 2013), b.render_text("quick", 2013));
+}
+
+#[test]
+fn jacobi_matches_the_analytic_3x3_eigenpairs() {
+    // [[2,1,0],[1,2,0],[0,0,5]] has exact eigenpairs:
+    //   λ=5 → [0, 0, 1]
+    //   λ=3 → [1/√2, 1/√2, 0]
+    //   λ=1 → [1/√2, −1/√2, 0]  (sign-canonicalized)
+    let a = vec![
+        vec![2.0, 1.0, 0.0],
+        vec![1.0, 2.0, 0.0],
+        vec![0.0, 0.0, 5.0],
+    ];
+    let eig = jacobi_eigen(&a);
+    let r = 1.0 / 2.0f64.sqrt();
+    let want = [
+        (5.0, [0.0, 0.0, 1.0]),
+        (3.0, [r, r, 0.0]),
+        (1.0, [r, -r, 0.0]),
+    ];
+    for (i, (val, vec)) in want.iter().enumerate() {
+        assert!(
+            (eig.values[i] - val).abs() < 1e-10,
+            "eigenvalue {i}: {} vs {val}",
+            eig.values[i]
+        );
+        for (g, w) in eig.vectors[i].iter().zip(vec) {
+            assert!(
+                (g - w).abs() < 1e-10,
+                "eigenvector {i}: {:?}",
+                eig.vectors[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn pca_matches_the_analytic_rank_one_fixture() {
+    // Column 1 carries all the variance; column 2 is constant. The
+    // correlation matrix is [[1,0],[0,0]]: eigenvalues exactly {1, 0},
+    // one retained component explaining 100%.
+    let m = vec![
+        vec![1.0, 7.0],
+        vec![-1.0, 7.0],
+        vec![2.0, 7.0],
+        vec![-2.0, 7.0],
+    ];
+    let pca = Pca::fit(&m, VARIANCE_TARGET);
+    assert!((pca.eigenvalues[0] - 1.0).abs() < 1e-12);
+    assert!(pca.eigenvalues[1].abs() < 1e-12);
+    assert_eq!(pca.retained, 1);
+    assert!((pca.variance_fraction[0] - 1.0).abs() < 1e-12);
+    // First principal axis is ±e1, canonicalized to +e1.
+    assert!((pca.components[0][0] - 1.0).abs() < 1e-12);
+    assert!(pca.components[0][1].abs() < 1e-12);
+}

@@ -1,0 +1,256 @@
+//! Property tests for the `dcbench::stats` subsetting pipeline
+//! (ISSUE 10): the algebraic laws the Exhibit SS machinery must obey
+//! on *arbitrary* inputs, not just the 11-workload matrix.
+//!
+//! Laws (each at ≥256 cases via the block-level `#![cases(256)]`
+//! floor):
+//!
+//! 1. Jacobi eigenvectors are orthonormal and the eigenvalue sum equals
+//!    the trace (rotations preserve both).
+//! 2. PCA variance fractions are sorted descending and sum to 1, and
+//!    the retained prefix reaches the variance target.
+//! 3. Clustering is equivariant under permutation of the distance
+//!    matrix: relabel the rows and the cut's clusters relabel with
+//!    them, for every linkage. (Tested at the distance layer, where
+//!    permutation is *bit-exact*; permuting the raw matrix would
+//!    reorder covariance summation and drag float-rounding noise into
+//!    the law.)
+//! 4. The chosen clusters and medoids are invariant under per-column
+//!    power-of-two rescaling of the metric matrix: scaling by 2^e is
+//!    exact in IEEE arithmetic, so z-scores — and everything downstream
+//!    — are bitwise identical.
+//! 5. Merge heights are monotone non-decreasing for all three linkages
+//!    (single/complete/average are reducible, so the globally-closest-
+//!    pair agglomeration cannot invert heights).
+//!
+//! Plus z-score laws backing #4: zero column means, and idempotence
+//! (z-scoring a z-scored matrix is the identity up to rounding).
+
+use dcbench::stats::{
+    cluster, jacobi_eigen, medoid, score_distances, subset, zscore, Linkage, Pca, VARIANCE_TARGET,
+};
+use proptest::prelude::*;
+
+/// Deterministically carve an `rows x cols` matrix out of a flat pool
+/// of sampled values.
+fn matrix_from(pool: &[f64], rows: usize, cols: usize) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|r| (0..cols).map(|c| pool[r * cols + c]).collect())
+        .collect()
+}
+
+/// A symmetric matrix from the same pool: a[i][j] = a[j][i].
+fn symmetric_from(pool: &[f64], n: usize) -> Vec<Vec<f64>> {
+    let mut a = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = pool[i * n + j];
+            a[i][j] = v;
+            a[j][i] = v;
+        }
+    }
+    a
+}
+
+/// A permutation of `0..n` drawn from the rng seed (Fisher–Yates).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = TestRng::new(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![cases(256)]
+
+    #[test]
+    fn eigenvectors_orthonormal_and_trace_preserved(
+        n in 2usize..7,
+        pool in proptest::collection::vec(-10.0f64..10.0, 49..50),
+    ) {
+        let a = symmetric_from(&pool, n);
+        let eig = jacobi_eigen(&a);
+        prop_assert_eq!(eig.values.len(), n);
+        prop_assert_eq!(eig.vectors.len(), n);
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = eig.vectors[i]
+                    .iter()
+                    .zip(&eig.vectors[j])
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!(
+                    (dot - want).abs() < 1e-8,
+                    "v{i}·v{j} = {dot}, want {want}"
+                );
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a[i][i]).sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!(
+            (sum - trace).abs() <= 1e-8 * (1.0 + trace.abs()),
+            "eigenvalue sum {sum} vs trace {trace}"
+        );
+    }
+
+    #[test]
+    fn pca_variance_fractions_sorted_and_normalized(
+        rows in 3usize..9,
+        cols in 2usize..6,
+        pool in proptest::collection::vec(-10.0f64..10.0, 48..49),
+    ) {
+        let m = matrix_from(&pool, rows, cols);
+        let pca = Pca::fit(&m, VARIANCE_TARGET);
+        let sum: f64 = pca.variance_fraction.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        for w in pca.variance_fraction.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "fractions not descending: {w:?}");
+        }
+        prop_assert!(pca.retained >= 1);
+        prop_assert!(
+            pca.cumulative(pca.retained) >= VARIANCE_TARGET - 1e-12,
+            "retained {} components cover only {}",
+            pca.retained,
+            pca.cumulative(pca.retained)
+        );
+        // Retention is minimal: one component fewer falls short.
+        if pca.retained > 1 {
+            prop_assert!(pca.cumulative(pca.retained - 1) < VARIANCE_TARGET);
+        }
+    }
+
+    #[test]
+    fn clustering_equivariant_under_permutation(
+        n in 3usize..8,
+        k in 1usize..4,
+        perm_seed in 0u64..1_000_000,
+        pool in proptest::collection::vec(-10.0f64..10.0, 24..25),
+    ) {
+        let k = k.min(n);
+        let scores = matrix_from(&pool, n, 3);
+        let dist = score_distances(&scores);
+        let perm = permutation(n, perm_seed);
+        // Permuted distance matrix: pd[i][j] = dist[perm[i]][perm[j]].
+        let pd: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| dist[perm[i]][perm[j]]).collect())
+            .collect();
+        for linkage in Linkage::ALL {
+            let base: Vec<Vec<usize>> = cluster(&dist, linkage).cut(k);
+            // Map the permuted clustering back into original labels.
+            let mut mapped: Vec<Vec<usize>> = cluster(&pd, linkage)
+                .cut(k)
+                .into_iter()
+                .map(|members| {
+                    let mut orig: Vec<usize> =
+                        members.into_iter().map(|i| perm[i]).collect();
+                    orig.sort_unstable();
+                    orig
+                })
+                .collect();
+            mapped.sort_by_key(|g| g[0]);
+            prop_assert_eq!(
+                base,
+                mapped,
+                "linkage {} not permutation-equivariant",
+                linkage.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn subset_invariant_under_power_of_two_column_rescale(
+        rows in 4usize..9,
+        cols in 2usize..5,
+        k in 2usize..4,
+        exps in proptest::collection::vec(-6i64..7, 4..5),
+        pool in proptest::collection::vec(-10.0f64..10.0, 40..41),
+    ) {
+        let k = k.min(rows);
+        let m = matrix_from(&pool, rows, cols);
+        // Scale column c by 2^exps[c % 4]: exact in IEEE f64, so the
+        // z-scored matrix — and the whole pipeline — is bit-identical.
+        let scaled: Vec<Vec<f64>> = m
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &v)| v * (exps[c % 4] as f64).exp2())
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<String> = (0..rows).map(|i| format!("w{i}")).collect();
+        for linkage in Linkage::ALL {
+            let a = subset(labels.clone(), &m, k, linkage);
+            let b = subset(labels.clone(), &scaled, k, linkage);
+            prop_assert_eq!(
+                &a.clusters,
+                &b.clusters,
+                "linkage {} clusters moved under rescale",
+                linkage.as_str()
+            );
+            prop_assert_eq!(a.to_json("quick", 0), b.to_json("quick", 0));
+        }
+        // The root cause, stated directly: z-scoring is scale-free on
+        // power-of-two factors…
+        let (za, zb) = (zscore(&m), zscore(&scaled));
+        prop_assert_eq!(za.clone(), zb);
+        // …and idempotent up to rounding (already unit variance, zero
+        // mean).
+        let zz = zscore(&za);
+        for (r1, r2) in za.iter().zip(&zz) {
+            for (a, b) in r1.iter().zip(r2) {
+                prop_assert!((a - b).abs() < 1e-9, "zscore not idempotent: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_heights_monotone_nondecreasing(
+        n in 2usize..9,
+        pool in proptest::collection::vec(-10.0f64..10.0, 32..33),
+    ) {
+        let scores = matrix_from(&pool, n, 4);
+        let dist = score_distances(&scores);
+        for linkage in Linkage::ALL {
+            let tree = cluster(&dist, linkage);
+            prop_assert_eq!(tree.merges.len(), n - 1);
+            for w in tree.merges.windows(2) {
+                prop_assert!(
+                    w[1].height >= w[0].height - 1e-9,
+                    "linkage {} heights invert: {} then {}",
+                    linkage.as_str(),
+                    w[0].height,
+                    w[1].height
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn medoid_is_a_member_that_minimizes_total_distance(
+        n in 2usize..8,
+        pool in proptest::collection::vec(-10.0f64..10.0, 21..22),
+    ) {
+        let scores = matrix_from(&pool, n, 3);
+        let dist = score_distances(&scores);
+        let members: Vec<usize> = (0..n).collect();
+        let m = medoid(&members, &dist);
+        prop_assert!(members.contains(&m));
+        let total = |i: usize| -> f64 { members.iter().map(|&j| dist[i][j]).sum() };
+        for &i in &members {
+            prop_assert!(total(m) <= total(i) + 1e-12);
+        }
+    }
+}
+
+/// The case floor itself is part of the acceptance criteria: the block
+/// above must run every law at 256+ cases even with `PROPTEST_CASES`
+/// unset.
+#[test]
+fn case_floor_is_at_least_256() {
+    assert!(proptest::cases().max(256) >= 256);
+}
